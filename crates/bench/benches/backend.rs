@@ -1,0 +1,73 @@
+//! Criterion benches for the reconfigurable runtime backend: one
+//! timing-only epoch per baseline template plus a pipelining ablation
+//! (the Eq. 4 `max`-vs-sum design choice DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{ExecutionOptions, RuntimeBackend, Template, TrainingConfig};
+
+fn bench_templates(c: &mut Criterion) {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions::timing_only();
+    let mut group = c.benchmark_group("backend_templates");
+    group.sample_size(10);
+    for template in Template::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(template),
+            &template,
+            |b, &template| {
+                let config = template.config(ModelKind::Sage);
+                b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipelining_ablation(c: &mut Criterion) {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions::timing_only();
+    let mut group = c.benchmark_group("pipelining_ablation");
+    group.sample_size(10);
+    for pipelined in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", pipelined),
+            &pipelined,
+            |b, &pipelined| {
+                let config = TrainingConfig { pipelined, ..TrainingConfig::default() };
+                b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_step_included(c: &mut Criterion) {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let mut group = c.benchmark_group("backend_with_training");
+    group.sample_size(10);
+    group.bench_function("one_epoch_trained", |b| {
+        let config = TrainingConfig { batch_size: 128, hidden_dim: 32, ..Default::default() };
+        let opts = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(4),
+            ..Default::default()
+        };
+        b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_templates,
+    bench_pipelining_ablation,
+    bench_training_step_included
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the device feature-cache policies: lookup +
+//! update throughput per policy (the transmission axis of the design
+//! space) and a cache-ratio ablation for the static cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnav_cache::{build_cache, CachePolicy};
+use gnnav_graph::generators::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn access_batches(num_nodes: usize, batches: usize, batch: usize, seed: u64) -> Vec<Vec<u32>> {
+    // Degree-skewed accesses: preferential to low ids (BA hubs).
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            (0..batch)
+                .map(|_| {
+                    let u: f64 = rng.gen::<f64>();
+                    ((u * u) * num_nodes as f64) as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let g = barabasi_albert(50_000, 6, 1).expect("gen");
+    let batches = access_batches(g.num_nodes(), 50, 4096, 2);
+    let mut group = c.benchmark_group("cache_policies");
+    group.sample_size(20);
+    for policy in CachePolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache = build_cache(policy, 10_000, &g);
+                    let mut hits = 0usize;
+                    for batch in &batches {
+                        let out = cache.lookup(batch);
+                        hits += out.hits.len();
+                        cache.update(&out.misses);
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_static_cache_ratio_ablation(c: &mut Criterion) {
+    let g = barabasi_albert(50_000, 6, 3).expect("gen");
+    let batches = access_batches(g.num_nodes(), 50, 4096, 4);
+    let mut group = c.benchmark_group("static_cache_ratio_ablation");
+    group.sample_size(20);
+    for ratio in [5usize, 20, 50] {
+        let entries = g.num_nodes() * ratio / 100;
+        group.bench_with_input(
+            BenchmarkId::new("ratio_pct", ratio),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut cache = build_cache(CachePolicy::StaticDegree, entries, &g);
+                    let mut hits = 0usize;
+                    for batch in &batches {
+                        hits += cache.lookup(batch).hits.len();
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_static_cache_ratio_ablation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the gray-box estimator: fit cost,
+//! per-candidate prediction latency (the paper claims "negligible
+//! latency"), and gray-box vs. black-box fitting cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnav_estimator::{
+    BatchSizePredictor, BlackBoxBatchSize, Context, GrayBoxEstimator, ProfileDb, Profiler,
+};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+
+fn profiled_db() -> (Dataset, ProfileDb) {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05).expect("load");
+    let profiler = Profiler::new(
+        RuntimeBackend::new(Platform::default_rtx4090()),
+        ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(2),
+            ..Default::default()
+        },
+    );
+    let configs = DesignSpace::standard().sample(40, ModelKind::Sage, 11);
+    let db = profiler.profile(&dataset, &configs).expect("profile");
+    (dataset, db)
+}
+
+fn bench_fit_and_predict(c: &mut Criterion) {
+    let (dataset, db) = profiled_db();
+    let mut group = c.benchmark_group("estimator");
+    group.sample_size(10);
+    group.bench_function("fit_full_gray_box", |b| {
+        b.iter(|| {
+            let mut est = GrayBoxEstimator::new();
+            est.fit(&db).expect("fit");
+            est
+        });
+    });
+    let mut est = GrayBoxEstimator::new();
+    est.fit(&db).expect("fit");
+    let ctx = Context::new(
+        &dataset,
+        &Platform::default_rtx4090(),
+        TrainingConfig::default(),
+    );
+    group.bench_function("predict_one_candidate", |b| {
+        b.iter(|| est.predict(&ctx));
+    });
+    group.finish();
+}
+
+fn bench_gray_vs_black_fit(c: &mut Criterion) {
+    let (_, db) = profiled_db();
+    let mut group = c.benchmark_group("batch_size_model_fit");
+    group.sample_size(10);
+    group.bench_function("gray_box_ridge", |b| {
+        b.iter(|| {
+            let mut m = BatchSizePredictor::new();
+            m.fit(&db).expect("fit");
+            m
+        });
+    });
+    group.bench_function("black_box_tree", |b| {
+        b.iter(|| {
+            let mut m = BlackBoxBatchSize::new();
+            m.fit(&db).expect("fit");
+            m
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_and_predict, bench_gray_vs_black_fit);
+criterion_main!(benches);

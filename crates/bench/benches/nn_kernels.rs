@@ -1,0 +1,66 @@
+//! Criterion benches for the NN substrate: dense matmul and per-model
+//! forward+backward training steps (the computation axis the paper's
+//! `f_compute` models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnav_graph::generators::barabasi_albert;
+use gnnav_nn::init::glorot_uniform;
+use gnnav_nn::{train, Adam, GnnModel, Matrix, ModelKind};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = glorot_uniform(n, n, 1);
+        let b = glorot_uniform(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step_per_model(c: &mut Criterion) {
+    let g = barabasi_albert(2000, 6, 3).expect("gen");
+    let feat_dim = 64;
+    let classes = 8;
+    let x = glorot_uniform(g.num_nodes(), feat_dim, 4);
+    let labels: Vec<u16> = (0..g.num_nodes()).map(|v| (v % classes) as u16).collect();
+    let targets: Vec<u32> = (0..256).collect();
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind),
+            &kind,
+            |bench, &kind| {
+                let mut model = GnnModel::new(kind, feat_dim, 32, classes, 2, 5);
+                let mut opt = Adam::new(0.01);
+                bench.iter(|| {
+                    train::train_step(&mut model, &mut opt, &g, &x, &labels, &targets)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forward_only(c: &mut Criterion) {
+    let g = barabasi_albert(2000, 6, 7).expect("gen");
+    let x = glorot_uniform(g.num_nodes(), 64, 8);
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |bench, &kind| {
+            let mut model = GnnModel::new(kind, 64, 32, 8, 2, 9);
+            bench.iter(|| {
+                let out: Matrix = model.forward(&g, &x);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_train_step_per_model, bench_forward_only);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the sampling substrate: throughput of the
+//! three sampler families and a fanout ablation for the node-wise
+//! sampler (the sampling axis of the design space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnav_graph::generators::barabasi_albert;
+use gnnav_sampler::{
+    LayerWiseSampler, LocalityBias, NodeWiseSampler, Sampler, SubgraphWiseSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampler_families(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, 1).expect("gen");
+    let targets: Vec<u32> = (0..256).collect();
+    let none = || LocalityBias::none(g.num_nodes());
+    let mut group = c.benchmark_group("sampler_families");
+    group.sample_size(20);
+    group.bench_function("node_wise_25_10", |b| {
+        let s = NodeWiseSampler::new(vec![25, 10], none());
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+    });
+    group.bench_function("layer_wise_1600x2", |b| {
+        let s = LayerWiseSampler::new(vec![1600, 1600], none());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+    });
+    group.bench_function("subgraph_wise_walk35", |b| {
+        let s = SubgraphWiseSampler::new(35, none());
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+    });
+    group.finish();
+}
+
+fn bench_fanout_ablation(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, 5).expect("gen");
+    let targets: Vec<u32> = (0..256).collect();
+    let mut group = c.benchmark_group("node_wise_fanout_ablation");
+    group.sample_size(20);
+    for k in [5usize, 10, 15, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let s = NodeWiseSampler::new(vec![k, k], LocalityBias::none(g.num_nodes()));
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_locality_bias_overhead(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, 7).expect("gen");
+    let targets: Vec<u32> = (0..256).collect();
+    let hot: Vec<u32> = (0..2000).collect();
+    let mut group = c.benchmark_group("locality_bias_overhead");
+    group.sample_size(20);
+    group.bench_function("unbiased", |b| {
+        let s = NodeWiseSampler::new(vec![10, 10], LocalityBias::none(g.num_nodes()));
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+    });
+    group.bench_function("biased_eta_075", |b| {
+        let s = NodeWiseSampler::new(
+            vec![10, 10],
+            LocalityBias::new(g.num_nodes(), &hot, 0.75),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampler_families,
+    bench_fanout_ablation,
+    bench_locality_bias_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Axis-sensitivity ablation: how much each design-space axis moves
+//! `Perf{T, Γ, Acc}` on its own.
+//!
+//! For every axis of the design space, every value is executed with
+//! all other axes held at the default configuration — quantifying
+//! which knobs matter (the design-choice ablations DESIGN.md calls
+//! out: pipelining, precision, cache policy/ratio, sampling geometry).
+//!
+//! Run with `cargo run --release -p gnnav-bench --bin ablation`.
+//! `GNNAV_SCALE` (default 0.25) and `GNNAV_EPOCHS` (default 2).
+
+use gnnav_bench::{env_epochs, env_scale, fmt_mem, fmt_pct, fmt_time, print_table};
+use gnnav_cache::CachePolicy;
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{ExecutionOptions, RuntimeBackend, SamplerKind, TrainingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = env_scale(0.25);
+    let epochs = env_epochs(2);
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, scale)?;
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs, ..Default::default() };
+    let base = TrainingConfig {
+        batch_size: 128,
+        cache_policy: CachePolicy::StaticDegree,
+        cache_ratio: 0.1,
+        model: ModelKind::Sage,
+        hidden_dim: 32,
+        ..TrainingConfig::default()
+    };
+
+    println!("# Axis-sensitivity ablation on Reddit2 + SAGE");
+    println!("# (scale {scale}, {epochs} epochs; one axis varied at a time)");
+    println!("# baseline: {}\n", base.summary());
+
+    type Variant = (&'static str, String, TrainingConfig);
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut push = |axis: &'static str, value: String, config: TrainingConfig| {
+        variants.push((axis, value, config));
+    };
+
+    for sampler in SamplerKind::ALL {
+        push("sampler", sampler.to_string(), TrainingConfig { sampler, ..base.clone() });
+    }
+    for fanouts in [vec![5, 5], vec![10, 10], vec![25, 10], vec![10, 10, 5]] {
+        push("fanouts", format!("{fanouts:?}"), TrainingConfig { fanouts, ..base.clone() });
+    }
+    for eta in [0.0, 0.5, 1.0] {
+        push("eta", format!("{eta:.1}"), TrainingConfig { locality_eta: eta, ..base.clone() });
+    }
+    for batch in [64, 128, 256] {
+        push("batch", batch.to_string(), TrainingConfig { batch_size: batch, ..base.clone() });
+    }
+    for ratio in [0.0, 0.1, 0.3, 0.5] {
+        let (cache_policy, cache_ratio) = if ratio == 0.0 {
+            (CachePolicy::None, 0.0)
+        } else {
+            (CachePolicy::StaticDegree, ratio)
+        };
+        push(
+            "cache_ratio",
+            format!("{ratio:.1}"),
+            TrainingConfig { cache_policy, cache_ratio, ..base.clone() },
+        );
+    }
+    for policy in [CachePolicy::StaticDegree, CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::Lfu]
+    {
+        push(
+            "cache_policy",
+            policy.to_string(),
+            TrainingConfig { cache_policy: policy, ..base.clone() },
+        );
+    }
+    for pipelined in [false, true] {
+        push(
+            "pipelined",
+            pipelined.to_string(),
+            TrainingConfig { pipelined, ..base.clone() },
+        );
+    }
+    for precision in [gnnav_hwsim::Precision::Fp32, gnnav_hwsim::Precision::Fp16] {
+        push(
+            "precision",
+            precision.to_string(),
+            TrainingConfig { precision, ..base.clone() },
+        );
+    }
+    for dropout in [0.0, 0.2, 0.5] {
+        push("dropout", format!("{dropout:.1}"), TrainingConfig { dropout, ..base.clone() });
+    }
+
+    let mut rows = Vec::new();
+    let mut last_axis = "";
+    for (axis, value, config) in &variants {
+        let perf = backend.execute(&dataset, config, &opts)?.perf;
+        rows.push(vec![
+            if axis == &last_axis { String::new() } else { (*axis).to_string() },
+            value.clone(),
+            fmt_time(perf.epoch_time),
+            fmt_mem(perf.peak_mem_bytes),
+            fmt_pct(perf.accuracy),
+            format!("{:.2}", perf.hit_rate),
+        ]);
+        last_axis = axis;
+    }
+    print_table(&["axis", "value", "Time", "Memory", "Accuracy", "hit"], &rows);
+    Ok(())
+}

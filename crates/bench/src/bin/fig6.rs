@@ -1,0 +1,106 @@
+//! Regenerates **Figure 6**: adaptability validation of generated
+//! guidelines on Reddit2 + SAGE.
+//!
+//! The paper exhausts a design space, executes every candidate to get
+//! ground-truth `Perf{T, Γ, Acc}`, draws the Pareto front, and shows
+//! that the explorer's guidelines (Bal + Ex-*) land on it. This binary
+//! executes the reduced exhaustive space, prints every point tagged
+//! `FRONT`/`dominated`, and reports where each guideline landed.
+//!
+//! Run with `cargo run --release -p gnnav-bench --bin fig6`.
+//! `GNNAV_SCALE` (default 0.25) and `GNNAV_EPOCHS` (default 2).
+
+use gnnav_bench::{env_epochs, env_scale, fmt_mem, fmt_pct, fmt_time, print_table};
+use gnnav_estimator::{GrayBoxEstimator, ProfileDb, Profiler};
+use gnnav_explorer::{decide, pareto_front_indices, EvaluatedCandidate, Priority};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = env_scale(0.25);
+    let epochs = env_epochs(2);
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, scale)?;
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let space = DesignSpace::reduced();
+    let configs: Vec<TrainingConfig> = space.enumerate(ModelKind::Sage);
+    println!("# Figure 6: exhausted (reduced) design space on Reddit2 + SAGE");
+    println!(
+        "# scale {scale}, {epochs} epochs, {} valid candidates out of {} raw points\n",
+        configs.len(),
+        space.size()
+    );
+
+    // Ground truth: execute every candidate (the paper: "design space
+    // has been exhausted").
+    let profiler = Profiler::new(
+        backend.clone(),
+        ExecutionOptions { epochs, train: true, train_batches_cap: Some(8), ..Default::default() },
+    );
+    let started = std::time::Instant::now();
+    let db: ProfileDb = profiler.profile(&dataset, &configs)?;
+    eprintln!(
+        "executed {} candidates in {:.0}s",
+        db.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // Ground-truth Pareto front over (T, Γ, −Acc).
+    let points: Vec<[f64; 3]> = db
+        .records()
+        .iter()
+        .map(|r| [r.epoch_time_s, r.mem_bytes, -r.accuracy])
+        .collect();
+    let front = pareto_front_indices(&points);
+    let on_front = |i: usize| front.contains(&i);
+
+    let mut rows = Vec::new();
+    for (i, r) in db.records().iter().enumerate() {
+        rows.push(vec![
+            format!("{i:3}"),
+            r.context.config.summary(),
+            fmt_time(gnnav_hwsim::SimTime::from_secs(r.epoch_time_s)),
+            fmt_mem(r.mem_bytes as usize),
+            fmt_pct(r.accuracy),
+            if on_front(i) { "FRONT".into() } else { "dominated".into() },
+        ]);
+    }
+    print_table(&["#", "candidate", "Time", "Memory", "Accuracy", "Pareto"], &rows);
+    println!("\nground-truth Pareto front: {} of {} candidates\n", front.len(), db.len());
+
+    // Explorer picks (estimator fitted on the same sweep, guideline
+    // selected per priority) — the paper's validation is that these
+    // land on the measured front.
+    let mut estimator = GrayBoxEstimator::new();
+    estimator.fit(&db)?;
+    let evaluated: Vec<EvaluatedCandidate> = db
+        .records()
+        .iter()
+        .map(|r| EvaluatedCandidate {
+            config: r.context.config.clone(),
+            estimate: estimator.predict(&r.context),
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for priority in Priority::ALL {
+        let guideline = decide(&evaluated, priority).expect("non-empty");
+        let idx = db
+            .records()
+            .iter()
+            .position(|r| r.context.config == guideline.config)
+            .expect("guideline comes from the sweep");
+        let r = &db.records()[idx];
+        rows.push(vec![
+            priority.label().into(),
+            guideline.config.summary(),
+            fmt_time(gnnav_hwsim::SimTime::from_secs(r.epoch_time_s)),
+            fmt_mem(r.mem_bytes as usize),
+            fmt_pct(r.accuracy),
+            if on_front(idx) { "ON FRONT".into() } else { "off front".into() },
+        ]);
+    }
+    println!("## Guidelines vs. the ground-truth front");
+    print_table(&["Priority", "chosen candidate", "Time", "Memory", "Accuracy", "front?"], &rows);
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Shared harness utilities for the GNNavigator benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | Binary   | Artifact | Content |
+//! |----------|----------|---------|
+//! | `table1` | Tab. 1   | Perf of baselines + guidelines on 3 tasks |
+//! | `table2` | Tab. 2   | Estimator R²/MSE, leave-one-dataset-out |
+//! | `fig1`   | Fig. 1   | PaGraph memory/speedup + 2PGraph accuracy trades |
+//! | `fig5`   | Fig. 5   | Gray-box vs decision-tree batch-size scatter |
+//! | `fig6`   | Fig. 6   | Exhausted design space + Pareto front + picks |
+//!
+//! All binaries accept the `GNNAV_SCALE` environment variable
+//! (default experiment-specific) to shrink the dataset stand-ins for
+//! quick smoke runs, and `GNNAV_EPOCHS` to override training epochs.
+
+use gnnav_hwsim::SimTime;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, Template, TrainingConfig};
+
+/// The design space with its batch axis adapted to the dataset scale
+/// (the paper defines the space around full-size graphs; the
+/// stand-ins shrink `|B^0|` proportionally so batch/graph ratios stay
+/// in regime).
+pub fn scaled_space(scale: f64) -> DesignSpace {
+    let mut space = DesignSpace::standard();
+    if scale < 0.75 {
+        space.batch_sizes = vec![64, 128, 256];
+    }
+    space
+}
+
+/// Instantiates a baseline template with the batch size adapted to the
+/// dataset scale: the 1:10-scale stand-ins use batch 256 at full
+/// scale, halved below scale 0.75, so `|V_i|/|V|` stays in the regime
+/// the original systems were measured in.
+pub fn template_config(template: Template, model: ModelKind, scale: f64) -> TrainingConfig {
+    let mut config = template.config(model);
+    if scale < 0.75 {
+        config.batch_size = 128;
+    }
+    config
+}
+
+/// Reads a scale factor from `GNNAV_SCALE`, falling back to `default`.
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("GNNAV_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v: &f64| v.is_finite() && v > 0.0)
+        .unwrap_or(default)
+}
+
+/// Reads an epoch count from `GNNAV_EPOCHS`, falling back to
+/// `default`.
+pub fn env_epochs(default: usize) -> usize {
+    std::env::var("GNNAV_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or(default)
+}
+
+/// Formats a simulated duration with stable width for tables.
+pub fn fmt_time(t: SimTime) -> String {
+    format!("{:>10}", t.to_string())
+}
+
+/// Formats bytes as megabytes.
+pub fn fmt_mem(bytes: usize) -> String {
+    format!("{:8.2} MB", bytes as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:6.2}%", x * 100.0)
+}
+
+/// Formats a speedup multiplier with the paper's arrow notation.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x{}", if x >= 1.0 { "\u{2191}" } else { "\u{2193}" })
+}
+
+/// Formats a relative memory delta with the paper's arrow notation.
+pub fn fmt_mem_delta(delta: f64) -> String {
+    if delta >= 0.0 {
+        format!("{:.1}% \u{2191}", delta * 100.0)
+    } else {
+        format!("{:.1}% \u{2193}", -delta * 100.0)
+    }
+}
+
+/// Prints an aligned text table: a header row, a separator, and rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            let pad = widths[c].saturating_sub(cell.chars().count());
+            line.push(' ');
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad));
+            line.push_str(" |");
+        }
+        println!("{line}");
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    println!("{sep}");
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(fmt_time(SimTime::from_secs(1.0)).contains("1.000s"));
+        assert_eq!(fmt_mem(2_500_000).trim(), "2.50 MB");
+        assert_eq!(fmt_pct(0.7931).trim(), "79.31%");
+        assert!(fmt_speedup(2.5).starts_with("2.50x"));
+        assert!(fmt_mem_delta(-0.449).contains("44.9%"));
+        assert!(fmt_mem_delta(0.691).contains("69.1%"));
+    }
+
+    #[test]
+    fn scaled_space_shrinks_batches() {
+        assert_eq!(scaled_space(0.5).batch_sizes, vec![64, 128, 256]);
+        assert_eq!(scaled_space(1.0).batch_sizes, DesignSpace::standard().batch_sizes);
+    }
+
+    #[test]
+    fn template_config_scales_batch() {
+        let full = template_config(Template::Pyg, ModelKind::Sage, 1.0);
+        let half = template_config(Template::Pyg, ModelKind::Sage, 0.5);
+        assert_eq!(full.batch_size, 256);
+        assert_eq!(half.batch_size, 128);
+    }
+
+    #[test]
+    fn env_scale_defaults_when_unset() {
+        std::env::remove_var("GNNAV_SCALE");
+        assert_eq!(env_scale(0.5), 0.5);
+        std::env::remove_var("GNNAV_EPOCHS");
+        assert_eq!(env_epochs(3), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Cache policy identifiers — one axis of the design space.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The cache-update policies the reconfigurable backend supports
+/// (the "cache update policy" blue box of the paper's Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CachePolicy {
+    /// No device cache at all (PyG's behavior).
+    None,
+    /// Static pre-fill with the highest-degree nodes, never updated
+    /// (PaGraph's computation-aware static cache).
+    StaticDegree,
+    /// First-in-first-out replacement.
+    Fifo,
+    /// Least-recently-used replacement.
+    Lru,
+    /// Least-frequently-used replacement.
+    Lfu,
+}
+
+impl CachePolicy {
+    /// Every policy, in display order.
+    pub const ALL: [CachePolicy; 5] = [
+        CachePolicy::None,
+        CachePolicy::StaticDegree,
+        CachePolicy::Fifo,
+        CachePolicy::Lru,
+        CachePolicy::Lfu,
+    ];
+
+    /// Whether this policy performs runtime updates (false for
+    /// [`CachePolicy::None`] and [`CachePolicy::StaticDegree`]).
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, CachePolicy::Fifo | CachePolicy::Lru | CachePolicy::Lfu)
+    }
+}
+
+impl fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CachePolicy::None => "none",
+            CachePolicy::StaticDegree => "static-degree",
+            CachePolicy::Fifo => "fifo",
+            CachePolicy::Lru => "lru",
+            CachePolicy::Lfu => "lfu",
+        })
+    }
+}
+
+/// Error returned when parsing an unknown cache policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cache policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for CachePolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CachePolicy::None),
+            "static-degree" | "static" => Ok(CachePolicy::StaticDegree),
+            "fifo" => Ok(CachePolicy::Fifo),
+            "lru" => Ok(CachePolicy::Lru),
+            "lfu" => Ok(CachePolicy::Lfu),
+            other => Err(ParsePolicyError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for p in CachePolicy::ALL {
+            let parsed: CachePolicy = p.to_string().parse().expect("roundtrip");
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "mru".parse::<CachePolicy>().unwrap_err();
+        assert!(err.to_string().contains("mru"));
+    }
+
+    #[test]
+    fn dynamism_classification() {
+        assert!(!CachePolicy::None.is_dynamic());
+        assert!(!CachePolicy::StaticDegree.is_dynamic());
+        assert!(CachePolicy::Lru.is_dynamic());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the cache policies.
+
+use gnnav_cache::{build_cache, CachePolicy};
+use gnnav_graph::generators::barabasi_albert;
+use proptest::prelude::*;
+
+fn access_sequence() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..200, 1..40),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn capacity_never_exceeded(batches in access_sequence(), cap in 0usize..60) {
+        let g = barabasi_albert(200, 3, 1).expect("gen");
+        for policy in CachePolicy::ALL {
+            let mut cache = build_cache(policy, cap, &g);
+            for batch in &batches {
+                let out = cache.lookup(batch);
+                cache.update(&out.misses);
+                prop_assert!(
+                    cache.len() <= cache.capacity().max(cap),
+                    "{policy}: len {} over capacity {}",
+                    cache.len(),
+                    cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_partitions_input(batches in access_sequence()) {
+        let g = barabasi_albert(200, 3, 2).expect("gen");
+        for policy in CachePolicy::ALL {
+            let mut cache = build_cache(policy, 30, &g);
+            for batch in &batches {
+                let out = cache.lookup(batch);
+                prop_assert_eq!(
+                    out.hits.len() + out.misses.len(),
+                    batch.len(),
+                    "{} lost nodes in lookup",
+                    policy
+                );
+                // Every returned id came from the input batch.
+                for v in out.hits.iter().chain(&out.misses) {
+                    prop_assert!(batch.contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_set_agrees_with_contains(batches in access_sequence()) {
+        let g = barabasi_albert(200, 3, 3).expect("gen");
+        for policy in CachePolicy::ALL {
+            let mut cache = build_cache(policy, 25, &g);
+            for batch in &batches {
+                let out = cache.lookup(batch);
+                cache.update(&out.misses);
+            }
+            let resident = cache.resident();
+            prop_assert_eq!(resident.len(), cache.len(), "{}", policy);
+            for &v in &resident {
+                prop_assert!(cache.contains(v), "{}: resident {} not contained", policy, v);
+            }
+        }
+    }
+
+    #[test]
+    fn second_lookup_of_updated_batch_hits_dynamic_caches(batch in proptest::collection::vec(0u32..200, 1..30)) {
+        let g = barabasi_albert(200, 3, 4).expect("gen");
+        for policy in [CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::Lfu] {
+            let mut cache = build_cache(policy, 200, &g); // capacity >= universe
+            let out = cache.lookup(&batch);
+            cache.update(&out.misses);
+            let again = cache.lookup(&batch);
+            prop_assert!(again.misses.is_empty(), "{policy}: second lookup missed");
+        }
+    }
+
+    #[test]
+    fn hit_rate_is_a_valid_fraction(batches in access_sequence()) {
+        let g = barabasi_albert(200, 3, 5).expect("gen");
+        let mut cache = build_cache(CachePolicy::Lru, 20, &g);
+        for batch in &batches {
+            let out = cache.lookup(batch);
+            cache.update(&out.misses);
+        }
+        let hr = cache.stats().hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+    }
+}

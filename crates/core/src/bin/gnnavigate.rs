@@ -1,0 +1,183 @@
+//! `gnnavigate` — command-line front end for the navigator.
+//!
+//! ```sh
+//! gnnavigate --dataset RD2 --model sage --priority ex-tm --scale 0.2
+//! gnnavigate --dataset PR --platform m90 --max-mem-mb 20 --min-acc 75
+//! ```
+//!
+//! Runs the full pipeline (profile → fit → explore → apply) and prints
+//! the guideline next to the PyG baseline.
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::{Navigator, Priority, RuntimeConstraints, Template};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gnnavigate — adaptive GNN training guideline exploration
+
+USAGE:
+    gnnavigate [OPTIONS]
+
+OPTIONS:
+    --dataset <AR|PR|RD|RD2>       dataset stand-in        [default: RD2]
+    --model <gcn|sage|gat>         GNN architecture        [default: sage]
+    --priority <bal|ex-tm|ex-ma|ex-ta>  explore priority   [default: bal]
+    --platform <rtx4090|a100|m90>  hardware platform       [default: rtx4090]
+    --scale <FLOAT>                dataset scale factor    [default: 0.2]
+    --max-time-ms <FLOAT>          epoch-time constraint
+    --max-mem-mb <FLOAT>           device-memory constraint
+    --min-acc <PERCENT>            accuracy constraint
+    -h, --help                     print this help
+";
+
+#[derive(Debug)]
+struct Args {
+    dataset: DatasetId,
+    model: ModelKind,
+    priority: Priority,
+    platform: Platform,
+    scale: f64,
+    constraints: RuntimeConstraints,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: DatasetId::Reddit2,
+        model: ModelKind::Sage,
+        priority: Priority::Balance,
+        platform: Platform::default_rtx4090(),
+        scale: 0.2,
+        constraints: RuntimeConstraints::none(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--dataset" => {
+                args.dataset = match value("--dataset")?.to_uppercase().as_str() {
+                    "AR" => DatasetId::OgbnArxiv,
+                    "PR" => DatasetId::OgbnProducts,
+                    "RD" => DatasetId::Reddit,
+                    "RD2" => DatasetId::Reddit2,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                };
+            }
+            "--model" => {
+                args.model = match value("--model")?.to_lowercase().as_str() {
+                    "gcn" => ModelKind::Gcn,
+                    "sage" => ModelKind::Sage,
+                    "gat" => ModelKind::Gat,
+                    other => return Err(format!("unknown model `{other}`")),
+                };
+            }
+            "--priority" => {
+                args.priority = match value("--priority")?.to_lowercase().as_str() {
+                    "bal" | "balance" => Priority::Balance,
+                    "ex-tm" => Priority::ExTimeMemory,
+                    "ex-ma" => Priority::ExMemoryAccuracy,
+                    "ex-ta" => Priority::ExTimeAccuracy,
+                    other => return Err(format!("unknown priority `{other}`")),
+                };
+            }
+            "--platform" => {
+                args.platform = match value("--platform")?.to_lowercase().as_str() {
+                    "rtx4090" => Platform::default_rtx4090(),
+                    "a100" => Platform::default_a100(),
+                    "m90" => Platform::default_m90(),
+                    other => return Err(format!("unknown platform `{other}`")),
+                };
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--max-time-ms" => {
+                let ms: f64 = value("--max-time-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-time-ms: {e}"))?;
+                args.constraints.max_time_s = Some(ms * 1e-3);
+            }
+            "--max-mem-mb" => {
+                let mb: f64 = value("--max-mem-mb")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-mem-mb: {e}"))?;
+                args.constraints.max_mem_bytes = Some(mb * 1e6);
+            }
+            "--min-acc" => {
+                let pct: f64 = value("--min-acc")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-acc: {e}"))?;
+                args.constraints.min_accuracy = Some(pct / 100.0);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::load_scaled(args.dataset, args.scale)?;
+    println!(
+        "dataset {} ({} nodes) | model {} | platform {} | priority {}",
+        args.dataset,
+        dataset.num_nodes(),
+        args.model,
+        args.platform.device.name,
+        args.priority
+    );
+    let mut nav = Navigator::new(dataset, args.platform, args.model);
+    eprintln!("profiling design space + fitting gray-box estimator...");
+    nav.prepare()?;
+    eprintln!("exploring guidelines...");
+    let result = nav.generate_guideline(args.priority, &args.constraints)?;
+    println!("\nguideline: {}", result.guideline.config.summary());
+    println!(
+        "explored {} candidates ({} rejected by constraints, {} subtrees pruned)",
+        result.stats.evaluated, result.stats.rejected, result.stats.pruned_subtrees
+    );
+
+    let guided = nav.apply(&result.guideline)?;
+    let pyg = nav.run_template(Template::Pyg)?;
+    println!("\n              {:>12} {:>10} {:>9}", "time/epoch", "memory", "accuracy");
+    for (name, perf) in [("guideline", guided.perf), ("PyG", pyg.perf)] {
+        println!(
+            "{name:<12} {:>12} {:>8.1}MB {:>8.2}%",
+            perf.epoch_time.to_string(),
+            perf.peak_mem_mb(),
+            perf.accuracy * 100.0
+        );
+    }
+    println!(
+        "\nspeedup {:.2}x | memory {:+.1}% | accuracy {:+.2}% vs PyG",
+        guided.perf.speedup_vs(&pyg.perf),
+        guided.perf.mem_delta_vs(&pyg.perf) * 100.0,
+        (guided.perf.accuracy - pyg.perf.accuracy) * 100.0
+    );
+    Ok(())
+}

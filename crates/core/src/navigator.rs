@@ -1,0 +1,296 @@
+//! The end-to-end GNNavigator workflow (Fig. 2 of the paper).
+//!
+//! 1. **Inputs** — graph dataset, GNN model, application requirements
+//!    (priorities + constraints), hardware platform.
+//! 2. **Prepare** — profile the design space on the runtime backend
+//!    (plus power-law data enhancement) and fit the gray-box
+//!    estimator.
+//! 3. **Explore** — generate training guidelines adapted to the
+//!    requirements.
+//! 4. **Apply** — execute a guideline on the backend and verify the
+//!    measured `Perf{T, Γ, Acc}`.
+
+use crate::NavigatorError;
+use gnnav_estimator::{GrayBoxEstimator, ProfileDb, Profiler};
+use gnnav_explorer::{ExplorationResult, Explorer, Guideline, Priority, RuntimeConstraints};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{
+    DesignSpace, ExecutionOptions, ExecutionReport, RuntimeBackend, Template, TrainingConfig,
+};
+
+/// Tunables of the navigator pipeline.
+#[derive(Debug, Clone)]
+pub struct NavigatorOptions {
+    /// Design-space samples profiled per dataset for estimator
+    /// training.
+    pub profile_samples: usize,
+    /// Number of power-law augmentation graphs (0 disables the
+    /// enhancement step).
+    pub augmentation_graphs: usize,
+    /// Node count of each augmentation graph.
+    pub augmentation_nodes: usize,
+    /// Backend options used during profiling (keep cheap).
+    pub profile_exec: ExecutionOptions,
+    /// Backend options used when applying a guideline (full runs).
+    pub apply_exec: ExecutionOptions,
+    /// DFS leaf-evaluation budget during exploration.
+    pub explore_budget: usize,
+    /// The design space to profile over and explore (defaults to
+    /// [`DesignSpace::standard`]; shrink the batch axis when running
+    /// scaled-down dataset stand-ins).
+    pub space: DesignSpace,
+    /// Seed for profiling config sampling.
+    pub seed: u64,
+}
+
+impl Default for NavigatorOptions {
+    fn default() -> Self {
+        NavigatorOptions {
+            profile_samples: 60,
+            augmentation_graphs: 2,
+            augmentation_nodes: 1500,
+            profile_exec: ExecutionOptions {
+                epochs: 1,
+                train: true,
+                train_batches_cap: Some(4),
+                ..Default::default()
+            },
+            apply_exec: ExecutionOptions::default(),
+            explore_budget: 2000,
+            space: DesignSpace::standard(),
+            seed: 0x7A51,
+        }
+    }
+}
+
+/// The adaptive GNN-training navigator.
+///
+/// # Example
+///
+/// ```no_run
+/// use gnnavigator::{Navigator, Priority, RuntimeConstraints};
+/// use gnnav_graph::{Dataset, DatasetId};
+/// use gnnav_hwsim::Platform;
+/// use gnnav_nn::ModelKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1)?;
+/// let mut nav = Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage);
+/// nav.prepare()?; // profile + fit the gray-box estimator
+/// let result = nav.generate_guideline(Priority::Balance, &RuntimeConstraints::none())?;
+/// let report = nav.apply(&result.guideline)?;
+/// println!("measured: {} / {:.1} MB / {:.1}%",
+///          report.perf.epoch_time, report.perf.peak_mem_mb(),
+///          report.perf.accuracy * 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Navigator {
+    dataset: Dataset,
+    platform: Platform,
+    model: ModelKind,
+    backend: RuntimeBackend,
+    options: NavigatorOptions,
+    estimator: Option<GrayBoxEstimator>,
+    profile_db: ProfileDb,
+}
+
+impl Navigator {
+    /// Creates a navigator for training `model` on `dataset` over
+    /// `platform`.
+    pub fn new(dataset: Dataset, platform: Platform, model: ModelKind) -> Self {
+        let backend = RuntimeBackend::new(platform.clone());
+        Navigator {
+            dataset,
+            platform,
+            model,
+            backend,
+            options: NavigatorOptions::default(),
+            estimator: None,
+            profile_db: ProfileDb::new(),
+        }
+    }
+
+    /// Overrides the pipeline options.
+    pub fn with_options(mut self, options: NavigatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The dataset under navigation.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The bound platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The profile database collected by [`Navigator::prepare`].
+    pub fn profile_db(&self) -> &ProfileDb {
+        &self.profile_db
+    }
+
+    /// Profiles the design space and fits the gray-box estimator
+    /// (idempotent: subsequent calls refit on the accumulated
+    /// profiles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and fitting failures.
+    pub fn prepare(&mut self) -> Result<&GrayBoxEstimator, NavigatorError> {
+        let profiler = Profiler::new(self.backend.clone(), self.options.profile_exec.clone());
+        let configs =
+            self.options.space.sample(self.options.profile_samples, self.model, self.options.seed);
+        let db = profiler.profile(&self.dataset, &configs)?;
+        self.profile_db.merge(db);
+        if self.options.augmentation_graphs > 0 {
+            let aug_configs = self.options.space.sample(
+                (self.options.profile_samples / 2).max(4),
+                self.model,
+                self.options.seed ^ 0xA06,
+            );
+            let aug = profiler
+                .profile_augmentation(
+                    self.options.augmentation_graphs,
+                    self.options.augmentation_nodes,
+                    &aug_configs,
+                    self.options.seed ^ 0x9999,
+                )
+                .map_err(|e| NavigatorError::Pipeline(e.to_string()))?;
+            self.profile_db.merge(aug);
+        }
+        let mut estimator = GrayBoxEstimator::new();
+        estimator.fit(&self.profile_db)?;
+        self.estimator = Some(estimator);
+        Ok(self.estimator.as_ref().expect("just set"))
+    }
+
+    /// Generates the guideline for one priority.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NavigatorError::NotPrepared`] before
+    /// [`Navigator::prepare`], or exploration failures.
+    pub fn generate_guideline(
+        &self,
+        priority: Priority,
+        constraints: &RuntimeConstraints,
+    ) -> Result<ExplorationResult, NavigatorError> {
+        let estimator = self.estimator.as_ref().ok_or(NavigatorError::NotPrepared)?;
+        let explorer = Explorer::new(estimator, self.options.explore_budget)
+            .with_space(self.options.space.clone());
+        Ok(explorer.explore(
+            &self.dataset,
+            &self.platform,
+            self.model,
+            priority,
+            constraints,
+        )?)
+    }
+
+    /// Generates guidelines for every priority preset (the Bal /
+    /// Ex-TM / Ex-MA / Ex-TA rows of Tab. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn generate_all(
+        &self,
+        constraints: &RuntimeConstraints,
+    ) -> Result<Vec<ExplorationResult>, NavigatorError> {
+        Priority::ALL
+            .iter()
+            .map(|&p| self.generate_guideline(p, constraints))
+            .collect()
+    }
+
+    /// Applies a guideline on the runtime backend (Step 3), returning
+    /// the measured performance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn apply(&self, guideline: &Guideline) -> Result<ExecutionReport, NavigatorError> {
+        Ok(self
+            .backend
+            .execute(&self.dataset, &guideline.config, &self.options.apply_exec)?)
+    }
+
+    /// Runs a baseline template under the same execution options, for
+    /// comparison rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn run_template(&self, template: Template) -> Result<ExecutionReport, NavigatorError> {
+        let config = template.config(self.model);
+        Ok(self.backend.execute(&self.dataset, &config, &self.options.apply_exec)?)
+    }
+
+    /// Runs an arbitrary configuration under the apply options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn run_config(&self, config: &TrainingConfig) -> Result<ExecutionReport, NavigatorError> {
+        Ok(self.backend.execute(&self.dataset, config, &self.options.apply_exec)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnav_graph::DatasetId;
+
+    fn fast_navigator() -> Navigator {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.03).expect("load");
+        let options = NavigatorOptions {
+            profile_samples: 20,
+            augmentation_graphs: 1,
+            augmentation_nodes: 400,
+            explore_budget: 200,
+            apply_exec: ExecutionOptions {
+                epochs: 1,
+                train_batches_cap: Some(2),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage)
+            .with_options(options)
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let mut nav = fast_navigator();
+        nav.prepare().expect("prepare");
+        assert!(!nav.profile_db().is_empty());
+        let result = nav
+            .generate_guideline(Priority::Balance, &RuntimeConstraints::none())
+            .expect("explore");
+        let report = nav.apply(&result.guideline).expect("apply");
+        assert!(report.perf.epoch_time.as_secs() > 0.0);
+        assert!(report.perf.accuracy > 0.0, "guideline run trains");
+    }
+
+    #[test]
+    fn guideline_requires_prepare() {
+        let nav = fast_navigator();
+        assert!(matches!(
+            nav.generate_guideline(Priority::Balance, &RuntimeConstraints::none()),
+            Err(NavigatorError::NotPrepared)
+        ));
+    }
+
+    #[test]
+    fn templates_run_directly() {
+        let nav = fast_navigator();
+        let report = nav.run_template(Template::Pyg).expect("run");
+        assert_eq!(report.perf.hit_rate, 0.0, "PyG has no cache");
+    }
+}

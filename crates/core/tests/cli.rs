@@ -1,0 +1,55 @@
+//! Integration tests for the `gnnavigate` CLI binary.
+
+use std::process::Command;
+
+fn gnnavigate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gnnavigate"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = gnnavigate().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--priority"));
+}
+
+#[test]
+fn unknown_flag_fails_with_message() {
+    let out = gnnavigate().arg("--bogus").output().expect("spawn");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown flag"), "{text}");
+}
+
+#[test]
+fn bad_dataset_fails() {
+    let out = gnnavigate().args(["--dataset", "nope"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn missing_value_fails() {
+    let out = gnnavigate().arg("--scale").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value"));
+}
+
+#[test]
+fn tiny_end_to_end_run_succeeds() {
+    // A very small full-pipeline run: profile, explore, apply.
+    let out = gnnavigate()
+        .args(["--dataset", "RD2", "--scale", "0.01", "--priority", "bal"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("guideline:"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+}

@@ -1,0 +1,135 @@
+//! Accuracy estimation — Eq. 11.
+//!
+//! The paper concedes that accuracy prediction "is still more like a
+//! black box": the estimator conditions on the quantities Eq. 11
+//! names (degree summaries, batch size, sampling bias) but the mapping
+//! itself is a random forest. Validation uses MSE, matching Tab. 2.
+
+use crate::context::Context;
+use crate::features::accuracy_features;
+use crate::profile::ProfileDb;
+use crate::EstimatorError;
+use gnnav_ml::{ForestParams, RandomForestRegressor, Regressor, Table, TreeParams};
+
+/// Black-box-leaning accuracy estimator.
+#[derive(Debug)]
+pub struct AccuracyEstimator {
+    model: RandomForestRegressor,
+    fitted: bool,
+}
+
+impl Default for AccuracyEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccuracyEstimator {
+    /// Creates an unfitted estimator.
+    pub fn new() -> Self {
+        let params = ForestParams {
+            num_trees: 40,
+            tree: TreeParams { max_depth: 9, min_samples_leaf: 2, ..TreeParams::default() },
+            feature_fraction: 0.7,
+            seed: 23,
+        };
+        AccuracyEstimator { model: RandomForestRegressor::new(params), fitted: false }
+    }
+
+    /// Fits on profiled accuracies (records where training was skipped
+    /// — accuracy 0 — are excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::EmptyProfile`] if no trained records
+    /// are present.
+    pub fn fit(&mut self, db: &ProfileDb) -> Result<(), EstimatorError> {
+        let mut table = Table::with_dims(17);
+        for r in db.records().iter().filter(|r| r.accuracy > 0.0) {
+            table.push_row(&accuracy_features(&r.context, r.avg_batch_nodes), r.accuracy)?;
+        }
+        if table.is_empty() {
+            return Err(EstimatorError::EmptyProfile);
+        }
+        self.model.fit(&table)?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Predicts test accuracy in `[0, 1]` from the predicted batch
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unfitted.
+    pub fn predict(&self, ctx: &Context, vi_pred: f64) -> f64 {
+        assert!(self.fitted, "estimator not fitted");
+        self.model.predict(&accuracy_features(ctx, vi_pred)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use gnnav_graph::{Dataset, DatasetId};
+    use gnnav_hwsim::Platform;
+    use gnnav_ml::mse;
+    use gnnav_nn::ModelKind;
+    use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend};
+
+    fn trained_profiles(seed: u64, n: usize) -> ProfileDb {
+        let dataset = Dataset::load_scaled(DatasetId::OgbnProducts, 0.015).expect("load");
+        let opts = ExecutionOptions {
+            epochs: 2,
+            train: true,
+            train_batches_cap: Some(3),
+            ..Default::default()
+        };
+        let profiler = Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts)
+            .with_threads(4);
+        let cfgs: Vec<_> = DesignSpace::standard()
+            .sample(n, ModelKind::Sage, seed)
+            .into_iter()
+            .map(|mut c| {
+                c.batch_size = c.batch_size.min(128);
+                c.hidden_dim = 16;
+                c
+            })
+            .collect();
+        profiler.profile(&dataset, &cfgs).expect("profile")
+    }
+
+    #[test]
+    fn accuracy_mse_is_low() {
+        let train = trained_profiles(1, 16);
+        let test = trained_profiles(91, 6);
+        let mut acc = AccuracyEstimator::new();
+        acc.fit(&train).expect("fit");
+        let truth: Vec<f64> = test.records().iter().map(|r| r.accuracy).collect();
+        let pred: Vec<f64> = test
+            .records()
+            .iter()
+            .map(|r| acc.predict(&r.context, r.avg_batch_nodes))
+            .collect();
+        let err = mse(&truth, &pred);
+        // Paper Tab. 2 keeps accuracy MSE <= 0.03.
+        assert!(err < 0.05, "accuracy MSE = {err}");
+    }
+
+    #[test]
+    fn rejects_profiles_without_training() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let profiler = Profiler::new(
+            RuntimeBackend::new(Platform::default_rtx4090()),
+            ExecutionOptions::timing_only(),
+        )
+        .with_threads(2);
+        let cfgs = DesignSpace::standard().sample(3, ModelKind::Sage, 4);
+        let db = profiler.profile(&dataset, &cfgs).expect("profile");
+        assert!(matches!(
+            AccuracyEstimator::new().fit(&db),
+            Err(EstimatorError::EmptyProfile)
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! The assembled gray-box performance estimator.
+
+use crate::accuracy::AccuracyEstimator;
+use crate::batch_size::BatchSizePredictor;
+use crate::context::Context;
+use crate::memory::MemoryEstimator;
+use crate::profile::ProfileDb;
+use crate::time::{HitRatePredictor, TimeEstimator};
+use crate::EstimatorError;
+use gnnav_graph::DatasetId;
+use gnnav_ml::{mse, r2_score};
+
+/// A predicted performance triple plus intermediate quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEstimate {
+    /// Predicted epoch time in seconds.
+    pub time_s: f64,
+    /// Predicted peak device memory in bytes.
+    pub mem_bytes: f64,
+    /// Predicted test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Predicted mean batch size `E(|V_i|)`.
+    pub batch_nodes: f64,
+    /// Predicted cache hit rate.
+    pub hit_rate: f64,
+}
+
+/// Validation metrics per the paper's Tab. 2: R² for the analytically
+/// grounded predictions (time, memory), MSE for accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationReport {
+    /// R² of epoch-time prediction.
+    pub r2_time: f64,
+    /// R² of peak-memory prediction.
+    pub r2_memory: f64,
+    /// MSE of accuracy prediction.
+    pub mse_accuracy: f64,
+    /// Number of held-out records evaluated.
+    pub num_records: usize,
+}
+
+/// The paper's gray-box estimator: analytic skeletons (Eq. 4–12) with
+/// black-box coefficient functions fitted on profiled ground truth.
+///
+/// # Example
+///
+/// ```no_run
+/// use gnnav_estimator::{Context, GrayBoxEstimator, Profiler};
+/// use gnnav_graph::{Dataset, DatasetId};
+/// use gnnav_hwsim::Platform;
+/// use gnnav_nn::ModelKind;
+/// use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05)?;
+/// let backend = RuntimeBackend::new(Platform::default_rtx4090());
+/// let profiler = Profiler::new(backend.clone(), ExecutionOptions::default());
+/// let configs = DesignSpace::standard().sample(40, ModelKind::Sage, 1);
+/// let db = profiler.profile(&dataset, &configs)?;
+///
+/// let mut estimator = GrayBoxEstimator::new();
+/// estimator.fit(&db)?;
+/// let ctx = Context::new(&dataset, backend.platform(), TrainingConfig::default());
+/// let est = estimator.predict(&ctx);
+/// println!("predicted epoch time: {:.3}s", est.time_s);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct GrayBoxEstimator {
+    batch: BatchSizePredictor,
+    hit: HitRatePredictor,
+    time: TimeEstimator,
+    memory: MemoryEstimator,
+    accuracy: Option<AccuracyEstimator>,
+}
+
+impl GrayBoxEstimator {
+    /// Creates an unfitted estimator.
+    pub fn new() -> Self {
+        GrayBoxEstimator {
+            batch: BatchSizePredictor::new(),
+            hit: HitRatePredictor::new(),
+            time: TimeEstimator::new(),
+            memory: MemoryEstimator::new(),
+            accuracy: None,
+        }
+    }
+
+    /// Fits every component on `db`. The accuracy component is fitted
+    /// only when the database contains trained records; otherwise
+    /// accuracy predictions fall back to 0 (timing-only mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::EmptyProfile`] when `db` is empty.
+    pub fn fit(&mut self, db: &ProfileDb) -> Result<(), EstimatorError> {
+        // Stacked fitting: downstream components are fitted against the
+        // *upstream predictors' own outputs* (not the measured values)
+        // so training matches the prediction pipeline exactly — the
+        // batch predictor's bias is absorbed by the coefficients of
+        // the time and memory models instead of surfacing as error.
+        self.batch.fit(db)?;
+        let vi_hat: Vec<f64> =
+            db.records().iter().map(|r| self.batch.predict(&r.context)).collect();
+        self.hit.fit_with_vi(db, &vi_hat)?;
+        let hit_hat: Vec<f64> = db
+            .records()
+            .iter()
+            .zip(&vi_hat)
+            .map(|(r, &v)| self.hit.predict(&r.context, v))
+            .collect();
+        self.time.fit_with_inputs(db, &vi_hat, &hit_hat)?;
+        self.memory.fit_with_vi(db, &vi_hat)?;
+        let mut acc = AccuracyEstimator::new();
+        match acc.fit(db) {
+            Ok(()) => self.accuracy = Some(acc),
+            Err(EstimatorError::EmptyProfile) => self.accuracy = None,
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// Whether the accuracy component was fitted.
+    pub fn predicts_accuracy(&self) -> bool {
+        self.accuracy.is_some()
+    }
+
+    /// Predicts the full performance triple for a candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator is unfitted.
+    pub fn predict(&self, ctx: &Context) -> PerfEstimate {
+        let vi = self.batch.predict(ctx);
+        let hit = self.hit.predict(ctx, vi);
+        let time_s = self.time.predict(ctx, vi, hit);
+        let mem_bytes = self.memory.predict(ctx, vi);
+        let accuracy = self.accuracy.as_ref().map_or(0.0, |a| a.predict(ctx, vi));
+        PerfEstimate { time_s, mem_bytes, accuracy, batch_nodes: vi, hit_rate: hit }
+    }
+
+    /// Evaluates prediction quality on held-out records (Tab. 2's
+    /// metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator is unfitted or `held_out` is empty.
+    pub fn validate(&self, held_out: &ProfileDb) -> ValidationReport {
+        assert!(!held_out.is_empty(), "validation requires records");
+        let mut t_truth = Vec::new();
+        let mut t_pred = Vec::new();
+        let mut m_truth = Vec::new();
+        let mut m_pred = Vec::new();
+        let mut a_truth = Vec::new();
+        let mut a_pred = Vec::new();
+        for r in held_out.records() {
+            let est = self.predict(&r.context);
+            t_truth.push(r.epoch_time_s);
+            t_pred.push(est.time_s);
+            m_truth.push(r.mem_bytes);
+            m_pred.push(est.mem_bytes);
+            if r.accuracy > 0.0 && self.predicts_accuracy() {
+                a_truth.push(r.accuracy);
+                a_pred.push(est.accuracy);
+            }
+        }
+        ValidationReport {
+            r2_time: r2_score(&t_truth, &t_pred),
+            r2_memory: r2_score(&m_truth, &m_pred),
+            mse_accuracy: if a_truth.is_empty() { f64::NAN } else { mse(&a_truth, &a_pred) },
+            num_records: held_out.len(),
+        }
+    }
+
+    /// The paper's leave-one-dataset-out protocol: fits on every
+    /// record *not* from `held_out` and validates on the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::EmptyProfile`] if either partition is
+    /// empty.
+    pub fn leave_one_dataset_out(
+        db: &ProfileDb,
+        held_out: DatasetId,
+    ) -> Result<(GrayBoxEstimator, ValidationReport), EstimatorError> {
+        let (train, test) = db.leave_one_out(held_out);
+        if train.is_empty() || test.is_empty() {
+            return Err(EstimatorError::EmptyProfile);
+        }
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&train)?;
+        let report = est.validate(&test);
+        Ok((est, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use gnnav_graph::Dataset;
+    use gnnav_hwsim::Platform;
+    use gnnav_nn::ModelKind;
+    use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend};
+
+    fn db_for(id: DatasetId, seed: u64, n: usize) -> ProfileDb {
+        let dataset = Dataset::load_scaled(id, 0.05).expect("load");
+        let opts = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(2),
+            ..Default::default()
+        };
+        let profiler = Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts)
+            .with_threads(4);
+        let cfgs: Vec<_> = DesignSpace::standard()
+            .sample(n, ModelKind::Sage, seed)
+            .into_iter()
+            .map(|mut c| {
+                c.batch_size = c.batch_size.min(64);
+                c.hidden_dim = 16;
+                c
+            })
+            .collect();
+        profiler.profile(&dataset, &cfgs).expect("profile")
+    }
+
+    #[test]
+    fn end_to_end_fit_predict_validate() {
+        let mut db = db_for(DatasetId::Reddit2, 1, 20);
+        db.merge(db_for(DatasetId::OgbnArxiv, 2, 20));
+        let (est, report) =
+            GrayBoxEstimator::leave_one_dataset_out(&db, DatasetId::OgbnArxiv).expect("loo");
+        assert!(est.predicts_accuracy());
+        assert!(report.num_records > 0);
+        assert!(report.r2_memory > 0.5, "memory r2 = {}", report.r2_memory);
+        assert!(report.r2_time > 0.0, "time r2 = {}", report.r2_time);
+        assert!(report.mse_accuracy < 0.2, "acc mse = {}", report.mse_accuracy);
+    }
+
+    #[test]
+    fn predictions_are_positive_and_finite() {
+        let db = db_for(DatasetId::Reddit2, 3, 18);
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&db).expect("fit");
+        for r in db.records() {
+            let p = est.predict(&r.context);
+            assert!(p.time_s.is_finite() && p.time_s > 0.0);
+            assert!(p.mem_bytes > 0.0);
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!((0.0..=1.0).contains(&p.hit_rate));
+        }
+    }
+
+    #[test]
+    fn empty_db_rejected() {
+        let mut est = GrayBoxEstimator::new();
+        assert!(matches!(est.fit(&ProfileDb::new()), Err(EstimatorError::EmptyProfile)));
+    }
+}

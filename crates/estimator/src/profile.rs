@@ -1,0 +1,295 @@
+//! Ground-truth profiling for estimator training.
+//!
+//! The paper trains its estimator "on the ground-truth performance
+//! covering the whole design space", augmented with randomly generated
+//! power-law graphs (§4.1). [`Profiler`] executes sampled
+//! configurations on the runtime backend and records every quantity
+//! the gray-box model fits against.
+
+use crate::context::Context;
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_runtime::{ExecutionOptions, RuntimeBackend, RuntimeError, TrainingConfig};
+use parking_lot::Mutex;
+
+/// One profiled run: context plus every measured quantity.
+#[derive(Debug, Clone)]
+pub struct ProfileRecord {
+    /// Which dataset produced the record.
+    pub dataset_id: DatasetId,
+    /// The candidate context (config ⊕ dataset stats ⊕ platform).
+    pub context: Context,
+    /// Measured epoch time in seconds.
+    pub epoch_time_s: f64,
+    /// Measured peak device memory in bytes.
+    pub mem_bytes: f64,
+    /// Measured final test accuracy.
+    pub accuracy: f64,
+    /// Measured cumulative cache hit rate.
+    pub hit_rate: f64,
+    /// Measured mean mini-batch size `|V_i|`.
+    pub avg_batch_nodes: f64,
+    /// Measured mean mini-batch edge count.
+    pub avg_batch_edges: f64,
+    /// Per-iteration phase times in seconds (epoch totals divided by
+    /// `n_iter`): sample, transfer, replace, compute.
+    pub phase_s: [f64; 4],
+    /// Iterations per epoch.
+    pub n_iter: f64,
+}
+
+/// A collection of profile records.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDb {
+    records: Vec<ProfileRecord>,
+}
+
+impl ProfileDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        ProfileDb::default()
+    }
+
+    /// Adds one record.
+    pub fn push(&mut self, record: ProfileRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ProfileRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Splits into (records NOT from `held_out`, records from
+    /// `held_out`) — the paper's leave-one-dataset-out protocol
+    /// ("established upon the performance across all the datasets
+    /// available, except the one waiting for estimation").
+    pub fn leave_one_out(&self, held_out: DatasetId) -> (ProfileDb, ProfileDb) {
+        let (hold, keep): (Vec<ProfileRecord>, Vec<ProfileRecord>) = self
+            .records
+            .iter()
+            .cloned()
+            .partition(|r| r.dataset_id == held_out);
+        (ProfileDb { records: keep }, ProfileDb { records: hold })
+    }
+
+    /// Merges another database into this one.
+    pub fn merge(&mut self, other: ProfileDb) {
+        self.records.extend(other.records);
+    }
+}
+
+impl Extend<ProfileRecord> for ProfileDb {
+    fn extend<I: IntoIterator<Item = ProfileRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<ProfileRecord> for ProfileDb {
+    fn from_iter<I: IntoIterator<Item = ProfileRecord>>(iter: I) -> Self {
+        ProfileDb { records: iter.into_iter().collect() }
+    }
+}
+
+/// Executes configurations on the backend and records ground truth.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    backend: RuntimeBackend,
+    opts: ExecutionOptions,
+    /// Number of worker threads for the sweep.
+    threads: usize,
+}
+
+impl Profiler {
+    /// Creates a profiler running each configuration under `opts`.
+    pub fn new(backend: RuntimeBackend, opts: ExecutionOptions) -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        Profiler { backend, opts, threads }
+    }
+
+    /// Overrides the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+
+    /// Profiles every configuration on `dataset`, in parallel.
+    ///
+    /// Configurations that fail to execute (e.g. out-of-memory on the
+    /// simulated device) are skipped — exactly like infeasible points
+    /// in a real profiling campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if *every* configuration failed, which
+    /// indicates a systematic problem rather than infeasible points.
+    pub fn profile(
+        &self,
+        dataset: &Dataset,
+        configs: &[TrainingConfig],
+    ) -> Result<ProfileDb, RuntimeError> {
+        let results: Mutex<Vec<ProfileRecord>> = Mutex::new(Vec::with_capacity(configs.len()));
+        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(configs.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    if let Ok(report) = self.backend.execute(dataset, &configs[i], &self.opts) {
+                        let ctx = Context::new(
+                            dataset,
+                            self.backend.platform(),
+                            configs[i].clone(),
+                        );
+                        let p = report.perf;
+                        let n_iter = p.n_iter.max(1) as f64;
+                        let record = ProfileRecord {
+                            dataset_id: dataset.id(),
+                            context: ctx,
+                            epoch_time_s: p.epoch_time.as_secs(),
+                            mem_bytes: p.peak_mem_bytes as f64,
+                            accuracy: p.accuracy,
+                            hit_rate: p.hit_rate,
+                            avg_batch_nodes: p.avg_batch_nodes,
+                            avg_batch_edges: p.avg_batch_edges,
+                            phase_s: [
+                                p.phases.sample.as_secs() / n_iter,
+                                p.phases.transfer.as_secs() / n_iter,
+                                p.phases.replace.as_secs() / n_iter,
+                                p.phases.compute.as_secs() / n_iter,
+                            ],
+                            n_iter,
+                        };
+                        results.lock().push(record);
+                    }
+                });
+            }
+        })
+        .expect("profiling threads do not panic");
+        let records = results.into_inner();
+        if records.is_empty() && !configs.is_empty() {
+            return Err(RuntimeError::InvalidConfig(
+                "every profiled configuration failed to execute".into(),
+            ));
+        }
+        Ok(ProfileDb { records })
+    }
+
+    /// Profiles `configs` on `count` randomly generated power-law
+    /// graphs (the paper's data-enhancement step). Graph `i` uses
+    /// `seed + i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation errors; skips infeasible configs as in
+    /// [`Profiler::profile`].
+    pub fn profile_augmentation(
+        &self,
+        count: usize,
+        num_nodes: usize,
+        configs: &[TrainingConfig],
+        seed: u64,
+    ) -> Result<ProfileDb, Box<dyn std::error::Error>> {
+        let mut db = ProfileDb::new();
+        for i in 0..count {
+            let dataset = Dataset::synthetic(
+                num_nodes,
+                3 + (i % 5),
+                64,
+                16,
+                seed.wrapping_add(i as u64),
+            )?;
+            db.merge(self.profile(&dataset, configs)?);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnav_hwsim::Platform;
+    use gnnav_runtime::DesignSpace;
+    use gnnav_nn::ModelKind;
+
+    fn profiler() -> Profiler {
+        let opts = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(1),
+            ..Default::default()
+        };
+        Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts).with_threads(2)
+    }
+
+    fn small_configs(n: usize) -> Vec<TrainingConfig> {
+        DesignSpace::standard()
+            .sample(n, ModelKind::Sage, 3)
+            .into_iter()
+            .map(|mut c| {
+                c.batch_size = 32;
+                c.fanouts = vec![5, 5];
+                c.hidden_dim = 16;
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profile_records_measured_quantities() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let db = profiler().profile(&dataset, &small_configs(4)).expect("profile");
+        assert!(!db.is_empty());
+        for r in db.records() {
+            assert!(r.epoch_time_s > 0.0);
+            assert!(r.mem_bytes > 0.0);
+            assert!(r.avg_batch_nodes >= 32.0);
+            assert!(r.n_iter >= 1.0);
+            assert_eq!(r.dataset_id, DatasetId::Reddit2);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_partitions() {
+        let d1 = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let d2 = Dataset::load_scaled(DatasetId::OgbnArxiv, 0.01).expect("load");
+        let p = profiler();
+        let mut db = p.profile(&d1, &small_configs(2)).expect("p1");
+        db.merge(p.profile(&d2, &small_configs(2)).expect("p2"));
+        let (train, test) = db.leave_one_out(DatasetId::Reddit2);
+        assert!(train.records().iter().all(|r| r.dataset_id != DatasetId::Reddit2));
+        assert!(test.records().iter().all(|r| r.dataset_id == DatasetId::Reddit2));
+        assert_eq!(train.len() + test.len(), db.len());
+    }
+
+    #[test]
+    fn augmentation_uses_synthetic_graphs() {
+        let db = profiler()
+            .profile_augmentation(2, 300, &small_configs(2), 9)
+            .expect("augment");
+        assert!(db.records().iter().all(|r| r.dataset_id == DatasetId::Synthetic));
+        assert!(db.len() >= 2);
+    }
+
+    #[test]
+    fn collection_traits() {
+        let db: ProfileDb = Vec::new().into_iter().collect();
+        assert!(db.is_empty());
+    }
+}

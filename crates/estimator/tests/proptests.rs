@@ -1,0 +1,50 @@
+//! Property-based tests for the estimator's analytic skeletons.
+
+use gnnav_estimator::Context;
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_runtime::{DesignSpace, TrainingConfig};
+use gnnav_nn::ModelKind;
+use proptest::prelude::*;
+
+fn ctx_with(config: TrainingConfig) -> Context {
+    let d = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+    Context::new(&d, &Platform::default_rtx4090(), config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn skeleton_monotone_in_batch_size(b1 in 1usize..512, delta in 1usize..512) {
+        let small = TrainingConfig { batch_size: b1, ..TrainingConfig::default() };
+        let large = TrainingConfig { batch_size: b1 + delta, ..TrainingConfig::default() };
+        prop_assert!(ctx_with(large).batch_skeleton() >= ctx_with(small).batch_skeleton());
+    }
+
+    #[test]
+    fn flops_proxy_monotone_in_width(h1 in 1usize..64, delta in 1usize..64) {
+        let narrow = TrainingConfig { hidden_dim: h1, ..TrainingConfig::default() };
+        let wide = TrainingConfig { hidden_dim: h1 + delta, ..TrainingConfig::default() };
+        prop_assert!(ctx_with(wide).flops_proxy(500.0) > ctx_with(narrow).flops_proxy(500.0));
+    }
+
+    #[test]
+    fn cache_bytes_proxy_scales_with_ratio(seed in 0u64..50) {
+        for config in DesignSpace::standard().sample(3, ModelKind::Sage, seed) {
+            let ctx = ctx_with(config.clone());
+            let expected = (config.cache_ratio * ctx.num_nodes).round() * ctx.row_bytes();
+            prop_assert_eq!(ctx.cache_bytes_proxy(), expected);
+        }
+    }
+
+    #[test]
+    fn param_count_positive_for_all_sampled_configs(seed in 0u64..50) {
+        for config in DesignSpace::standard().sample(4, ModelKind::Sage, seed) {
+            let ctx = ctx_with(config);
+            prop_assert!(ctx.param_count() > 0.0);
+            prop_assert!(ctx.activation_proxy(100.0) > 0.0);
+            prop_assert!(ctx.n_iter() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! DFS traversal of the design space with constraint pruning.
+//!
+//! The paper's explorer "travels across all configurable settings with
+//! the depth-first-search (DFS) algorithm", querying the performance
+//! estimator at candidates and pruning subtrees whose estimated
+//! performance cannot satisfy the runtime constraints.
+
+use crate::targets::RuntimeConstraints;
+use gnnav_estimator::{Context, GrayBoxEstimator, PerfEstimate};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, TrainingConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A candidate evaluated by the estimator during exploration.
+#[derive(Debug, Clone)]
+pub struct EvaluatedCandidate {
+    /// The configuration.
+    pub config: TrainingConfig,
+    /// Its estimated performance.
+    pub estimate: PerfEstimate,
+}
+
+/// Traversal statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DfsStats {
+    /// Leaves evaluated by the estimator.
+    pub evaluated: usize,
+    /// Leaves rejected by the runtime constraints after estimation.
+    pub rejected: usize,
+    /// Subtrees pruned by analytic lower bounds without estimation.
+    pub pruned_subtrees: usize,
+}
+
+/// The DFS engine over one [`DesignSpace`].
+#[derive(Debug, Clone)]
+pub struct DfsExplorer {
+    space: DesignSpace,
+    budget: usize,
+    seed: u64,
+}
+
+impl DfsExplorer {
+    /// Creates an explorer evaluating at most `budget` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(space: DesignSpace, budget: usize, seed: u64) -> Self {
+        assert!(budget > 0, "budget must be > 0");
+        DfsExplorer { space, budget, seed }
+    }
+
+    /// The design space being searched.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Runs DFS from `seeds` (evaluated first, outside the budget) and
+    /// then across the space, returning every constraint-satisfying
+    /// evaluated candidate plus traversal stats.
+    pub fn run(
+        &self,
+        estimator: &GrayBoxEstimator,
+        dataset: &Dataset,
+        platform: &Platform,
+        model: ModelKind,
+        constraints: &RuntimeConstraints,
+        seeds: &[TrainingConfig],
+    ) -> (Vec<EvaluatedCandidate>, DfsStats) {
+        let mut stats = DfsStats::default();
+        let mut out: Vec<EvaluatedCandidate> = Vec::new();
+        let mut evaluate = |config: TrainingConfig,
+                            stats: &mut DfsStats,
+                            out: &mut Vec<EvaluatedCandidate>| {
+            let ctx = Context::new(dataset, platform, config.clone());
+            let estimate = estimator.predict(&ctx);
+            stats.evaluated += 1;
+            if constraints.satisfied_by(&estimate) {
+                out.push(EvaluatedCandidate { config, estimate });
+            } else {
+                stats.rejected += 1;
+            }
+        };
+
+        // Seeds: the templates of existing systems, so guidelines never
+        // lose to the approaches the explorer knows about.
+        for seed_config in seeds {
+            if seed_config.validate().is_ok() {
+                evaluate(seed_config.clone(), &mut stats, &mut out);
+            }
+        }
+
+        // Restarted, randomized-order DFS: a budgeted DFS from one
+        // root only varies the deepest axes, so the budget is split
+        // across restarts, each with a freshly shuffled axis order and
+        // per-axis value orders. Every restart is a plain DFS; the
+        // restarts make a bounded budget cover all axes.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let per_restart = self.budget.div_ceil(DFS_RESTARTS).max(1);
+        let mut visited = std::collections::HashSet::new();
+        let mut spent = 0usize;
+        while spent < self.budget {
+            let mut axis_order: Vec<usize> = (0..self.space.num_axes()).collect();
+            axis_order.shuffle(&mut rng);
+            let orders: Vec<Vec<usize>> = (0..self.space.num_axes())
+                .map(|a| {
+                    let mut idx: Vec<usize> = (0..self.space.axis_len(a)).collect();
+                    idx.shuffle(&mut rng);
+                    idx
+                })
+                .collect();
+            let mut assignment = vec![0usize; self.space.num_axes()];
+            let restart_budget = (self.budget - spent).min(per_restart);
+            let mut restart_evals = 0usize;
+            self.dfs(
+                0,
+                &mut assignment,
+                &axis_order,
+                &orders,
+                dataset,
+                model,
+                constraints,
+                restart_budget,
+                &mut restart_evals,
+                &mut visited,
+                &mut stats,
+                &mut out,
+                &mut evaluate,
+            );
+            if restart_evals == 0 {
+                break; // space (or all unseen points) exhausted
+            }
+            spent += restart_evals;
+        }
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        depth: usize,
+        assignment: &mut Vec<usize>,
+        axis_order: &[usize],
+        orders: &[Vec<usize>],
+        dataset: &Dataset,
+        model: ModelKind,
+        constraints: &RuntimeConstraints,
+        budget: usize,
+        evals: &mut usize,
+        visited: &mut std::collections::HashSet<Vec<usize>>,
+        stats: &mut DfsStats,
+        out: &mut Vec<EvaluatedCandidate>,
+        evaluate: &mut impl FnMut(TrainingConfig, &mut DfsStats, &mut Vec<EvaluatedCandidate>),
+    ) {
+        if *evals >= budget {
+            return;
+        }
+        if depth == self.space.num_axes() {
+            if !visited.insert(assignment.clone()) {
+                return; // already evaluated in a previous restart
+            }
+            if let Some(config) = self.space.config_at(assignment, model) {
+                evaluate(config, stats, out);
+                *evals += 1;
+            }
+            return;
+        }
+        let axis = axis_order[depth];
+        for &value in &orders[axis] {
+            assignment[axis] = value;
+            // Analytic lower-bound pruning: once the cache-ratio axis
+            // is fixed, Γ_cache alone already lower-bounds memory
+            // (Eq. 10) — subtrees that must exceed the budget are cut
+            // without querying the estimator.
+            if axis == CACHE_RATIO_AXIS {
+                if let Some(max_mem) = constraints.max_mem_bytes {
+                    let ratio = self.space.cache_ratios[value];
+                    let min_row_bytes = dataset.feat_dim() as f64 * 2.0; // FP16 floor
+                    let cache_lb = ratio * dataset.num_nodes() as f64 * min_row_bytes;
+                    if cache_lb > max_mem {
+                        stats.pruned_subtrees += 1;
+                        continue;
+                    }
+                }
+            }
+            self.dfs(
+                depth + 1,
+                assignment,
+                axis_order,
+                orders,
+                dataset,
+                model,
+                constraints,
+                budget,
+                evals,
+                visited,
+                stats,
+                out,
+                evaluate,
+            );
+            if *evals >= budget {
+                return;
+            }
+        }
+    }
+}
+
+/// Number of DFS restarts a budget is split across.
+const DFS_RESTARTS: usize = 16;
+
+/// Index of the cache-ratio axis in [`DesignSpace`] (see
+/// `DesignSpace::axis_name`).
+const CACHE_RATIO_AXIS: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnav_estimator::{ProfileDb, Profiler};
+    use gnnav_graph::DatasetId;
+    use gnnav_runtime::{ExecutionOptions, RuntimeBackend, Template};
+
+    fn fitted(dataset: &Dataset) -> GrayBoxEstimator {
+        let profiler = Profiler::new(
+            RuntimeBackend::new(Platform::default_rtx4090()),
+            ExecutionOptions::timing_only(),
+        )
+        .with_threads(4);
+        let cfgs = DesignSpace::standard().sample(25, ModelKind::Sage, 5);
+        let db: ProfileDb = profiler.profile(dataset, &cfgs).expect("profile");
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&db).expect("fit");
+        est
+    }
+
+    #[test]
+    fn dfs_respects_budget_and_returns_candidates() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let est = fitted(&dataset);
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 200, 1);
+        let (cands, stats) = explorer.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            &RuntimeConstraints::none(),
+            &[],
+        );
+        assert!(stats.evaluated <= 200);
+        assert!(!cands.is_empty());
+        assert_eq!(stats.rejected, 0, "no constraints, nothing rejected");
+    }
+
+    #[test]
+    fn seeds_always_evaluated() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let est = fitted(&dataset);
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 10, 2);
+        let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(ModelKind::Sage)).collect();
+        let (cands, _) = explorer.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            &RuntimeConstraints::none(),
+            &seeds,
+        );
+        for s in &seeds {
+            assert!(
+                cands.iter().any(|c| c.config == *s),
+                "seed {} missing from results",
+                s.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_constraint_prunes_subtrees() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let est = fitted(&dataset);
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 300, 3);
+        // Budget below the largest cache alone.
+        let constraints = RuntimeConstraints {
+            max_mem_bytes: Some(
+                0.2 * dataset.num_nodes() as f64 * dataset.feat_dim() as f64 * 2.0,
+            ),
+            ..RuntimeConstraints::none()
+        };
+        let (cands, stats) = explorer.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            &constraints,
+            &[],
+        );
+        assert!(stats.pruned_subtrees > 0, "large-cache subtrees should be pruned");
+        for c in &cands {
+            assert!(c.config.cache_ratio <= 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let est = fitted(&dataset);
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 50, 9);
+        let run = || {
+            explorer
+                .run(
+                    &est,
+                    &dataset,
+                    &Platform::default_rtx4090(),
+                    ModelKind::Sage,
+                    &RuntimeConstraints::none(),
+                    &[],
+                )
+                .0
+                .iter()
+                .map(|c| c.config.summary())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be > 0")]
+    fn zero_budget_rejected() {
+        let _ = DfsExplorer::new(DesignSpace::standard(), 0, 1);
+    }
+}

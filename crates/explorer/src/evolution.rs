@@ -1,0 +1,314 @@
+//! Evolutionary design-space search — an alternative to DFS.
+//!
+//! The paper explores with DFS; its cited lineage (BOOM-Explorer)
+//! uses surrogate-guided search. This module provides a third point
+//! for ablations: a (μ + λ) evolutionary searcher over the axis grid,
+//! scalarizing the estimator's predictions with the priority weights.
+//! The ablation bench (`cargo bench -p gnnav-bench`) compares all
+//! three on evaluations-to-quality.
+
+use crate::dfs::EvaluatedCandidate;
+use crate::pareto::objectives;
+use crate::targets::{Priority, RuntimeConstraints};
+use gnnav_estimator::{Context, GrayBoxEstimator};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, TrainingConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the evolutionary searcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvolutionParams {
+    /// Survivors per generation (μ).
+    pub population: usize,
+    /// Offspring per generation (λ).
+    pub offspring: usize,
+    /// Total estimator-evaluation budget.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionParams {
+    fn default() -> Self {
+        EvolutionParams { population: 16, offspring: 32, budget: 600, seed: 0xEE5 }
+    }
+}
+
+/// (μ + λ) evolutionary search over the design-space axis grid.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    space: DesignSpace,
+    params: EvolutionParams,
+}
+
+impl EvolutionarySearch {
+    /// Creates a searcher over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population, offspring count, or budget is zero.
+    pub fn new(space: DesignSpace, params: EvolutionParams) -> Self {
+        assert!(params.population > 0, "population must be > 0");
+        assert!(params.offspring > 0, "offspring must be > 0");
+        assert!(params.budget > 0, "budget must be > 0");
+        EvolutionarySearch { space, params }
+    }
+
+    /// Runs the search, returning every constraint-satisfying
+    /// candidate evaluated (like the DFS engine) so the same decision
+    /// maker applies downstream.
+    #[allow(clippy::too_many_arguments)] // mirrors DfsExplorer::run
+    pub fn run(
+        &self,
+        estimator: &GrayBoxEstimator,
+        dataset: &Dataset,
+        platform: &Platform,
+        model: ModelKind,
+        priority: Priority,
+        constraints: &RuntimeConstraints,
+        seeds: &[TrainingConfig],
+    ) -> Vec<EvaluatedCandidate> {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let axes = self.space.num_axes();
+        let mut evaluations = 0usize;
+        let mut out: Vec<EvaluatedCandidate> = Vec::new();
+
+        // Scalarization for selection pressure; uses raw objectives
+        // with fixed normalizers learned from the first generation.
+        let weights = priority.targets();
+        let mut norms = [1.0f64; 3];
+
+        let score = |cand: &EvaluatedCandidate, norms: &[f64; 3]| {
+            let o = objectives(&cand.estimate);
+            weights.w_time * o[0] / norms[0]
+                + weights.w_memory * o[1] / norms[1]
+                + weights.w_accuracy * o[2] / norms[2].abs().max(1e-12)
+        };
+
+        let evaluate = |indices: &[usize], rng: &mut StdRng, evals: &mut usize| {
+            let _ = rng;
+            self.space.config_at(indices, model).map(|config| {
+                let ctx = Context::new(dataset, platform, config.clone());
+                let estimate = estimator.predict(&ctx);
+                *evals += 1;
+                EvaluatedCandidate { config, estimate }
+            })
+        };
+
+        let random_genome = |rng: &mut StdRng| -> Vec<usize> {
+            (0..axes).map(|a| rng.gen_range(0..self.space.axis_len(a))).collect()
+        };
+        let genome_of = |config: &TrainingConfig| -> Option<Vec<usize>> {
+            // Recover axis indices by value lookup; seeds outside the
+            // grid are skipped.
+            let mut g = vec![0usize; axes];
+            g[0] = self.space.samplers.iter().position(|&s| s == config.sampler)?;
+            g[1] = self.space.fanout_options.iter().position(|f| *f == config.fanouts)?;
+            g[2] = self.space.etas.iter().position(|&e| e == config.locality_eta)?;
+            g[3] = self.space.batch_sizes.iter().position(|&b| b == config.batch_size)?;
+            g[4] = self.space.cache_ratios.iter().position(|&r| r == config.cache_ratio)?;
+            g[5] = self.space.cache_policies.iter().position(|&p| p == config.cache_policy)?;
+            g[6] = self.space.cache_updates.iter().position(|&u| u == config.cache_update)?;
+            g[7] = self.space.pipelined.iter().position(|&p| p == config.pipelined)?;
+            g[8] = self.space.precisions.iter().position(|&p| p == config.precision)?;
+            g[9] = self.space.hidden_dims.iter().position(|&h| h == config.hidden_dim)?;
+            g[10] = self.space.dropouts.iter().position(|&d| d == config.dropout)?;
+            Some(g)
+        };
+
+        // Initial population: template seeds (when on-grid) plus
+        // random genomes.
+        let mut population: Vec<(Vec<usize>, EvaluatedCandidate)> = Vec::new();
+        for seed_config in seeds {
+            if let Some(g) = genome_of(seed_config) {
+                if let Some(c) = evaluate(&g, &mut rng, &mut evaluations) {
+                    population.push((g, c));
+                }
+            }
+        }
+        while population.len() < self.params.population && evaluations < self.params.budget {
+            let g = random_genome(&mut rng);
+            if let Some(c) = evaluate(&g, &mut rng, &mut evaluations) {
+                population.push((g, c));
+            }
+        }
+        if population.is_empty() {
+            return out;
+        }
+        // Fix normalizers from the initial generation.
+        for (d, norm) in norms.iter_mut().enumerate() {
+            let m = population
+                .iter()
+                .map(|(_, c)| objectives(&c.estimate)[d].abs())
+                .fold(0.0f64, f64::max);
+            *norm = m.max(1e-12);
+        }
+
+        out.extend(
+            population
+                .iter()
+                .filter(|(_, c)| constraints.satisfied_by(&c.estimate))
+                .map(|(_, c)| c.clone()),
+        );
+
+        while evaluations < self.params.budget {
+            // Offspring: mutate 1-3 axes of a random survivor.
+            let mut offspring = Vec::with_capacity(self.params.offspring);
+            for _ in 0..self.params.offspring {
+                if evaluations >= self.params.budget {
+                    break;
+                }
+                let parent = &population[rng.gen_range(0..population.len())].0;
+                let mut child = parent.clone();
+                for _ in 0..rng.gen_range(1..=3usize) {
+                    let axis = rng.gen_range(0..axes);
+                    child[axis] = rng.gen_range(0..self.space.axis_len(axis));
+                }
+                if let Some(c) = evaluate(&child, &mut rng, &mut evaluations) {
+                    if constraints.satisfied_by(&c.estimate) {
+                        out.push(c.clone());
+                    }
+                    offspring.push((child, c));
+                }
+            }
+            // (μ + λ) selection by scalarized score.
+            population.extend(offspring);
+            population.sort_by(|a, b| {
+                score(&a.1, &norms)
+                    .partial_cmp(&score(&b.1, &norms))
+                    .expect("finite scores")
+            });
+            population.truncate(self.params.population);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::decide;
+    use gnnav_estimator::{ProfileDb, Profiler};
+    use gnnav_graph::DatasetId;
+    use gnnav_runtime::{ExecutionOptions, RuntimeBackend, Template};
+
+    fn setup() -> (Dataset, GrayBoxEstimator) {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let profiler = Profiler::new(
+            RuntimeBackend::new(Platform::default_rtx4090()),
+            ExecutionOptions::timing_only(),
+        )
+        .with_threads(4);
+        let cfgs = DesignSpace::standard().sample(25, ModelKind::Sage, 5);
+        let db: ProfileDb = profiler.profile(&dataset, &cfgs).expect("profile");
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&db).expect("fit");
+        (dataset, est)
+    }
+
+    #[test]
+    fn evolution_respects_budget_and_returns_candidates() {
+        let (dataset, est) = setup();
+        let search = EvolutionarySearch::new(
+            DesignSpace::standard(),
+            EvolutionParams { budget: 120, ..Default::default() },
+        );
+        let cands = search.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            Priority::Balance,
+            &RuntimeConstraints::none(),
+            &[],
+        );
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= 120);
+        let g = decide(&cands, Priority::Balance).expect("non-empty");
+        assert!(g.estimate.time_s.is_finite());
+    }
+
+    #[test]
+    fn evolution_is_deterministic_given_seed() {
+        let (dataset, est) = setup();
+        let run = || {
+            let search = EvolutionarySearch::new(
+                DesignSpace::standard(),
+                EvolutionParams { budget: 60, ..Default::default() },
+            );
+            search
+                .run(
+                    &est,
+                    &dataset,
+                    &Platform::default_rtx4090(),
+                    ModelKind::Sage,
+                    Priority::Balance,
+                    &RuntimeConstraints::none(),
+                    &[],
+                )
+                .iter()
+                .map(|c| c.config.summary())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn template_seeds_recoverable_when_on_grid() {
+        let (dataset, est) = setup();
+        // Pa-Full lives on the standard grid, so the seed must appear
+        // among the evaluated candidates.
+        let seed = Template::PaGraphFull.config(ModelKind::Sage);
+        let search = EvolutionarySearch::new(
+            DesignSpace::standard(),
+            EvolutionParams { budget: 40, ..Default::default() },
+        );
+        let cands = search.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            Priority::Balance,
+            &RuntimeConstraints::none(),
+            std::slice::from_ref(&seed),
+        );
+        assert!(cands.iter().any(|c| c.config == seed));
+    }
+
+    #[test]
+    fn constraints_filter_reported_candidates() {
+        let (dataset, est) = setup();
+        let constraints = RuntimeConstraints {
+            max_mem_bytes: Some(5e6),
+            ..RuntimeConstraints::none()
+        };
+        let search = EvolutionarySearch::new(
+            DesignSpace::standard(),
+            EvolutionParams { budget: 80, ..Default::default() },
+        );
+        let cands = search.run(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            Priority::Balance,
+            &constraints,
+            &[],
+        );
+        for c in &cands {
+            assert!(c.estimate.mem_bytes <= 5e6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be > 0")]
+    fn zero_budget_rejected() {
+        let _ = EvolutionarySearch::new(
+            DesignSpace::standard(),
+            EvolutionParams { budget: 0, ..Default::default() },
+        );
+    }
+}

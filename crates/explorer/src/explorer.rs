@@ -1,0 +1,201 @@
+//! End-to-end guideline exploration (Step 2 of Fig. 2).
+
+use crate::decision::{decide, Guideline};
+use crate::dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
+use crate::pareto::{objectives, pareto_front_indices};
+use crate::targets::{Priority, RuntimeConstraints};
+use crate::ExplorerError;
+use gnnav_estimator::GrayBoxEstimator;
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, Template};
+
+/// Everything one exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// The selected guideline.
+    pub guideline: Guideline,
+    /// Every constraint-satisfying candidate the DFS evaluated.
+    pub evaluated: Vec<EvaluatedCandidate>,
+    /// Indices (into `evaluated`) of the estimated Pareto front.
+    pub front: Vec<usize>,
+    /// Traversal statistics.
+    pub stats: DfsStats,
+}
+
+/// The guideline explorer: DFS + estimator + decision maker.
+///
+/// # Example
+///
+/// ```no_run
+/// use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
+/// use gnnav_estimator::GrayBoxEstimator;
+/// use gnnav_graph::{Dataset, DatasetId};
+/// use gnnav_hwsim::Platform;
+/// use gnnav_nn::ModelKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05)?;
+/// # let estimator: GrayBoxEstimator = unimplemented!();
+/// let explorer = Explorer::new(&estimator, 2000);
+/// let result = explorer.explore(
+///     &dataset,
+///     &Platform::default_rtx4090(),
+///     ModelKind::Sage,
+///     Priority::Balance,
+///     &RuntimeConstraints::none(),
+/// )?;
+/// println!("guideline: {}", result.guideline.config.summary());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    estimator: &'a GrayBoxEstimator,
+    space: DesignSpace,
+    budget: usize,
+    seed: u64,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer over the standard design space with the
+    /// given (fitted) estimator and leaf-evaluation budget.
+    pub fn new(estimator: &'a GrayBoxEstimator, budget: usize) -> Self {
+        Explorer { estimator, space: DesignSpace::standard(), budget, seed: 0xDF5 }
+    }
+
+    /// Replaces the design space.
+    pub fn with_space(mut self, space: DesignSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Replaces the traversal seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Read access to the fitted estimator.
+    pub fn estimator(&self) -> &GrayBoxEstimator {
+        self.estimator
+    }
+
+    /// Explores and returns the guideline for `priority` under
+    /// `constraints`, seeding the search with the baseline templates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExplorerError::NoFeasibleCandidate`] when no
+    /// evaluated candidate satisfies the constraints.
+    pub fn explore(
+        &self,
+        dataset: &Dataset,
+        platform: &Platform,
+        model: ModelKind,
+        priority: Priority,
+        constraints: &RuntimeConstraints,
+    ) -> Result<ExplorationResult, ExplorerError> {
+        let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
+        let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
+        let (evaluated, stats) =
+            dfs.run(self.estimator, dataset, platform, model, constraints, &seeds);
+        let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();
+        let front = pareto_front_indices(&points);
+        let guideline =
+            decide(&evaluated, priority).ok_or(ExplorerError::NoFeasibleCandidate)?;
+        Ok(ExplorationResult { guideline, evaluated, front, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnav_estimator::{ProfileDb, Profiler};
+    use gnnav_graph::DatasetId;
+    use gnnav_runtime::{ExecutionOptions, RuntimeBackend};
+
+    fn setup() -> (Dataset, GrayBoxEstimator) {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.03).expect("load");
+        let profiler = Profiler::new(
+            RuntimeBackend::new(Platform::default_rtx4090()),
+            ExecutionOptions {
+                epochs: 1,
+                train: true,
+                train_batches_cap: Some(1),
+                ..Default::default()
+            },
+        )
+        .with_threads(4);
+        let cfgs = DesignSpace::standard().sample(30, ModelKind::Sage, 5);
+        let db: ProfileDb = profiler.profile(&dataset, &cfgs).expect("profile");
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&db).expect("fit");
+        (dataset, est)
+    }
+
+    #[test]
+    fn exploration_produces_pareto_guideline() {
+        let (dataset, est) = setup();
+        let explorer = Explorer::new(&est, 400);
+        let result = explorer
+            .explore(
+                &dataset,
+                &Platform::default_rtx4090(),
+                ModelKind::Sage,
+                Priority::Balance,
+                &RuntimeConstraints::none(),
+            )
+            .expect("explore");
+        assert!(!result.evaluated.is_empty());
+        assert!(!result.front.is_empty());
+        assert!(result.stats.evaluated > 0);
+        // The guideline must be on the estimated front.
+        let g = &result.guideline;
+        assert!(result.front.iter().any(|&i| result.evaluated[i].config == g.config));
+    }
+
+    #[test]
+    fn different_priorities_can_differ() {
+        let (dataset, est) = setup();
+        let explorer = Explorer::new(&est, 400);
+        let platform = Platform::default_rtx4090();
+        let mut summaries = Vec::new();
+        for p in Priority::ALL {
+            let r = explorer
+                .explore(&dataset, &platform, ModelKind::Sage, p, &RuntimeConstraints::none())
+                .expect("explore");
+            summaries.push((p, r.guideline.estimate));
+        }
+        // Ex-TM's pick must be no slower than Ex-MA's pick.
+        let tm = summaries[1].1;
+        let ma = summaries[2].1;
+        assert!(
+            tm.time_s <= ma.time_s + 1e-9,
+            "Ex-TM ({}) slower than Ex-MA ({})",
+            tm.time_s,
+            ma.time_s
+        );
+    }
+
+    #[test]
+    fn infeasible_constraints_error() {
+        let (dataset, est) = setup();
+        let explorer = Explorer::new(&est, 400);
+        let impossible = RuntimeConstraints {
+            max_time_s: Some(1e-12),
+            ..RuntimeConstraints::none()
+        };
+        let err = explorer
+            .explore(
+                &dataset,
+                &Platform::default_rtx4090(),
+                ModelKind::Sage,
+                Priority::Balance,
+                &impossible,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExplorerError::NoFeasibleCandidate));
+    }
+}

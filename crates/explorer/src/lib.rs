@@ -1,0 +1,75 @@
+//! Application-driven design space exploration (GNNavigator §3.3).
+//!
+//! Automatic guideline generation: user requirements become
+//! [`Priority`] weights and [`RuntimeConstraints`]; a [`DfsExplorer`]
+//! walks the design space querying the gray-box estimator and pruning
+//! infeasible subtrees; the decision maker reduces survivors to the
+//! Pareto front over `(T, Γ, −Acc)` and scalarizes it into a
+//! [`Guideline`]. [`Explorer`] wires the pipeline end to end and
+//! seeds the search with the baseline templates so guidelines never
+//! lose to the prior systems they generalize.
+
+pub mod decision;
+pub mod dfs;
+pub mod evolution;
+pub mod explorer;
+pub mod pareto;
+pub mod targets;
+
+pub use decision::{decide, Guideline};
+pub use dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
+pub use evolution::{EvolutionParams, EvolutionarySearch};
+pub use explorer::{ExplorationResult, Explorer};
+pub use pareto::{dominates, objectives, pareto_front_indices};
+pub use targets::{ExploreTargets, Priority, RuntimeConstraints};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from guideline exploration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExplorerError {
+    /// No evaluated candidate satisfied the runtime constraints.
+    NoFeasibleCandidate,
+    /// The estimator failed.
+    Estimator(gnnav_estimator::EstimatorError),
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::NoFeasibleCandidate => {
+                write!(f, "no candidate satisfies the runtime constraints")
+            }
+            ExplorerError::Estimator(e) => write!(f, "estimator error: {e}"),
+        }
+    }
+}
+
+impl Error for ExplorerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExplorerError::Estimator(e) => Some(e),
+            ExplorerError::NoFeasibleCandidate => None,
+        }
+    }
+}
+
+impl From<gnnav_estimator::EstimatorError> for ExplorerError {
+    fn from(e: gnnav_estimator::EstimatorError) -> Self {
+        ExplorerError::Estimator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_impls() {
+        fn assert_err<T: Error + Send>() {}
+        assert_err::<ExplorerError>();
+        assert!(ExplorerError::NoFeasibleCandidate.to_string().contains("no candidate"));
+    }
+}

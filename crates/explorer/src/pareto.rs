@@ -1,0 +1,99 @@
+//! Pareto-front extraction over `(T, Γ, −Acc)`.
+
+use gnnav_estimator::PerfEstimate;
+
+/// The minimization objective vector of an estimate:
+/// `(time, memory, -accuracy)`.
+pub fn objectives(est: &PerfEstimate) -> [f64; 3] {
+    [est.time_s, est.mem_bytes, -est.accuracy]
+}
+
+/// Whether `a` Pareto-dominates `b` (no worse in every objective,
+/// strictly better in at least one; both minimized).
+pub fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal points among `points` (minimization
+/// in every coordinate). Duplicate points are all kept.
+pub fn pareto_front_indices(points: &[[f64; 3]]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 1.0, 1.0];
+        assert!(!dominates(&a, &b));
+        let c = [1.0, 0.5, 1.0];
+        assert!(dominates(&c, &a));
+        assert!(!dominates(&a, &c));
+    }
+
+    #[test]
+    fn dominance_fails_on_tradeoff() {
+        let a = [1.0, 2.0, 0.0];
+        let b = [2.0, 1.0, 0.0];
+        assert!(!dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let points = vec![
+            [1.0, 1.0, 0.0], // front
+            [2.0, 2.0, 0.0], // dominated by 0
+            [0.5, 3.0, 0.0], // front (best time)
+            [3.0, 0.5, 0.0], // front (best memory)
+        ];
+        let front = pareto_front_indices(&points);
+        assert_eq!(front, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn front_of_front_is_identity() {
+        let points = vec![[1.0, 3.0, 0.0], [2.0, 2.0, 0.0], [3.0, 1.0, 0.0]];
+        let front = pareto_front_indices(&points);
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let points = vec![[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]];
+        assert_eq!(pareto_front_indices(&points).len(), 2);
+    }
+
+    #[test]
+    fn objectives_negates_accuracy() {
+        let est = PerfEstimate {
+            time_s: 2.0,
+            mem_bytes: 3.0,
+            accuracy: 0.9,
+            batch_nodes: 0.0,
+            hit_rate: 0.0,
+        };
+        assert_eq!(objectives(&est), [2.0, 3.0, -0.9]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for Pareto dominance and the decision maker.
+
+use gnnav_estimator::PerfEstimate;
+use gnnav_explorer::{decide, dominates, pareto_front_indices, EvaluatedCandidate, Priority};
+use gnnav_runtime::TrainingConfig;
+use proptest::prelude::*;
+
+fn points() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0, -1.0f64..0.0).prop_map(|(a, b, c)| [a, b, c]),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn front_members_are_mutually_non_dominated(pts in points()) {
+        let front = pareto_front_indices(&pts);
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!dominates(&pts[i], &pts[j]),
+                        "front member {i} dominates front member {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated(pts in points()) {
+        let front = pareto_front_indices(&pts);
+        for (i, p) in pts.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    pts.iter().any(|q| dominates(q, p)),
+                    "point {i} excluded from the front but undominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in (0.0f64..10.0, 0.0f64..10.0, -1.0f64..0.0),
+        b in (0.0f64..10.0, 0.0f64..10.0, -1.0f64..0.0),
+    ) {
+        let a = [a.0, a.1, a.2];
+        let b = [b.0, b.1, b.2];
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn decision_always_picks_from_front(pts in points()) {
+        let candidates: Vec<EvaluatedCandidate> = pts
+            .iter()
+            .map(|p| EvaluatedCandidate {
+                config: TrainingConfig::default(),
+                estimate: PerfEstimate {
+                    time_s: p[0],
+                    mem_bytes: p[1],
+                    accuracy: -p[2],
+                    batch_nodes: 0.0,
+                    hit_rate: 0.0,
+                },
+            })
+            .collect();
+        let front = pareto_front_indices(&pts);
+        for priority in Priority::ALL {
+            let g = decide(&candidates, priority).expect("non-empty");
+            let chosen = [g.estimate.time_s, g.estimate.mem_bytes, -g.estimate.accuracy];
+            prop_assert!(
+                front.iter().any(|&i| pts[i] == chosen),
+                "{priority} picked a dominated candidate"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Immutable CSR (compressed sparse row) graph representation.
+
+use crate::GraphError;
+
+/// Identifier of a node inside a [`Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+pub type NodeId = u32;
+
+/// An immutable directed graph in CSR form.
+///
+/// Neighbor lists are sorted ascending, which makes `has_edge` a binary
+/// search and keeps subgraph induction deterministic. Use
+/// [`GraphBuilder`](crate::GraphBuilder) to construct one from an edge
+/// list, or [`Graph::from_csr`] if you already hold validated CSR
+/// arrays.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_graph::Graph;
+///
+/// # fn main() -> Result<(), gnnav_graph::GraphError> {
+/// // A path 0 -> 1 -> 2 stored directly as CSR.
+/// let g = Graph::from_csr(3, vec![0, 1, 2, 2], vec![1, 2])?;
+/// assert_eq!(g.neighbors(0), &[1]);
+/// assert_eq!(g.degree(2), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: usize,
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<usize>,
+    /// Flattened, per-node-sorted adjacency targets.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph from raw CSR arrays, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if `offsets` does not have
+    /// length `num_nodes + 1`, is not monotone, does not start at 0 or
+    /// end at `targets.len()`, if any target id is `>= num_nodes`, or
+    /// if a neighbor list is not sorted ascending.
+    pub fn from_csr(
+        num_nodes: usize,
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        if offsets.len() != num_nodes + 1 {
+            return Err(GraphError::InvalidCsr(format!(
+                "offsets length {} != num_nodes + 1 = {}",
+                offsets.len(),
+                num_nodes + 1
+            )));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(GraphError::InvalidCsr("offsets must start at 0".into()));
+        }
+        if *offsets.last().expect("non-empty") != targets.len() {
+            return Err(GraphError::InvalidCsr(format!(
+                "offsets must end at targets.len() = {}",
+                targets.len()
+            )));
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(GraphError::InvalidCsr("offsets must be monotone".into()));
+            }
+        }
+        for (v, w) in offsets.windows(2).enumerate() {
+            let row = &targets[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(GraphError::InvalidCsr(format!(
+                        "neighbor list of node {v} not strictly ascending"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if (last as usize) >= num_nodes {
+                    return Err(GraphError::InvalidCsr(format!(
+                        "target {last} of node {v} out of range ({num_nodes} nodes)"
+                    )));
+                }
+            }
+        }
+        Ok(Graph { num_nodes, offsets, targets })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges (a symmetrized graph counts both
+    /// directions).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the directed edge `u -> v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids `0..num_nodes`.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes as NodeId
+    }
+
+    /// Iterator over all directed edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.node_ids()
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes)
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Raw CSR offsets (length `num_nodes + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw CSR targets.
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Induces the subgraph on `nodes`, relabeling them `0..nodes.len()`
+    /// in the order given.
+    ///
+    /// Returns the induced graph together with the mapping
+    /// `local id -> original id` (which is simply `nodes` copied).
+    /// Edges whose endpoint is outside `nodes` are dropped. Duplicate
+    /// entries in `nodes` are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any entry of `nodes`
+    /// is not a node of this graph, and [`GraphError::InvalidParameter`]
+    /// if `nodes` contains duplicates.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        let mut local = vec![NodeId::MAX; self.num_nodes];
+        for (i, &v) in nodes.iter().enumerate() {
+            if (v as usize) >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes });
+            }
+            if local[v as usize] != NodeId::MAX {
+                return Err(GraphError::InvalidParameter(format!(
+                    "duplicate node {v} in subgraph node list"
+                )));
+            }
+            local[v as usize] = i as NodeId;
+        }
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        let mut row: Vec<NodeId> = Vec::new();
+        for &v in nodes {
+            row.clear();
+            for &u in self.neighbors(v) {
+                let lu = local[u as usize];
+                if lu != NodeId::MAX {
+                    row.push(lu);
+                }
+            }
+            row.sort_unstable();
+            targets.extend_from_slice(&row);
+            offsets.push(targets.len());
+        }
+        let g = Graph { num_nodes: nodes.len(), offsets, targets };
+        Ok((g, nodes.to_vec()))
+    }
+
+    /// Total bytes of the CSR arrays; used by the memory cost model.
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_csr(3, vec![0, 1, 2, 2], vec![1, 2]).expect("valid")
+    }
+
+    #[test]
+    fn from_csr_accepts_valid() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn from_csr_rejects_bad_offsets_len() {
+        let e = Graph::from_csr(3, vec![0, 1, 2], vec![1, 2]).unwrap_err();
+        assert!(matches!(e, GraphError::InvalidCsr(_)));
+    }
+
+    #[test]
+    fn from_csr_rejects_nonmonotone_offsets() {
+        let e = Graph::from_csr(2, vec![0, 2, 1], vec![1]).unwrap_err();
+        assert!(matches!(e, GraphError::InvalidCsr(_)));
+    }
+
+    #[test]
+    fn from_csr_rejects_out_of_range_target() {
+        let e = Graph::from_csr(2, vec![0, 1, 1], vec![5]).unwrap_err();
+        assert!(matches!(e, GraphError::InvalidCsr(_)));
+    }
+
+    #[test]
+    fn from_csr_rejects_unsorted_rows() {
+        let e = Graph::from_csr(3, vec![0, 2, 2, 2], vec![2, 1]).unwrap_err();
+        assert!(matches!(e, GraphError::InvalidCsr(_)));
+    }
+
+    #[test]
+    fn from_csr_rejects_duplicate_neighbors() {
+        let e = Graph::from_csr(3, vec![0, 2, 2, 2], vec![1, 1]).unwrap_err();
+        assert!(matches!(e, GraphError::InvalidCsr(_)));
+    }
+
+    #[test]
+    fn has_edge_uses_sorted_lists() {
+        let g = path3();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_iterates_all_pairs() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = path3();
+        assert_eq!(g.max_degree(), 1);
+        assert!((g.avg_degree() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_csr(0, vec![0], vec![]).expect("empty ok");
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        // Triangle 0-1-2 plus pendant 3, directed both ways.
+        let g = Graph::from_csr(
+            4,
+            vec![0, 2, 4, 7, 8],
+            vec![1, 2, 0, 2, 0, 1, 3, 2],
+        )
+        .expect("valid");
+        let (sub, map) = g.induced_subgraph(&[2, 0]).expect("induce");
+        assert_eq!(map, vec![2, 0]);
+        assert_eq!(sub.num_nodes(), 2);
+        // Local 0 = original 2, local 1 = original 0. Edge 2->0 kept.
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 0));
+        // Edge 2->3 dropped (3 not in set).
+        assert_eq!(sub.degree(0), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_duplicates_and_oob() {
+        let g = path3();
+        assert!(matches!(
+            g.induced_subgraph(&[0, 0]),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            g.induced_subgraph(&[9]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_bytes_positive() {
+        assert!(path3().storage_bytes() > 0);
+    }
+}

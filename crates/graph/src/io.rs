@@ -1,0 +1,147 @@
+//! Plain-text edge-list I/O.
+//!
+//! Lets users bring their own graphs (and export the synthetic
+//! stand-ins for inspection). The format is one `u v` pair per line;
+//! `#`-prefixed lines are comments — the common denominator of SNAP
+//! and OGB edge dumps.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::GraphError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads an edge-list graph from `reader` (pass `&mut reader` to keep
+/// ownership). Node count is inferred from the largest endpoint unless
+/// `num_nodes` is given.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for unparseable lines, and
+/// [`GraphError::NodeOutOfRange`] if an endpoint exceeds a provided
+/// `num_nodes`.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_graph::io::read_edge_list;
+///
+/// # fn main() -> Result<(), gnnav_graph::GraphError> {
+/// let text = "# a comment\n0 1\n1 2\n";
+/// let g = read_edge_list(text.as_bytes(), None, true)?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert!(g.has_edge(2, 1)); // symmetrized
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_nodes: Option<usize>,
+    symmetrize: bool,
+) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges = Vec::new();
+    let mut max_node = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| {
+            GraphError::InvalidParameter(format!("i/o error at line {}: {e}", lineno + 1))
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| {
+                GraphError::InvalidParameter(format!(
+                    "line {}: expected `u v`, got `{trimmed}`",
+                    lineno + 1
+                ))
+            })?
+            .parse()
+            .map_err(|e| {
+                GraphError::InvalidParameter(format!("line {}: {e}", lineno + 1))
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_node as usize + 1 };
+    let n = num_nodes.unwrap_or(inferred);
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.add_edges(edges);
+    if symmetrize {
+        b.symmetrize();
+    }
+    b.build()
+}
+
+/// Writes `graph` as an edge list to `writer` (pass `&mut writer` to
+/// keep ownership), one directed edge per line, preceded by a comment
+/// header with the node/edge counts.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = barabasi_albert(200, 3, 1).expect("gen");
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let parsed = read_edge_list(buf.as_slice(), Some(200), false).expect("read");
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 1\n# middle\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), None, false).expect("read");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn node_count_inferred_or_explicit() {
+        let text = "0 5\n";
+        let inferred = read_edge_list(text.as_bytes(), None, false).expect("read");
+        assert_eq!(inferred.num_nodes(), 6);
+        let explicit = read_edge_list(text.as_bytes(), Some(10), false).expect("read");
+        assert_eq!(explicit.num_nodes(), 10);
+    }
+
+    #[test]
+    fn bad_lines_rejected_with_location() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), None, false).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let text2 = "0\n";
+        assert!(read_edge_list(text2.as_bytes(), None, false).is_err());
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        let text = "0 9\n";
+        let err = read_edge_list(text.as_bytes(), Some(5), false).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 9, .. }));
+    }
+
+    #[test]
+    fn empty_input_empty_graph() {
+        let g = read_edge_list("".as_bytes(), None, true).expect("read");
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

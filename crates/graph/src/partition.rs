@@ -1,0 +1,218 @@
+//! Graph partitioning.
+//!
+//! PaGraph partitions the graph so each GPU's cache serves a locality-
+//! coherent shard; partitioning is the natural substrate for extending
+//! the runtime to multiple devices. The greedy BFS partitioner here is
+//! a light-weight stand-in for METIS: grow `k` regions breadth-first
+//! from well-separated high-degree seeds, always extending the
+//! currently smallest region.
+
+use crate::csr::{Graph, NodeId};
+use crate::stats::nodes_by_degree_desc;
+use crate::GraphError;
+use std::collections::VecDeque;
+
+/// Assigns every node to one of `k` partitions with balanced greedy
+/// BFS growth. Returns one partition id per node.
+///
+/// Unreached nodes (isolated vertices or exhausted frontiers) are
+/// assigned round-robin at the end, so the result is always total.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k == 0` or
+/// `k > g.num_nodes()`.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_graph::generators::barabasi_albert;
+/// use gnnav_graph::partition::{edge_cut, greedy_bfs_partition};
+///
+/// # fn main() -> Result<(), gnnav_graph::GraphError> {
+/// let g = barabasi_albert(500, 3, 1)?;
+/// let parts = greedy_bfs_partition(&g, 4)?;
+/// assert_eq!(parts.len(), 500);
+/// assert!(edge_cut(&g, &parts) < g.num_edges());
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_bfs_partition(g: &Graph, k: usize) -> Result<Vec<u32>, GraphError> {
+    if k == 0 || k > g.num_nodes() {
+        return Err(GraphError::InvalidParameter(format!(
+            "k = {k} must be in 1..={}",
+            g.num_nodes()
+        )));
+    }
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut assignment = vec![UNASSIGNED; g.num_nodes()];
+
+    // Seeds: highest-degree nodes that are not adjacent to an earlier
+    // seed (separation keeps regions from colliding immediately).
+    let order = nodes_by_degree_desc(g);
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    for &v in &order {
+        if seeds.len() == k {
+            break;
+        }
+        let adjacent_to_seed = g.neighbors(v).iter().any(|u| seeds.contains(u));
+        if !adjacent_to_seed {
+            seeds.push(v);
+        }
+    }
+    // Fall back to plain top-degree if separation ran out of nodes.
+    for &v in &order {
+        if seeds.len() == k {
+            break;
+        }
+        if !seeds.contains(&v) {
+            seeds.push(v);
+        }
+    }
+
+    let mut frontiers: Vec<VecDeque<NodeId>> = Vec::with_capacity(k);
+    let mut sizes = vec![0usize; k];
+    for (p, &s) in seeds.iter().enumerate() {
+        assignment[s as usize] = p as u32;
+        sizes[p] += 1;
+        frontiers.push(VecDeque::from([s]));
+    }
+
+    // Grow the smallest region one node at a time.
+    loop {
+        let Some(p) = (0..k)
+            .filter(|&p| !frontiers[p].is_empty())
+            .min_by_key(|&p| sizes[p])
+        else {
+            break;
+        };
+        let mut grew = false;
+        while let Some(&v) = frontiers[p].front() {
+            // Claim the first unassigned neighbor of the frontier head.
+            let next = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| assignment[u as usize] == UNASSIGNED);
+            match next {
+                Some(u) => {
+                    assignment[u as usize] = p as u32;
+                    sizes[p] += 1;
+                    frontiers[p].push_back(u);
+                    grew = true;
+                    break;
+                }
+                None => {
+                    frontiers[p].pop_front();
+                }
+            }
+        }
+        if !grew && frontiers.iter().all(VecDeque::is_empty) {
+            break;
+        }
+    }
+
+    // Round-robin any unreached nodes.
+    let mut next_p = 0u32;
+    for a in assignment.iter_mut() {
+        if *a == UNASSIGNED {
+            *a = next_p;
+            next_p = (next_p + 1) % k as u32;
+        }
+    }
+    Ok(assignment)
+}
+
+/// Number of directed edges whose endpoints live in different
+/// partitions — the quantity partitioners minimize.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != g.num_nodes()`.
+pub fn edge_cut(g: &Graph, assignment: &[u32]) -> usize {
+    assert_eq!(assignment.len(), g.num_nodes(), "one partition id per node");
+    g.edges()
+        .filter(|&(u, v)| assignment[u as usize] != assignment[v as usize])
+        .count()
+}
+
+/// Balance factor: largest partition size divided by the ideal
+/// `n / k` (1.0 is perfect balance). Returns 0 for empty input.
+pub fn partition_balance(assignment: &[u32], k: usize) -> f64 {
+    if assignment.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignment {
+        sizes[a as usize] += 1;
+    }
+    let max = *sizes.iter().max().expect("k > 0") as f64;
+    max / (assignment.len() as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, stochastic_block_model};
+
+    #[test]
+    fn partition_is_total_and_in_range() {
+        let g = barabasi_albert(400, 3, 1).expect("gen");
+        let parts = greedy_bfs_partition(&g, 5).expect("partition");
+        assert_eq!(parts.len(), 400);
+        assert!(parts.iter().all(|&p| p < 5));
+        // Every partition non-empty.
+        for p in 0..5u32 {
+            assert!(parts.contains(&p), "partition {p} empty");
+        }
+    }
+
+    #[test]
+    fn partitions_are_reasonably_balanced() {
+        let g = barabasi_albert(1000, 4, 2).expect("gen");
+        let parts = greedy_bfs_partition(&g, 4).expect("partition");
+        let balance = partition_balance(&parts, 4);
+        assert!(balance < 1.5, "balance {balance}");
+    }
+
+    #[test]
+    fn bfs_partition_beats_round_robin_on_clustered_graph() {
+        let (g, _) = stochastic_block_model(&[200, 200, 200, 200], 0.05, 0.002, 3)
+            .expect("gen");
+        let bfs = greedy_bfs_partition(&g, 4).expect("partition");
+        let round_robin: Vec<u32> = (0..g.num_nodes() as u32).map(|v| v % 4).collect();
+        assert!(
+            edge_cut(&g, &bfs) < edge_cut(&g, &round_robin),
+            "BFS cut {} >= round-robin cut {}",
+            edge_cut(&g, &bfs),
+            edge_cut(&g, &round_robin)
+        );
+    }
+
+    #[test]
+    fn single_partition_has_zero_cut() {
+        let g = barabasi_albert(100, 3, 4).expect("gen");
+        let parts = greedy_bfs_partition(&g, 1).expect("partition");
+        assert_eq!(edge_cut(&g, &parts), 0);
+        assert!((partition_balance(&parts, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let g = barabasi_albert(10, 2, 5).expect("gen");
+        assert!(greedy_bfs_partition(&g, 0).is_err());
+        assert!(greedy_bfs_partition(&g, 11).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_still_assigned() {
+        use crate::GraphBuilder;
+        // Two connected nodes + two isolated ones.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.symmetrize().build().expect("build");
+        let parts = greedy_bfs_partition(&g, 2).expect("partition");
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|&p| p < 2));
+    }
+}

@@ -1,0 +1,72 @@
+//! Heterogeneous-platform simulator for the GNNavigator reproduction.
+//!
+//! The paper measures GNN training on real CPU–GPU platforms
+//! (RTX 4090, A100, M90 over PCIe). This crate substitutes an
+//! event-level cost model with the same decomposition the paper's
+//! performance model uses (Eq. 4–10): per-phase times for sampling,
+//! transfer, cache replacement, and compute, plus a device
+//! [`MemoryLedger`] implementing `Γ = Γ_model + Γ_cache + Γ_runtime`.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnav_hwsim::{CostModel, Platform, Precision};
+//!
+//! let cost = CostModel::new(Platform::default_rtx4090());
+//! let t = cost.t_compute(1e9, 4096, Precision::Fp32);
+//! assert!(t.as_secs() > 0.0);
+//! ```
+
+pub mod clock;
+pub mod cost;
+pub mod memory;
+pub mod profiles;
+
+pub use clock::SimTime;
+pub use cost::{CostModel, Precision};
+pub use memory::MemoryLedger;
+pub use profiles::{DeviceProfile, HostProfile, LinkProfile, Platform};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the hardware simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A memory claim exceeded the device capacity.
+    OutOfMemory {
+        /// Total bytes the claim would require.
+        requested: usize,
+        /// Device capacity in bytes.
+        capacity: usize,
+    },
+    /// An invalid simulator configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::OutOfMemory { requested, capacity } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, capacity {capacity} bytes"
+            ),
+            HwError::InvalidConfig(msg) => write!(f, "invalid hardware configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_trait_impls() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<HwError>();
+        assert!(HwError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the hardware simulator.
+
+use gnnav_hwsim::{CostModel, MemoryLedger, Platform, Precision, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ledger_total_never_exceeds_capacity(
+        capacity in 1usize..1_000_000,
+        claims in proptest::collection::vec((0usize..500_000, 0usize..500_000, 0usize..500_000), 1..20),
+    ) {
+        let mut m = MemoryLedger::new(capacity);
+        for (model, cache, batch) in claims {
+            let _ = m.set_model_bytes(model);
+            let _ = m.set_cache_bytes(cache);
+            let _ = m.begin_batch(batch);
+            let total = m.model_bytes() + m.cache_bytes() + m.runtime_bytes();
+            prop_assert!(total <= capacity, "total {total} over capacity {capacity}");
+            prop_assert!(m.peak_bytes() <= capacity);
+            m.end_batch();
+        }
+    }
+
+    #[test]
+    fn peak_is_monotone(claims in proptest::collection::vec(0usize..1000, 1..30)) {
+        let mut m = MemoryLedger::new(10_000);
+        let mut last_peak = 0;
+        for c in claims {
+            let _ = m.begin_batch(c);
+            prop_assert!(m.peak_bytes() >= last_peak);
+            last_peak = m.peak_bytes();
+            m.end_batch();
+        }
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(a in 0usize..100_000_000, b in 0usize..100_000_000) {
+        let cost = CostModel::new(Platform::default_rtx4090());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(cost.t_transfer(lo) <= cost.t_transfer(hi));
+    }
+
+    #[test]
+    fn sample_time_monotone_in_work(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+        let cost = CostModel::new(Platform::default_rtx4090());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(cost.t_sample(lo, 0) <= cost.t_sample(hi, 0));
+        prop_assert!(cost.t_sample(0, lo) <= cost.t_sample(0, hi));
+    }
+
+    #[test]
+    fn compute_time_monotone_in_flops(a in 0.0f64..1e13, b in 0.0f64..1e13) {
+        let cost = CostModel::new(Platform::default_a100());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(
+            cost.t_compute(lo, 4096, Precision::Fp32)
+                <= cost.t_compute(hi, 4096, Precision::Fp32)
+        );
+    }
+
+    #[test]
+    fn pipelined_never_slower_than_serial(
+        s in 0.0f64..10.0,
+        t in 0.0f64..10.0,
+        r in 0.0f64..10.0,
+        c in 0.0f64..10.0,
+    ) {
+        let cost = CostModel::new(Platform::default_m90());
+        let (ts, tt) = (SimTime::from_secs(s), SimTime::from_secs(t));
+        let (tr, tc) = (SimTime::from_secs(r), SimTime::from_secs(c));
+        let piped = cost.iteration_time(ts, tt, tr, tc, true);
+        let serial = cost.iteration_time(ts, tt, tr, tc, false);
+        prop_assert!(piped <= serial);
+        // Pipelining can at best hide the smaller side entirely.
+        prop_assert!(piped.as_secs() >= (s + t).max(r + c) - 1e-12);
+    }
+
+    #[test]
+    fn simtime_arithmetic_is_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let x = SimTime::from_secs(a);
+        let y = SimTime::from_secs(b);
+        prop_assert!(((x + y).as_secs() - (a + b)).abs() < 1e-9 * (1.0 + a + b));
+        prop_assert_eq!(x.max(y).as_secs(), a.max(b));
+    }
+}

@@ -1,0 +1,217 @@
+//! Tabular regression dataset.
+
+use crate::MlError;
+
+/// A dense `(X, y)` regression table with named feature columns.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_ml::Table;
+///
+/// # fn main() -> Result<(), gnnav_ml::MlError> {
+/// let mut t = Table::new(vec!["x0".into(), "x1".into()]);
+/// t.push_row(&[1.0, 2.0], 3.0)?;
+/// t.push_row(&[2.0, 0.5], 2.5)?;
+/// assert_eq!(t.num_rows(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    feature_names: Vec<String>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Table {
+    /// Creates an empty table with the given feature columns.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Table { feature_names, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Creates a table with anonymous feature names `f0..f{n}`.
+    pub fn with_dims(num_features: usize) -> Self {
+        Table::new((0..num_features).map(|i| format!("f{i}")).collect())
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `features.len()` does
+    /// not match the table width, and [`MlError::NonFinite`] if any
+    /// value is NaN or infinite.
+    pub fn push_row(&mut self, features: &[f64], target: f64) -> Result<(), MlError> {
+        if features.len() != self.feature_names.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.feature_names.len(),
+                got: features.len(),
+            });
+        }
+        if !target.is_finite() || features.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::NonFinite);
+        }
+        self.x.extend_from_slice(features);
+        self.y.push(target);
+        Ok(())
+    }
+
+    /// Number of observations.
+    pub fn num_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.num_features();
+        &self.x[i * w..(i + 1) * w]
+    }
+
+    /// Target of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn target(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Feature column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// A new table containing only the rows at `indices` (duplicates
+    /// allowed: used for bootstrap resampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Table {
+        let mut out = Table::new(self.feature_names.clone());
+        for &i in indices {
+            out.x.extend_from_slice(self.row(i));
+            out.y.push(self.y[i]);
+        }
+        out
+    }
+
+    /// A new table containing only the feature columns at `cols` (in
+    /// the given order), keeping all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn select_columns(&self, cols: &[usize]) -> Table {
+        let names = cols.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let mut out = Table::new(names);
+        for i in 0..self.num_rows() {
+            let row = self.row(i);
+            out.x.extend(cols.iter().map(|&c| row[c]));
+            out.y.push(self.y[i]);
+        }
+        out
+    }
+
+    /// Mean of the targets (0 for an empty table).
+    pub fn target_mean(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.y.iter().sum::<f64>() / self.y.len() as f64
+        }
+    }
+}
+
+impl Extend<(Vec<f64>, f64)> for Table {
+    /// Extends the table, panicking on dimension mismatch (use
+    /// [`Table::push_row`] for fallible insertion).
+    fn extend<I: IntoIterator<Item = (Vec<f64>, f64)>>(&mut self, iter: I) {
+        for (row, y) in iter {
+            self.push_row(&row, y).expect("row matches table width");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::with_dims(2);
+        t.push_row(&[1.0, 10.0], 100.0).expect("ok");
+        t.push_row(&[2.0, 20.0], 200.0).expect("ok");
+        t.push_row(&[3.0, 30.0], 300.0).expect("ok");
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_features(), 2);
+        assert_eq!(t.row(1), &[2.0, 20.0]);
+        assert_eq!(t.target(2), 300.0);
+        assert_eq!(t.target_mean(), 200.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut t = Table::with_dims(2);
+        let err = t.push_row(&[1.0], 0.0).unwrap_err();
+        assert!(matches!(err, MlError::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut t = Table::with_dims(1);
+        assert!(matches!(t.push_row(&[f64::NAN], 0.0), Err(MlError::NonFinite)));
+        assert!(matches!(t.push_row(&[0.0], f64::INFINITY), Err(MlError::NonFinite)));
+    }
+
+    #[test]
+    fn select_rows_with_duplicates() {
+        let t = table();
+        let s = t.select_rows(&[2, 2, 0]);
+        assert_eq!(s.num_rows(), 3);
+        assert_eq!(s.target(0), 300.0);
+        assert_eq!(s.target(2), 100.0);
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let t = table();
+        let s = t.select_columns(&[1]);
+        assert_eq!(s.num_features(), 1);
+        assert_eq!(s.row(0), &[10.0]);
+        assert_eq!(s.feature_names(), &["f1".to_string()]);
+    }
+
+    #[test]
+    fn extend_collects_pairs() {
+        let mut t = Table::with_dims(1);
+        t.extend(vec![(vec![1.0], 2.0), (vec![3.0], 4.0)]);
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! k-nearest-neighbors regression (standardized Euclidean distance).
+
+use crate::dataset::Table;
+use crate::regressor::Regressor;
+use crate::MlError;
+
+/// kNN regressor: predicts the mean target of the `k` nearest training
+/// rows under standardized Euclidean distance. A simple, assumption-
+/// free baseline for the estimator comparisons.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    table: Option<Table>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted kNN model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be > 0");
+        KnnRegressor { k, table: None, means: Vec::new(), stds: Vec::new() }
+    }
+
+    /// The number of neighbors `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, table: &Table) -> Result<(), MlError> {
+        if table.is_empty() {
+            return Err(MlError::EmptyTable);
+        }
+        let d = table.num_features();
+        let n = table.num_rows() as f64;
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for i in 0..table.num_rows() {
+            for (m, &v) in means.iter_mut().zip(table.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        for i in 0..table.num_rows() {
+            for (j, &v) in table.row(i).iter().enumerate() {
+                stds[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        self.means = means;
+        self.stds = stds;
+        self.table = Some(table.clone());
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        let table = self.table.as_ref().expect("model not fitted");
+        assert_eq!(features.len(), table.num_features(), "feature dim mismatch");
+        let mut dists: Vec<(f64, f64)> = (0..table.num_rows())
+            .map(|i| {
+                let dist: f64 = table
+                    .row(i)
+                    .iter()
+                    .zip(features)
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|((&a, &b), (&m, &s))| (((a - m) / s) - ((b - m) / s)).powi(2))
+                    .sum();
+                (dist, table.target(i))
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        dists[..k].iter().map(|&(_, y)| y).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::with_dims(1);
+        for i in 0..10 {
+            t.push_row(&[i as f64], i as f64 * 10.0).expect("ok");
+        }
+        t
+    }
+
+    #[test]
+    fn one_nn_returns_nearest_target() {
+        let mut m = KnnRegressor::new(1);
+        m.fit(&table()).expect("fit");
+        assert_eq!(m.predict(&[3.2]), 30.0);
+    }
+
+    #[test]
+    fn three_nn_averages() {
+        let mut m = KnnRegressor::new(3);
+        m.fit(&table()).expect("fit");
+        // Nearest to 5.0: rows 5, 4, 6 -> mean 50.
+        assert!((m.predict(&[5.0]) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_table_uses_all() {
+        let mut m = KnnRegressor::new(100);
+        m.fit(&table()).expect("fit");
+        assert!((m.predict(&[0.0]) - 45.0).abs() < 1e-9);
+        assert_eq!(m.k(), 100);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut m = KnnRegressor::new(2);
+        assert!(matches!(m.fit(&Table::with_dims(1)), Err(MlError::EmptyTable)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be > 0")]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Train/test splitting utilities.
+
+use crate::dataset::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `table` into `(train, test)` with `test_fraction` of rows in
+/// the test set, shuffled with `seed`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not in `(0, 1)`.
+pub fn train_test_split(table: &Table, test_fraction: f64, seed: u64) -> (Table, Table) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    let n = table.num_rows();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let n_test = n_test.clamp(1, n.saturating_sub(1).max(1));
+    let (test_idx, train_idx) = indices.split_at(n_test);
+    (table.select_rows(train_idx), table.select_rows(test_idx))
+}
+
+/// Yields `k` disjoint `(train_indices, test_indices)` folds over
+/// `num_rows` rows.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > num_rows`.
+pub fn k_fold_indices(num_rows: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k must be >= 2");
+    assert!(k <= num_rows, "k must not exceed the number of rows");
+    let mut indices: Vec<usize> = (0..num_rows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    let base = num_rows / k;
+    let extra = num_rows % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let test: Vec<usize> = indices[start..start + len].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + len..])
+            .copied()
+            .collect();
+        folds.push((train, test));
+        start += len;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::with_dims(1);
+        for i in 0..n {
+            t.push_row(&[i as f64], i as f64).expect("ok");
+        }
+        t
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(&table(100), 0.2, 1);
+        assert_eq!(test.num_rows(), 20);
+        assert_eq!(train.num_rows(), 80);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (train, test) = train_test_split(&table(50), 0.3, 2);
+        let mut all: Vec<f64> = (0..train.num_rows())
+            .map(|i| train.target(i))
+            .chain((0..test.num_rows()).map(|i| test.target(i)))
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let (a, _) = train_test_split(&table(30), 0.25, 7);
+        let (b, _) = train_test_split(&table(30), 0.25, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn bad_fraction_rejected() {
+        let _ = train_test_split(&table(10), 1.5, 1);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold_indices(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 2")]
+    fn k_fold_validates_k() {
+        let _ = k_fold_indices(10, 1, 0);
+    }
+}

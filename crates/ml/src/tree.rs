@@ -1,0 +1,287 @@
+//! CART decision-tree regression.
+//!
+//! The paper's Fig. 5 compares its gray-box mini-batch-size predictor
+//! against "Decision Tree Regression" as the pure black-box baseline —
+//! this is that baseline, and also the building block of
+//! [`crate::forest::RandomForestRegressor`].
+
+use crate::dataset::Table;
+use crate::regressor::Regressor;
+use crate::MlError;
+
+/// Hyperparameters of a [`DecisionTreeRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum candidate thresholds evaluated per feature (quantile
+    /// subsampling keeps fitting fast on large profile databases).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 8, min_samples_split: 4, min_samples_leaf: 2, max_thresholds: 32 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree minimizing within-node variance.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_ml::{DecisionTreeRegressor, Regressor, Table, TreeParams};
+///
+/// # fn main() -> Result<(), gnnav_ml::MlError> {
+/// let mut t = Table::with_dims(1);
+/// for i in 0..40 {
+///     let x = i as f64;
+///     t.push_row(&[x], if x < 20.0 { 1.0 } else { 5.0 })?;
+/// }
+/// let mut tree = DecisionTreeRegressor::new(TreeParams::default());
+/// tree.fit(&t)?;
+/// assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+/// assert!((tree.predict(&[30.0]) - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    params: TreeParams,
+    root: Option<Node>,
+    num_features: usize,
+}
+
+impl DecisionTreeRegressor {
+    /// Creates an unfitted tree.
+    pub fn new(params: TreeParams) -> Self {
+        DecisionTreeRegressor { params, root: None, num_features: 0 }
+    }
+
+    /// Number of leaves (0 before fitting).
+    pub fn num_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    /// Depth of the fitted tree (0 before fitting; 1 for a single
+    /// leaf).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, depth)
+    }
+
+    fn build(&self, table: &Table, indices: &[usize], depth: usize) -> Node {
+        let mean = indices.iter().map(|&i| table.target(i)).sum::<f64>() / indices.len() as f64;
+        if depth >= self.params.max_depth
+            || indices.len() < self.params.min_samples_split
+            || variance(table, indices) < 1e-12
+        {
+            return Node::Leaf { value: mean };
+        }
+        let Some((feature, threshold)) = self.best_split(table, indices) else {
+            return Node::Leaf { value: mean };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| table.row(i)[feature] <= threshold);
+        if left_idx.len() < self.params.min_samples_leaf
+            || right_idx.len() < self.params.min_samples_leaf
+        {
+            return Node::Leaf { value: mean };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(table, &left_idx, depth + 1)),
+            right: Box::new(self.build(table, &right_idx, depth + 1)),
+        }
+    }
+
+    fn best_split(&self, table: &Table, indices: &[usize]) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let total_sum: f64 = indices.iter().map(|&i| table.target(i)).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for f in 0..table.num_features() {
+            // Sort indices by this feature.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                table.row(a)[f]
+                    .partial_cmp(&table.row(b)[f])
+                    .expect("finite features")
+            });
+            let stride = (order.len() / self.params.max_thresholds).max(1);
+            let mut left_sum = 0.0f64;
+            let mut left_n = 0usize;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += table.target(i);
+                left_n += 1;
+                if pos % stride != 0 {
+                    continue;
+                }
+                let v = table.row(i)[f];
+                let v_next = table.row(order[pos + 1])[f];
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = indices.len() - left_n;
+                // Maximizing between-group sum of squares ==
+                // minimizing within-node variance.
+                let score = left_sum * left_sum / left_n as f64
+                    + right_sum * right_sum / right_n as f64
+                    - total_sum * total_sum / n;
+                let threshold = 0.5 * (v + v_next);
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((f, threshold, score));
+                }
+            }
+        }
+        best.filter(|&(_, _, s)| s > 1e-12).map(|(f, t, _)| (f, t))
+    }
+}
+
+fn variance(table: &Table, indices: &[usize]) -> f64 {
+    let n = indices.len() as f64;
+    let mean = indices.iter().map(|&i| table.target(i)).sum::<f64>() / n;
+    indices.iter().map(|&i| (table.target(i) - mean).powi(2)).sum::<f64>() / n
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, table: &Table) -> Result<(), MlError> {
+        if table.is_empty() {
+            return Err(MlError::EmptyTable);
+        }
+        let indices: Vec<usize> = (0..table.num_rows()).collect();
+        self.num_features = table.num_features();
+        self.root = Some(self.build(table, &indices, 0));
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("model not fitted");
+        assert_eq!(features.len(), self.num_features, "feature dim mismatch");
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn step_table() -> Table {
+        let mut t = Table::with_dims(2);
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let noise_feature = (i * 7 % 13) as f64;
+            let y = if x < 5.0 { 2.0 } else { 9.0 };
+            t.push_row(&[x, noise_feature], y).expect("ok");
+        }
+        t
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let mut tree = DecisionTreeRegressor::new(TreeParams::default());
+        tree.fit(&step_table()).expect("fit");
+        // Threshold subsampling + min_samples_leaf may leave one
+        // boundary sample in the wrong leaf, so allow a small margin.
+        assert!(tree.predict(&[1.0, 0.0]) < 3.0);
+        assert!(tree.predict(&[8.0, 0.0]) > 8.0);
+        // The informative feature, not the noise one, drives the split.
+        assert!(tree.num_leaves() >= 2);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let mut tree = DecisionTreeRegressor::new(params);
+        tree.fit(&step_table()).expect("fit");
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let mut t = Table::with_dims(1);
+        for i in 0..10 {
+            t.push_row(&[i as f64], 7.0).expect("ok");
+        }
+        let mut tree = DecisionTreeRegressor::new(TreeParams::default());
+        tree.fit(&t).expect("fit");
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict(&[100.0]), 7.0);
+    }
+
+    #[test]
+    fn fits_smooth_function_reasonably() {
+        let mut t = Table::with_dims(1);
+        for i in 0..200 {
+            let x = i as f64 / 20.0;
+            t.push_row(&[x], x * x).expect("ok");
+        }
+        let mut tree = DecisionTreeRegressor::new(TreeParams {
+            max_depth: 10,
+            ..TreeParams::default()
+        });
+        tree.fit(&t).expect("fit");
+        let truth: Vec<f64> = (0..200).map(|i| (i as f64 / 20.0).powi(2)).collect();
+        let pred: Vec<f64> = (0..200).map(|i| tree.predict(&[i as f64 / 20.0])).collect();
+        assert!(r2_score(&truth, &pred) > 0.95);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut tree = DecisionTreeRegressor::new(TreeParams::default());
+        assert!(matches!(tree.fit(&Table::with_dims(1)), Err(MlError::EmptyTable)));
+    }
+
+    #[test]
+    #[should_panic(expected = "model not fitted")]
+    fn predict_before_fit_panics() {
+        let tree = DecisionTreeRegressor::new(TreeParams::default());
+        let _ = tree.predict(&[1.0]);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let params = TreeParams { min_samples_leaf: 40, ..TreeParams::default() };
+        let mut tree = DecisionTreeRegressor::new(params);
+        tree.fit(&step_table()).expect("fit");
+        // 100 samples, leaves must hold >= 40: at most 2 leaves.
+        assert!(tree.num_leaves() <= 2);
+    }
+}

@@ -1,0 +1,925 @@
+//! GNN layers with explicit forward/backward passes.
+//!
+//! Each layer follows the paper's Aggregate/Combine decomposition
+//! (Eq. 1): a sparse neighborhood aggregation over the mini-batch
+//! subgraph followed by a dense linear combine. Three layer families
+//! are provided, matching the models the paper evaluates:
+//!
+//! - [`GcnLayer`]: symmetric-normalized aggregation (Kipf & Welling).
+//! - [`SageLayer`]: mean aggregation with a separate self transform
+//!   (GraphSAGE).
+//! - [`GatLayer`]: single-head additive attention (GAT).
+//!
+//! Layers cache whatever the backward pass needs; call order must be
+//! `forward` then `backward` on the same input graph.
+
+use crate::init::{glorot_uniform, uniform_vec};
+use crate::tensor::Matrix;
+use gnnav_graph::Graph;
+
+/// A trainable dense parameter: weight matrix plus bias with gradient
+/// accumulators.
+#[derive(Debug, Clone)]
+pub struct LinearParam {
+    /// Weight, `in_dim x out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim` (empty when the parameter has no bias).
+    pub b: Vec<f32>,
+    /// Gradient of `w`.
+    pub gw: Matrix,
+    /// Gradient of `b`.
+    pub gb: Vec<f32>,
+}
+
+impl LinearParam {
+    /// Glorot-initialized parameter with bias.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        LinearParam {
+            w: glorot_uniform(in_dim, out_dim, seed),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Glorot-initialized parameter without bias.
+    pub fn new_no_bias(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        LinearParam {
+            w: glorot_uniform(in_dim, out_dim, seed),
+            b: Vec::new(),
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: Vec::new(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.as_mut_slice().fill(0.0);
+        self.gb.fill(0.0);
+    }
+}
+
+/// A vector parameter (attention weights) with gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct VecParam {
+    /// The parameter values.
+    pub v: Vec<f32>,
+    /// The gradient accumulator.
+    pub g: Vec<f32>,
+}
+
+impl VecParam {
+    /// Uniform-initialized vector parameter.
+    pub fn new(len: usize, seed: u64) -> Self {
+        VecParam { v: uniform_vec(len, 0.3, seed), g: vec![0.0; len] }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.g.fill(0.0);
+    }
+}
+
+/// Mutable views over a layer's parameters, in a stable order, for the
+/// optimizer.
+pub enum ParamRef<'a> {
+    /// A dense weight + bias parameter.
+    Linear(&'a mut LinearParam),
+    /// A vector parameter.
+    Vector(&'a mut VecParam),
+}
+
+/// Common interface of all GNN layers.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Input feature dimensionality.
+    fn in_dim(&self) -> usize;
+    /// Output feature dimensionality.
+    fn out_dim(&self) -> usize;
+    /// Forward pass over subgraph `g` with node features `x`
+    /// (`g.num_nodes() x in_dim`); caches intermediates for backward.
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix;
+    /// Backward pass: consumes `grad_out`, accumulates parameter
+    /// gradients, returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix;
+    /// Parameters in a stable order.
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>>;
+    /// Total scalar parameter count (`|Φ|` contribution).
+    fn param_count(&self) -> usize;
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self);
+}
+
+/// Symmetric-normalized GCN aggregation with self-loops:
+/// `out[v] = Σ_{u ∈ N(v) ∪ {v}} x[u] / sqrt((d_u + 1)(d_v + 1))`.
+///
+/// The coefficient matrix is symmetric, so the same routine implements
+/// the backward (transpose) aggregation.
+pub fn gcn_aggregate(g: &Graph, x: &Matrix) -> Matrix {
+    let n = g.num_nodes();
+    let d = x.cols();
+    let mut out = Matrix::zeros(n, d);
+    let inv_sqrt: Vec<f32> = (0..n as u32)
+        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+        .collect();
+    for v in 0..n as u32 {
+        let cv = inv_sqrt[v as usize];
+        // Self-loop term.
+        {
+            let coeff = cv * cv;
+            let src = x.row(v as usize).to_vec();
+            let dst = out.row_mut(v as usize);
+            for (o, s) in dst.iter_mut().zip(&src) {
+                *o += coeff * s;
+            }
+        }
+        for &u in g.neighbors(v) {
+            let coeff = cv * inv_sqrt[u as usize];
+            let src = x.row(u as usize);
+            // Split borrow: rows are disjoint unless u == v, which the
+            // self-loop already covered (neighbors exclude self-loops
+            // in our builders; if present, the += below still works
+            // through the temporary copy).
+            let src: Vec<f32> = src.to_vec();
+            let dst = out.row_mut(v as usize);
+            for (o, s) in dst.iter_mut().zip(&src) {
+                *o += coeff * s;
+            }
+        }
+    }
+    out
+}
+
+/// Mean aggregation: `out[v] = mean_{u ∈ N(v)} x[u]` (zero for
+/// isolated nodes).
+pub fn mean_aggregate(g: &Graph, x: &Matrix) -> Matrix {
+    let n = g.num_nodes();
+    let d = x.cols();
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n as u32 {
+        let neigh = g.neighbors(v);
+        if neigh.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / neigh.len() as f32;
+        let mut acc = vec![0.0f32; d];
+        for &u in neigh {
+            for (a, &s) in acc.iter_mut().zip(x.row(u as usize)) {
+                *a += s;
+            }
+        }
+        for (o, a) in out.row_mut(v as usize).iter_mut().zip(&acc) {
+            *o = a * inv;
+        }
+    }
+    out
+}
+
+/// Transpose of [`mean_aggregate`]: scatters `grad_out[v] / deg(v)`
+/// back to each neighbor `u` of `v`.
+pub fn mean_aggregate_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+    let n = g.num_nodes();
+    let d = grad_out.cols();
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n as u32 {
+        let neigh = g.neighbors(v);
+        if neigh.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / neigh.len() as f32;
+        let grad: Vec<f32> = grad_out.row(v as usize).iter().map(|&x| x * inv).collect();
+        for &u in neigh {
+            for (o, &gv) in out.row_mut(u as usize).iter_mut().zip(&grad) {
+                *o += gv;
+            }
+        }
+    }
+    out
+}
+
+/// GCN layer: `out = GcnAgg(g, x) · W + b`.
+#[derive(Debug)]
+pub struct GcnLayer {
+    lin: LinearParam,
+    cache_ax: Option<Matrix>,
+}
+
+impl GcnLayer {
+    /// Creates a GCN layer with Glorot-initialized weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        GcnLayer { lin: LinearParam::new(in_dim, out_dim, seed), cache_ax: None }
+    }
+}
+
+impl Layer for GcnLayer {
+    fn in_dim(&self) -> usize {
+        self.lin.w.rows()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin.w.cols()
+    }
+
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let ax = gcn_aggregate(g, x);
+        let mut out = ax.matmul(&self.lin.w);
+        out.add_row_broadcast(&self.lin.b);
+        self.cache_ax = Some(ax);
+        out
+    }
+
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let ax = self.cache_ax.as_ref().expect("forward before backward");
+        self.lin.gw.add_assign(&ax.matmul_at_b(grad_out));
+        for r in 0..grad_out.rows() {
+            for (gb, &gv) in self.lin.gb.iter_mut().zip(grad_out.row(r)) {
+                *gb += gv;
+            }
+        }
+        let d_ax = grad_out.matmul_a_bt(&self.lin.w);
+        // Symmetric coefficients: the transpose aggregation is the
+        // forward aggregation.
+        gcn_aggregate(g, &d_ax)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![ParamRef::Linear(&mut self.lin)]
+    }
+
+    fn param_count(&self) -> usize {
+        self.lin.count()
+    }
+
+    fn zero_grad(&mut self) {
+        self.lin.zero_grad();
+    }
+}
+
+/// GraphSAGE layer with mean aggregator:
+/// `out = x · W_self + MeanAgg(g, x) · W_neigh + b`.
+#[derive(Debug)]
+pub struct SageLayer {
+    lin_self: LinearParam,
+    lin_neigh: LinearParam,
+    cache_x: Option<Matrix>,
+    cache_mean: Option<Matrix>,
+}
+
+impl SageLayer {
+    /// Creates a SAGE layer with Glorot-initialized weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        SageLayer {
+            lin_self: LinearParam::new(in_dim, out_dim, seed),
+            lin_neigh: LinearParam::new_no_bias(in_dim, out_dim, seed.wrapping_add(1)),
+            cache_x: None,
+            cache_mean: None,
+        }
+    }
+}
+
+impl Layer for SageLayer {
+    fn in_dim(&self) -> usize {
+        self.lin_self.w.rows()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin_self.w.cols()
+    }
+
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let mean = mean_aggregate(g, x);
+        let mut out = x.matmul(&self.lin_self.w);
+        out.add_assign(&mean.matmul(&self.lin_neigh.w));
+        out.add_row_broadcast(&self.lin_self.b);
+        self.cache_x = Some(x.clone());
+        self.cache_mean = Some(mean);
+        out
+    }
+
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let mean = self.cache_mean.as_ref().expect("forward before backward");
+        self.lin_self.gw.add_assign(&x.matmul_at_b(grad_out));
+        self.lin_neigh.gw.add_assign(&mean.matmul_at_b(grad_out));
+        for r in 0..grad_out.rows() {
+            for (gb, &gv) in self.lin_self.gb.iter_mut().zip(grad_out.row(r)) {
+                *gb += gv;
+            }
+        }
+        let mut grad_x = grad_out.matmul_a_bt(&self.lin_self.w);
+        let d_mean = grad_out.matmul_a_bt(&self.lin_neigh.w);
+        grad_x.add_assign(&mean_aggregate_backward(g, &d_mean));
+        grad_x
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef::Linear(&mut self.lin_self),
+            ParamRef::Linear(&mut self.lin_neigh),
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.lin_self.count() + self.lin_neigh.count()
+    }
+
+    fn zero_grad(&mut self) {
+        self.lin_self.zero_grad();
+        self.lin_neigh.zero_grad();
+    }
+}
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+/// Single-head GAT layer with additive attention:
+///
+/// `e_uv = LeakyReLU(a_l · (W x_u) + a_r · (W x_v))`,
+/// `α_·v = softmax_u(e_uv)` over `u ∈ N(v) ∪ {v}`,
+/// `out[v] = Σ_u α_uv (W x_u) + b`.
+#[derive(Debug)]
+pub struct GatLayer {
+    lin: LinearParam,
+    att_l: VecParam,
+    att_r: VecParam,
+    cache: Option<GatCache>,
+}
+
+#[derive(Debug)]
+struct GatCache {
+    x: Matrix,
+    z: Matrix,
+    /// Flattened attention weights: for node `v`, entries
+    /// `alpha_off[v]..alpha_off[v+1]` cover `N(v)` then the self term.
+    alpha: Vec<f32>,
+    /// Pre-activation LeakyReLU inputs aligned with `alpha`.
+    pre: Vec<f32>,
+    alpha_off: Vec<usize>,
+}
+
+impl GatLayer {
+    /// Creates a GAT layer with Glorot weights and uniform attention
+    /// vectors.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        GatLayer {
+            lin: LinearParam::new(in_dim, out_dim, seed),
+            att_l: VecParam::new(out_dim, seed.wrapping_add(2)),
+            att_r: VecParam::new(out_dim, seed.wrapping_add(3)),
+            cache: None,
+        }
+    }
+}
+
+fn leaky(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        LEAKY_SLOPE * x
+    }
+}
+
+fn leaky_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        LEAKY_SLOPE
+    }
+}
+
+impl Layer for GatLayer {
+    fn in_dim(&self) -> usize {
+        self.lin.w.rows()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin.w.cols()
+    }
+
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let n = g.num_nodes();
+        let d = self.out_dim();
+        let z = x.matmul(&self.lin.w);
+        let dot = |row: &[f32], v: &[f32]| -> f32 {
+            row.iter().zip(v).map(|(a, b)| a * b).sum()
+        };
+        let s_l: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_l.v)).collect();
+        let s_r: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_r.v)).collect();
+
+        let mut alpha_off = Vec::with_capacity(n + 1);
+        alpha_off.push(0usize);
+        let mut pre: Vec<f32> = Vec::with_capacity(g.num_edges() + n);
+        for v in 0..n as u32 {
+            for &u in g.neighbors(v) {
+                pre.push(leakish_input(s_l[u as usize], s_r[v as usize]));
+            }
+            pre.push(leakish_input(s_l[v as usize], s_r[v as usize])); // self
+            alpha_off.push(pre.len());
+        }
+        let mut alpha = vec![0.0f32; pre.len()];
+        let mut out = Matrix::zeros(n, d);
+        for v in 0..n as u32 {
+            let (start, end) = (alpha_off[v as usize], alpha_off[v as usize + 1]);
+            let mut max = f32::NEG_INFINITY;
+            for &p in &pre[start..end] {
+                max = max.max(leaky(p));
+            }
+            let mut sum = 0.0f32;
+            for i in start..end {
+                let e = (leaky(pre[i]) - max).exp();
+                alpha[i] = e;
+                sum += e;
+            }
+            for a in &mut alpha[start..end] {
+                *a /= sum;
+            }
+            // out[v] = Σ α z[u] over neighbors then self.
+            let mut acc = vec![0.0f32; d];
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                let a = alpha[start + i];
+                for (o, &zz) in acc.iter_mut().zip(z.row(u as usize)) {
+                    *o += a * zz;
+                }
+            }
+            let a_self = alpha[end - 1];
+            for (o, &zz) in acc.iter_mut().zip(z.row(v as usize)) {
+                *o += a_self * zz;
+            }
+            for ((o, a), &b) in out.row_mut(v as usize).iter_mut().zip(acc).zip(&self.lin.b) {
+                *o = a + b;
+            }
+        }
+        self.cache = Some(GatCache { x: x.clone(), z, alpha, pre, alpha_off });
+        out
+    }
+
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        let n = g.num_nodes();
+        let d = self.out_dim();
+        let GatCache { x, z, alpha, pre, alpha_off } = cache;
+
+        let mut dz = Matrix::zeros(n, d);
+        let mut ds_l = vec![0.0f32; n];
+        let mut ds_r = vec![0.0f32; n];
+
+        // Bias gradient.
+        for r in 0..n {
+            for (gb, &gv) in self.lin.gb.iter_mut().zip(grad_out.row(r)) {
+                *gb += gv;
+            }
+        }
+
+        for v in 0..n as u32 {
+            let (start, end) = (alpha_off[v as usize], alpha_off[v as usize + 1]);
+            let go = grad_out.row(v as usize);
+            // Members of the softmax set: neighbors then self.
+            let count = end - start;
+            let mut d_alpha = vec![0.0f32; count];
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                let zu = z.row(u as usize);
+                d_alpha[i] = go.iter().zip(zu).map(|(a, b)| a * b).sum();
+                let a = alpha[start + i];
+                for (o, &gv) in dz.row_mut(u as usize).iter_mut().zip(go) {
+                    *o += a * gv;
+                }
+            }
+            {
+                let zv = z.row(v as usize);
+                d_alpha[count - 1] = go.iter().zip(zv).map(|(a, b)| a * b).sum();
+                let a = alpha[end - 1];
+                for (o, &gv) in dz.row_mut(v as usize).iter_mut().zip(go) {
+                    *o += a * gv;
+                }
+            }
+            // Softmax backward.
+            let dot: f32 = (0..count).map(|i| alpha[start + i] * d_alpha[i]).sum();
+            for i in 0..count {
+                let de = alpha[start + i] * (d_alpha[i] - dot);
+                let dpre = de * leaky_grad(pre[start + i]);
+                let u = if i + 1 == count {
+                    v
+                } else {
+                    g.neighbors(v)[i]
+                };
+                ds_l[u as usize] += dpre;
+                ds_r[v as usize] += dpre;
+            }
+        }
+
+        // s_l[u] = z[u]·a_l and s_r[u] = z[u]·a_r.
+        for u in 0..n {
+            let zu = z.row(u);
+            for ((ga, &zz), (gb, _)) in self
+                .att_l
+                .g
+                .iter_mut()
+                .zip(zu)
+                .zip(self.att_r.g.iter_mut().zip(zu))
+            {
+                *ga += ds_l[u] * zz;
+                *gb += ds_r[u] * zz;
+            }
+            let dzu = dz.row_mut(u);
+            for ((o, &al), &ar) in dzu.iter_mut().zip(&self.att_l.v).zip(&self.att_r.v) {
+                *o += ds_l[u] * al + ds_r[u] * ar;
+            }
+        }
+
+        self.lin.gw.add_assign(&x.matmul_at_b(&dz));
+        dz.matmul_a_bt(&self.lin.w)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef::Linear(&mut self.lin),
+            ParamRef::Vector(&mut self.att_l),
+            ParamRef::Vector(&mut self.att_r),
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.lin.count() + self.att_l.v.len() + self.att_r.v.len()
+    }
+
+    fn zero_grad(&mut self) {
+        self.lin.zero_grad();
+        self.att_l.zero_grad();
+        self.att_r.zero_grad();
+    }
+}
+
+/// The raw (pre-LeakyReLU) attention logit for source score `sl` and
+/// destination score `sr`. Kept as a function so forward and backward
+/// agree on the definition.
+#[inline]
+fn leakish_input(sl: f32, sr: f32) -> f32 {
+    sl + sr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnav_graph::GraphBuilder;
+
+    fn tiny_graph() -> Graph {
+        // 4 nodes: triangle 0-1-2 plus edge 2-3, undirected.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).add_edge(2, 3);
+        b.symmetrize().build().expect("build")
+    }
+
+    fn tiny_x(seed: u64) -> Matrix {
+        glorot_uniform(4, 3, seed)
+    }
+
+    use crate::init::glorot_uniform;
+
+    #[test]
+    fn gcn_aggregate_row_is_weighted_sum() {
+        let g = tiny_graph();
+        let x = Matrix::eye(4);
+        let ax = gcn_aggregate(&g, &x);
+        // Row 3: self (deg 1): 1/2; neighbor 2 (deg 3): 1/(sqrt(2)*sqrt(4)).
+        assert!((ax.get(3, 3) - 0.5).abs() < 1e-6);
+        assert!((ax.get(3, 2) - 1.0 / (2.0f32.sqrt() * 2.0)).abs() < 1e-6);
+        assert_eq!(ax.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_aggregate_averages_neighbors() {
+        let g = tiny_graph();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let m = mean_aggregate(&g, &x);
+        // Node 0 neighbors {1, 2}: mean 2.5.
+        assert!((m.get(0, 0) - 2.5).abs() < 1e-6);
+        // Node 3 neighbors {2}: 3.0.
+        assert!((m.get(3, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_backward_is_transpose() {
+        // <Agg x, y> == <x, AggT y> for random x, y.
+        let g = tiny_graph();
+        let x = glorot_uniform(4, 3, 1);
+        let y = glorot_uniform(4, 3, 2);
+        let fwd = mean_aggregate(&g, &x);
+        let bwd = mean_aggregate_backward(&g, &y);
+        let ip = |a: &Matrix, b: &Matrix| -> f32 {
+            a.as_slice().iter().zip(b.as_slice()).map(|(p, q)| p * q).sum()
+        };
+        assert!((ip(&fwd, &y) - ip(&x, &bwd)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gcn_aggregate_is_self_adjoint() {
+        let g = tiny_graph();
+        let x = glorot_uniform(4, 2, 3);
+        let y = glorot_uniform(4, 2, 4);
+        let ip = |a: &Matrix, b: &Matrix| -> f32 {
+            a.as_slice().iter().zip(b.as_slice()).map(|(p, q)| p * q).sum()
+        };
+        assert!(
+            (ip(&gcn_aggregate(&g, &x), &y) - ip(&x, &gcn_aggregate(&g, &y))).abs() < 1e-4
+        );
+    }
+
+    /// Finite-difference gradient check for a layer: perturb inputs and
+    /// weights, compare with analytic gradients under loss
+    /// `L = Σ out ⊙ R` for a fixed random `R`.
+    fn grad_check<L: Layer>(mut layer: L, tol: f32) {
+        let g = tiny_graph();
+        let x = tiny_x(7);
+        let r = glorot_uniform(4, layer.out_dim(), 8);
+
+        let out = layer.forward(&g, &x);
+        let _loss0: f32 = out
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        layer.zero_grad();
+        let grad_x = layer.backward(&g, &r);
+
+        let eps = 1e-2f32;
+        // Check d L / d x at a few positions.
+        for &(rr, cc) in &[(0usize, 0usize), (2, 1), (3, 2)] {
+            let mut xp = x.clone();
+            xp.set(rr, cc, xp.get(rr, cc) + eps);
+            let op = layer.forward(&g, &xp);
+            let lp: f32 = op
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let mut xm = x.clone();
+            xm.set(rr, cc, xm.get(rr, cc) - eps);
+            let om = layer.forward(&g, &xm);
+            let lm: f32 = om
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_x.get(rr, cc);
+            assert!(
+                (fd - an).abs() < tol * (1.0 + fd.abs().max(an.abs())),
+                "input grad mismatch at ({rr},{cc}): fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_gradient_check() {
+        grad_check(GcnLayer::new(3, 2, 11), 2e-2);
+    }
+
+    #[test]
+    fn sage_gradient_check() {
+        grad_check(SageLayer::new(3, 2, 12), 2e-2);
+    }
+
+    #[test]
+    fn gat_gradient_check() {
+        grad_check(GatLayer::new(3, 2, 13), 5e-2);
+    }
+
+    #[test]
+    fn gat_weight_gradient_check() {
+        // Finite-difference check on one weight entry of the GAT layer
+        // (the trickiest gradient path: attention + combine).
+        let g = tiny_graph();
+        let x = tiny_x(20);
+        let r = glorot_uniform(4, 2, 21);
+        let mut layer = GatLayer::new(3, 2, 22);
+        layer.forward(&g, &x);
+        layer.zero_grad();
+        layer.backward(&g, &r);
+        let analytic = layer.lin.gw.get(1, 0);
+
+        let eps = 1e-2f32;
+        let orig = layer.lin.w.get(1, 0);
+        layer.lin.w.set(1, 0, orig + eps);
+        let lp: f32 = layer
+            .forward(&g, &x)
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        layer.lin.w.set(1, 0, orig - eps);
+        let lm: f32 = layer
+            .forward(&g, &x)
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()),
+            "fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn layer_dims_reported() {
+        let l = SageLayer::new(5, 7, 1);
+        assert_eq!(l.in_dim(), 5);
+        assert_eq!(l.out_dim(), 7);
+        assert_eq!(l.param_count(), 5 * 7 + 7 + 5 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward before backward")]
+    fn backward_requires_forward() {
+        let g = tiny_graph();
+        let mut l = GcnLayer::new(3, 2, 1);
+        let _ = l.backward(&g, &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn gat_attention_sums_to_one() {
+        let g = tiny_graph();
+        let x = tiny_x(30);
+        let mut l = GatLayer::new(3, 2, 31);
+        l.forward(&g, &x);
+        let cache = l.cache.as_ref().expect("cached");
+        for v in 0..4 {
+            let (s, e) = (cache.alpha_off[v], cache.alpha_off[v + 1]);
+            let sum: f32 = cache.alpha[s..e].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "node {v} alpha sum {sum}");
+        }
+    }
+}
+
+/// Multi-head GAT layer: `H` independent [`GatLayer`] heads whose
+/// outputs are *averaged* (the aggregation the GAT paper uses on its
+/// output layer; averaging keeps the layer's output width equal to
+/// `out_dim`, so heads compose transparently in a [`crate::GnnModel`]
+/// stack).
+#[derive(Debug)]
+pub struct MultiHeadGatLayer {
+    heads: Vec<GatLayer>,
+}
+
+impl MultiHeadGatLayer {
+    /// Creates a layer with `num_heads` attention heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads == 0`.
+    pub fn new(in_dim: usize, out_dim: usize, num_heads: usize, seed: u64) -> Self {
+        assert!(num_heads > 0, "at least one head required");
+        let heads = (0..num_heads)
+            .map(|h| GatLayer::new(in_dim, out_dim, seed.wrapping_add(31 * h as u64)))
+            .collect();
+        MultiHeadGatLayer { heads }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+impl Layer for MultiHeadGatLayer {
+    fn in_dim(&self) -> usize {
+        self.heads[0].in_dim()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.heads[0].out_dim()
+    }
+
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let inv = 1.0 / self.heads.len() as f32;
+        let mut acc: Option<Matrix> = None;
+        for head in &mut self.heads {
+            let out = head.forward(g, x);
+            match &mut acc {
+                None => acc = Some(out),
+                Some(a) => a.add_assign(&out),
+            }
+        }
+        let mut out = acc.expect("at least one head");
+        out.scale(inv);
+        out
+    }
+
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let inv = 1.0 / self.heads.len() as f32;
+        let mut scaled = grad_out.clone();
+        scaled.scale(inv);
+        let mut acc: Option<Matrix> = None;
+        for head in &mut self.heads {
+            let gx = head.backward(g, &scaled);
+            match &mut acc {
+                None => acc = Some(gx),
+                Some(a) => a.add_assign(&gx),
+            }
+        }
+        acc.expect("at least one head")
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        self.heads.iter_mut().flat_map(|h| h.params_mut()).collect()
+    }
+
+    fn param_count(&self) -> usize {
+        self.heads.iter().map(|h| h.param_count()).sum()
+    }
+
+    fn zero_grad(&mut self) {
+        for head in &mut self.heads {
+            head.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_head_tests {
+    use super::*;
+    use crate::init::glorot_uniform;
+    use gnnav_graph::GraphBuilder;
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).add_edge(2, 3);
+        b.symmetrize().build().expect("build")
+    }
+
+    #[test]
+    fn single_head_matches_plain_gat() {
+        let g = tiny_graph();
+        let x = glorot_uniform(4, 3, 7);
+        let mut multi = MultiHeadGatLayer::new(3, 2, 1, 40);
+        let mut single = GatLayer::new(3, 2, 40);
+        let a = multi.forward(&g, &x);
+        let b = single.forward(&g, &x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heads_have_distinct_parameters() {
+        let mut m = MultiHeadGatLayer::new(3, 2, 4, 50);
+        assert_eq!(m.num_heads(), 4);
+        assert_eq!(m.param_count(), 4 * GatLayer::new(3, 2, 1).param_count());
+        assert_eq!(m.params_mut().len(), 4 * 3);
+    }
+
+    #[test]
+    fn multi_head_gradient_check() {
+        // Finite-difference input-gradient check across the averaged
+        // heads (same harness as the single layers).
+        let g = tiny_graph();
+        let x = glorot_uniform(4, 3, 8);
+        let r = glorot_uniform(4, 2, 9);
+        let mut layer = MultiHeadGatLayer::new(3, 2, 3, 60);
+        layer.forward(&g, &x);
+        layer.zero_grad();
+        let grad_x = layer.backward(&g, &r);
+
+        let eps = 1e-2f32;
+        for &(rr, cc) in &[(0usize, 0usize), (3, 2)] {
+            let loss = |layer: &mut MultiHeadGatLayer, x: &Matrix| -> f32 {
+                layer
+                    .forward(&g, x)
+                    .as_slice()
+                    .iter()
+                    .zip(r.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let mut xp = x.clone();
+            xp.set(rr, cc, xp.get(rr, cc) + eps);
+            let lp = loss(&mut layer, &xp);
+            let mut xm = x.clone();
+            xm.set(rr, cc, xm.get(rr, cc) - eps);
+            let lm = loss(&mut layer, &xm);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_x.get(rr, cc);
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs().max(an.abs())),
+                "({rr},{cc}): fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one head")]
+    fn zero_heads_rejected() {
+        let _ = MultiHeadGatLayer::new(3, 2, 0, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Optimizers over model parameters.
+
+use crate::layers::ParamRef;
+
+/// Adam optimizer with bias correction.
+///
+/// Moment buffers are keyed by the position of each parameter in the
+/// model's stable `params_mut()` traversal order, so a single `Adam`
+/// instance must only ever be used with one model.
+///
+/// # Example
+///
+/// ```
+/// use gnnav_nn::{Adam, GnnModel, ModelKind};
+///
+/// let mut model = GnnModel::new(ModelKind::Gcn, 4, 8, 2, 2, 1);
+/// let mut opt = Adam::new(1e-2);
+/// // ... forward / backward ...
+/// opt.step(&mut model.params_mut());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and the
+    /// standard betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then leaves the gradients untouched (call
+    /// `zero_grad` on the model afterwards).
+    pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut slot = 0usize;
+        for p in params.iter_mut() {
+            match p {
+                ParamRef::Linear(lin) => {
+                    let (w, gw) = (lin.w.as_mut_slice(), lin.gw.as_slice());
+                    self.update_slot(slot, w, gw, bc1, bc2);
+                    slot += 1;
+                    if !lin.b.is_empty() {
+                        // Clones avoid simultaneous &mut borrows of the
+                        // same struct's fields through the enum.
+                        let gb = lin.gb.clone();
+                        self.update_slot(slot, &mut lin.b, &gb, bc1, bc2);
+                    }
+                    slot += 1;
+                }
+                ParamRef::Vector(vp) => {
+                    let g = vp.g.clone();
+                    self.update_slot(slot, &mut vp.v, &g, bc1, bc2);
+                    slot += 1;
+                }
+            }
+        }
+    }
+
+    fn update_slot(&mut self, slot: usize, w: &mut [f32], g: &[f32], bc1: f32, bc2: f32) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[slot].len() != w.len() {
+            self.m[slot] = vec![0.0; w.len()];
+            self.v[slot] = vec![0.0; w.len()];
+        }
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        for i in 0..w.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            w[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Plain SGD, used as a baseline and in tests.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one gradient-descent step.
+    pub fn step(&self, params: &mut [ParamRef<'_>]) {
+        for p in params.iter_mut() {
+            match p {
+                ParamRef::Linear(lin) => {
+                    for (w, &g) in lin.w.as_mut_slice().iter_mut().zip(lin.gw.as_slice()) {
+                        *w -= self.lr * g;
+                    }
+                    for (b, &g) in lin.b.iter_mut().zip(&lin.gb) {
+                        *b -= self.lr * g;
+                    }
+                }
+                ParamRef::Vector(vp) => {
+                    for (w, &g) in vp.v.iter_mut().zip(&vp.g) {
+                        *w -= self.lr * g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LinearParam;
+
+    #[test]
+    fn adam_reduces_quadratic() {
+        // Minimize f(w) = 0.5 * w^2 on a 1x1 linear param.
+        let mut p = LinearParam::new_no_bias(1, 1, 1);
+        p.w.set(0, 0, 3.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let w = p.w.get(0, 0);
+            p.gw.set(0, 0, w);
+            opt.step(&mut [ParamRef::Linear(&mut p)]);
+        }
+        assert!(p.w.get(0, 0).abs() < 0.05, "w = {}", p.w.get(0, 0));
+    }
+
+    #[test]
+    fn sgd_reduces_quadratic() {
+        let mut p = LinearParam::new_no_bias(1, 1, 1);
+        p.w.set(0, 0, 2.0);
+        let opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let w = p.w.get(0, 0);
+            p.gw.set(0, 0, w);
+            opt.step(&mut [ParamRef::Linear(&mut p)]);
+        }
+        assert!(p.w.get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_updates_bias_too() {
+        let mut p = LinearParam::new(1, 1, 1);
+        p.b[0] = 1.0;
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            p.gb[0] = p.b[0];
+            p.gw.set(0, 0, 0.0);
+            opt.step(&mut [ParamRef::Linear(&mut p)]);
+        }
+        assert!(p.b[0].abs() < 0.05, "b = {}", p.b[0]);
+    }
+
+    #[test]
+    fn lr_accessor() {
+        assert_eq!(Adam::new(0.01).lr(), 0.01);
+    }
+}

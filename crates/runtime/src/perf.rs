@@ -1,0 +1,120 @@
+//! Training performance results `Perf{T, Γ, Acc}`.
+
+use gnnav_hwsim::SimTime;
+
+/// Per-phase simulated time totals over one epoch (the four phase
+/// times of the paper's Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Host-side sampling.
+    pub sample: SimTime,
+    /// Host→device feature transfer.
+    pub transfer: SimTime,
+    /// Device cache replacement.
+    pub replace: SimTime,
+    /// Device aggregate+combine compute.
+    pub compute: SimTime,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases (the serialized epoch time).
+    pub fn total(&self) -> SimTime {
+        self.sample + self.transfer + self.replace + self.compute
+    }
+}
+
+/// The performance triple the paper optimizes, plus the diagnostics
+/// the estimator learns from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perf {
+    /// Average simulated epoch time `T`.
+    pub epoch_time: SimTime,
+    /// Peak device memory `Γ` in bytes.
+    pub peak_mem_bytes: usize,
+    /// Final test accuracy `Acc` in `[0, 1]` (0 when training was
+    /// skipped).
+    pub accuracy: f64,
+    /// Cumulative cache hit rate.
+    pub hit_rate: f64,
+    /// Mean mini-batch size `E(|V_i|)`.
+    pub avg_batch_nodes: f64,
+    /// Mean mini-batch edge count.
+    pub avg_batch_edges: f64,
+    /// Iterations per epoch `n_iter`.
+    pub n_iter: usize,
+    /// Per-phase breakdown (per-epoch totals).
+    pub phases: PhaseBreakdown,
+}
+
+impl Perf {
+    /// Speedup of `self` relative to `baseline` (>1 means faster).
+    ///
+    /// Returns infinity if `self` took zero time.
+    pub fn speedup_vs(&self, baseline: &Perf) -> f64 {
+        let own = self.epoch_time.as_secs();
+        if own == 0.0 {
+            f64::INFINITY
+        } else {
+            baseline.epoch_time.as_secs() / own
+        }
+    }
+
+    /// Relative memory change vs `baseline`: positive = more memory,
+    /// negative = savings (the ±% column of the paper's Tab. 1).
+    pub fn mem_delta_vs(&self, baseline: &Perf) -> f64 {
+        if baseline.peak_mem_bytes == 0 {
+            0.0
+        } else {
+            self.peak_mem_bytes as f64 / baseline.peak_mem_bytes as f64 - 1.0
+        }
+    }
+
+    /// Peak memory in megabytes.
+    pub fn peak_mem_mb(&self) -> f64 {
+        self.peak_mem_bytes as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(secs: f64, mem: usize) -> Perf {
+        Perf {
+            epoch_time: SimTime::from_secs(secs),
+            peak_mem_bytes: mem,
+            accuracy: 0.9,
+            hit_rate: 0.5,
+            avg_batch_nodes: 100.0,
+            avg_batch_edges: 400.0,
+            n_iter: 10,
+            phases: PhaseBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_and_mem_delta() {
+        let base = perf(2.0, 1000);
+        let fast = perf(1.0, 1300);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.mem_delta_vs(&base) - 0.3).abs() < 1e-12);
+        let lean = perf(2.0, 700);
+        assert!((lean.mem_delta_vs(&base) + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_total_sums() {
+        let p = PhaseBreakdown {
+            sample: SimTime::from_secs(1.0),
+            transfer: SimTime::from_secs(2.0),
+            replace: SimTime::from_secs(0.5),
+            compute: SimTime::from_secs(1.5),
+        };
+        assert!((p.total().as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_mb_conversion() {
+        assert!((perf(1.0, 2_500_000).peak_mem_mb() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Configuration templates reproducing prior systems.
+//!
+//! Fig. 3 of the paper shows that existing frameworks fall out of the
+//! reconfigurable backend as specific settings ("configuration setting
+//! templates"), and §4.1 reproduces PyG, PaGraph, and 2PGraph exactly
+//! this way. The explorer also seeds its search with these templates
+//! so generated guidelines never lose to the prior systems they knew
+//! about.
+
+use crate::config::{SamplerKind, TrainingConfig};
+use gnnav_cache::CachePolicy;
+use gnnav_hwsim::Precision;
+use gnnav_nn::ModelKind;
+
+/// Identifier of a baseline template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Template {
+    /// Vanilla PyG: node-wise `[25, 10]` sampling, no cache, no
+    /// host/device pipelining. (Batch sizes are scaled with the
+    /// 1:10-scale dataset stand-ins so that `|V_i|/|V|` stays in the
+    /// regime the original systems were measured in.)
+    Pyg,
+    /// PaGraph with ample memory (Pa-Full): static degree-ordered
+    /// cache at `r = 0.5`, pipelined.
+    PaGraphFull,
+    /// PaGraph under memory pressure (Pa-Low): same design, cache
+    /// squeezed to `r = 0.05`.
+    PaGraphLow,
+    /// 2PGraph: locality-aware (cache-biased) sampling `η = 0.75`
+    /// over a modest static cache, pipelined.
+    TwoPGraph,
+}
+
+impl Template {
+    /// All templates in the order the paper's tables list them.
+    pub const ALL: [Template; 4] =
+        [Template::Pyg, Template::PaGraphFull, Template::PaGraphLow, Template::TwoPGraph];
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Template::Pyg => "PyG",
+            Template::PaGraphFull => "Pa-Full",
+            Template::PaGraphLow => "Pa-Low",
+            Template::TwoPGraph => "2P",
+        }
+    }
+
+    /// Instantiates the template for a given model architecture.
+    pub fn config(self, model: ModelKind) -> TrainingConfig {
+        let base = TrainingConfig {
+            sampler: SamplerKind::NodeWise,
+            fanouts: vec![25, 10],
+            locality_eta: 0.0,
+            batch_size: 256,
+            cache_ratio: 0.0,
+            cache_policy: CachePolicy::None,
+            cache_update: false,
+            pipelined: false,
+            precision: Precision::Fp32,
+            model,
+            hidden_dim: 64,
+            dropout: 0.0,
+        };
+        match self {
+            Template::Pyg => base,
+            Template::PaGraphFull => TrainingConfig {
+                cache_ratio: 0.5,
+                cache_policy: CachePolicy::StaticDegree,
+                pipelined: true,
+                ..base
+            },
+            Template::PaGraphLow => TrainingConfig {
+                cache_ratio: 0.05,
+                cache_policy: CachePolicy::StaticDegree,
+                pipelined: true,
+                ..base
+            },
+            Template::TwoPGraph => TrainingConfig {
+                cache_ratio: 0.15,
+                cache_policy: CachePolicy::StaticDegree,
+                locality_eta: 0.75,
+                pipelined: true,
+                ..base
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Template {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_validate() {
+        for t in Template::ALL {
+            let c = t.config(ModelKind::Sage);
+            c.validate().unwrap_or_else(|e| panic!("{t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn pyg_has_no_cache_or_pipeline() {
+        let c = Template::Pyg.config(ModelKind::Gcn);
+        assert_eq!(c.cache_policy, CachePolicy::None);
+        assert_eq!(c.cache_ratio, 0.0);
+        assert!(!c.pipelined);
+        assert_eq!(c.locality_eta, 0.0);
+    }
+
+    #[test]
+    fn pagraph_variants_differ_only_in_cache_ratio() {
+        let full = Template::PaGraphFull.config(ModelKind::Sage);
+        let low = Template::PaGraphLow.config(ModelKind::Sage);
+        assert!(full.cache_ratio > low.cache_ratio);
+        assert_eq!(full.cache_policy, low.cache_policy);
+        assert_eq!(full.pipelined, low.pipelined);
+    }
+
+    #[test]
+    fn two_pgraph_is_biased() {
+        let c = Template::TwoPGraph.config(ModelKind::Sage);
+        assert!(c.locality_eta > 0.5);
+        assert_eq!(c.cache_policy, CachePolicy::StaticDegree);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Template::Pyg.to_string(), "PyG");
+        assert_eq!(Template::PaGraphFull.label(), "Pa-Full");
+        assert_eq!(Template::TwoPGraph.label(), "2P");
+    }
+
+    #[test]
+    fn model_is_threaded_through() {
+        assert_eq!(Template::Pyg.config(ModelKind::Gat).model, ModelKind::Gat);
+    }
+}

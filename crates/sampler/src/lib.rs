@@ -1,0 +1,37 @@
+//! Unified mini-batch sampling for the GNNavigator reproduction.
+//!
+//! The paper abstracts every sampling strategy (Eq. 2) as iterative
+//! neighbor fanout at a configurable probability `p(η)`:
+//!
+//! - [`NodeWiseSampler`] — GraphSAGE-style fanout sampling.
+//! - [`LayerWiseSampler`] — FastGCN-style fixed per-layer budgets
+//!   (Eq. 3 maps budgets back to expected fanouts).
+//! - [`SubgraphWiseSampler`] — GraphSAINT-style random walks ("many
+//!   hops, fanout 1").
+//! - [`LocalityBias`] — the biased `p(η)` of cache-aware samplers
+//!   (2PGraph).
+//!
+//! # Example
+//!
+//! ```
+//! use gnnav_sampler::{LocalityBias, NodeWiseSampler, Sampler};
+//! use gnnav_graph::generators::barabasi_albert;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), gnnav_graph::GraphError> {
+//! let g = barabasi_albert(200, 3, 1)?;
+//! let sampler = NodeWiseSampler::new(vec![5, 5], LocalityBias::none(g.num_nodes()));
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let batch = sampler.sample(&g, &[0, 1, 2, 3], &mut rng)?;
+//! assert!(batch.num_nodes() >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod locality;
+pub mod minibatch;
+pub mod samplers;
+
+pub use locality::{LocalityBias, HOT_WEIGHT_MAX};
+pub use minibatch::{batch_targets, MiniBatch};
+pub use samplers::{LayerWiseSampler, NodeWiseSampler, Sampler, SubgraphWiseSampler};

@@ -1,0 +1,44 @@
+//! Machine-readable result export (CSV + JSON lines).
+//!
+//! ```sh
+//! cargo run --release --example export_results
+//! ```
+//!
+//! Runs the four baseline templates and writes their measured
+//! performance to `target/experiment-outputs/templates.csv` and
+//! `.jsonl` — the format downstream plotting or regression-tracking
+//! tooling consumes.
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{
+    write_perf_csv, write_perf_jsonl, ExecutionOptions, RuntimeBackend,
+};
+use gnnavigator::Template;
+use std::fs::{self, File};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1)?;
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs: 2, ..Default::default() };
+
+    let mut rows = Vec::new();
+    for template in Template::ALL {
+        let config = template.config(ModelKind::Sage);
+        let report = backend.execute(&dataset, &config, &opts)?;
+        rows.push((template.label().to_string(), config, report.perf));
+    }
+
+    let dir = std::path::Path::new("target/experiment-outputs");
+    fs::create_dir_all(dir)?;
+    let csv_path = dir.join("templates.csv");
+    let jsonl_path = dir.join("templates.jsonl");
+    write_perf_csv(File::create(&csv_path)?, &rows)?;
+    write_perf_jsonl(File::create(&jsonl_path)?, &rows)?;
+    println!("wrote {} and {}", csv_path.display(), jsonl_path.display());
+    for line in fs::read_to_string(&csv_path)?.lines().take(3) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Baseline reproduction: PyG, PaGraph, and 2PGraph as backend
+//! templates.
+//!
+//! ```sh
+//! cargo run --release --example reproduce_baselines
+//! ```
+//!
+//! The paper's §3.2 claim is that existing training systems fall out
+//! of the reconfigurable backend as configuration templates. This
+//! example runs all four templates on two datasets and prints the
+//! trade-offs each system makes (the phenomenon of the paper's
+//! Fig. 1).
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{ExecutionOptions, RuntimeBackend};
+use gnnavigator::Template;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs: 2, ..Default::default() };
+
+    for id in [DatasetId::Reddit2, DatasetId::OgbnProducts] {
+        let dataset = Dataset::load_scaled(id, 0.2)?;
+        println!("## {} + SAGE ({} nodes)\n", id.full_name(), dataset.num_nodes());
+        println!(
+            "{:<8} {:>12} {:>10} {:>9} {:>6}  phase split (sample/transfer/replace/compute)",
+            "system", "time/epoch", "memory", "accuracy", "hit"
+        );
+        let mut pyg_perf = None;
+        for template in Template::ALL {
+            let config = template.config(ModelKind::Sage);
+            let report = backend.execute(&dataset, &config, &opts)?;
+            let p = report.perf;
+            if template == Template::Pyg {
+                pyg_perf = Some(p);
+            }
+            println!(
+                "{:<8} {:>12} {:>8.1}MB {:>8.1}% {:>6.2}  {} / {} / {} / {}",
+                template.label(),
+                p.epoch_time.to_string(),
+                p.peak_mem_mb(),
+                p.accuracy * 100.0,
+                p.hit_rate,
+                p.phases.sample,
+                p.phases.transfer,
+                p.phases.replace,
+                p.phases.compute,
+            );
+        }
+        if let Some(pyg) = pyg_perf {
+            println!("\ntrade-offs vs PyG:");
+            for template in &Template::ALL[1..] {
+                let report = backend.execute(&dataset, &template.config(ModelKind::Sage), &opts)?;
+                println!(
+                    "  {:<8} {:.2}x speedup at {:+.1}% memory, {:+.2}% accuracy",
+                    template.label(),
+                    report.perf.speedup_vs(&pyg),
+                    report.perf.mem_delta_vs(&pyg) * 100.0,
+                    (report.perf.accuracy - pyg.accuracy) * 100.0
+                );
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

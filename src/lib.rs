@@ -1,0 +1,8 @@
+//! Umbrella crate for the GNNavigator workspace.
+//!
+//! This root package exists to host the repository-level `examples/`
+//! and cross-crate integration `tests/`; it re-exports the
+//! [`gnnavigator`] facade so examples read naturally. Depend on the
+//! `gnnavigator` crate directly in real projects.
+
+pub use gnnavigator::*;

@@ -1,0 +1,101 @@
+//! Cross-crate integration: the baseline templates show the trade-off
+//! structure the paper's Fig. 1 and Tab. 1 report.
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{ExecutionOptions, Perf, RuntimeBackend};
+use gnnavigator::Template;
+
+/// Executes a template at a scale where cache locality is meaningful.
+fn run(template: Template, epochs: usize) -> Perf {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs, train: false, ..ExecutionOptions::timing_only() };
+    backend
+        .execute(&dataset, &template.config(ModelKind::Sage), &opts)
+        .expect("run")
+        .perf
+}
+
+#[test]
+fn pagraph_full_is_faster_than_pyg_but_uses_more_memory() {
+    let pyg = run(Template::Pyg, 1);
+    let pa = run(Template::PaGraphFull, 1);
+    assert!(
+        pa.epoch_time < pyg.epoch_time,
+        "Pa-Full {} should beat PyG {}",
+        pa.epoch_time,
+        pyg.epoch_time
+    );
+    assert!(
+        pa.peak_mem_bytes > pyg.peak_mem_bytes,
+        "PaGraph's speedup costs memory (paper Fig. 1a)"
+    );
+    assert!(pa.hit_rate > 0.3, "static cache must actually hit: {}", pa.hit_rate);
+}
+
+#[test]
+fn pagraph_low_sits_between_pyg_and_pagraph_full() {
+    let pyg = run(Template::Pyg, 1);
+    let low = run(Template::PaGraphLow, 1);
+    let full = run(Template::PaGraphFull, 1);
+    assert!(low.epoch_time < pyg.epoch_time, "Pa-Low still beats PyG");
+    assert!(full.epoch_time < low.epoch_time, "more cache, more speedup");
+    assert!(low.hit_rate < full.hit_rate);
+}
+
+#[test]
+fn two_pgraph_shrinks_batches_via_biased_sampling() {
+    let pyg = run(Template::Pyg, 1);
+    let two_p = run(Template::TwoPGraph, 1);
+    assert!(
+        two_p.avg_batch_nodes < pyg.avg_batch_nodes,
+        "cache-aware sampling prunes cold neighbors: {} vs {}",
+        two_p.avg_batch_nodes,
+        pyg.avg_batch_nodes
+    );
+    assert!(two_p.epoch_time < pyg.epoch_time);
+}
+
+#[test]
+fn two_pgraph_accuracy_cost_shows_up_with_training() {
+    // With actual training, locality-biased target scheduling must
+    // not *improve* accuracy; over a few epochs it costs some.
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.08).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs: 2, ..Default::default() };
+    let pyg = backend
+        .execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts)
+        .expect("run")
+        .perf;
+    let two_p = backend
+        .execute(&dataset, &Template::TwoPGraph.config(ModelKind::Sage), &opts)
+        .expect("run")
+        .perf;
+    assert!(
+        two_p.accuracy <= pyg.accuracy + 0.03,
+        "2P accuracy {} should not exceed PyG {} by more than noise",
+        two_p.accuracy,
+        pyg.accuracy
+    );
+}
+
+#[test]
+fn phase_decomposition_sums_to_serial_time() {
+    // For an unpipelined run, epoch time equals the four-phase total.
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions::timing_only();
+    let perf = backend
+        .execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts)
+        .expect("run")
+        .perf;
+    let total = perf.phases.total().as_secs();
+    assert!(
+        (total - perf.epoch_time.as_secs()).abs() < 1e-9 * total.max(1.0),
+        "serial epoch time {} != phase sum {}",
+        perf.epoch_time.as_secs(),
+        total
+    );
+}

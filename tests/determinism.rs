@@ -1,0 +1,58 @@
+//! Cross-crate integration: the whole pipeline is deterministic given
+//! its seeds — a requirement for reproducible evaluation tables.
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{ExecutionOptions, RuntimeBackend, TrainingConfig};
+use gnnavigator::{Navigator, NavigatorOptions, Priority, RuntimeConstraints};
+
+#[test]
+fn dataset_generation_is_reproducible() {
+    let a = Dataset::load_scaled(DatasetId::OgbnArxiv, 0.02).expect("load");
+    let b = Dataset::load_scaled(DatasetId::OgbnArxiv, 0.02).expect("load");
+    assert_eq!(a.graph(), b.graph());
+    assert_eq!(a.features(), b.features());
+}
+
+#[test]
+fn backend_execution_is_reproducible() {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let config = TrainingConfig { batch_size: 64, hidden_dim: 16, ..Default::default() };
+    let opts = ExecutionOptions { epochs: 1, train_batches_cap: Some(2), ..Default::default() };
+    let a = backend.execute(&dataset, &config, &opts).expect("run");
+    let b = backend.execute(&dataset, &config, &opts).expect("run");
+    assert_eq!(a.perf.epoch_time, b.perf.epoch_time);
+    assert_eq!(a.perf.peak_mem_bytes, b.perf.peak_mem_bytes);
+    assert_eq!(a.perf.accuracy, b.perf.accuracy);
+    assert_eq!(a.loss_history, b.loss_history);
+}
+
+#[test]
+fn guideline_generation_is_reproducible() {
+    let make = || {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let options = NavigatorOptions {
+            profile_samples: 12,
+            augmentation_graphs: 0,
+            explore_budget: 100,
+            profile_exec: ExecutionOptions {
+                epochs: 1,
+                train: true,
+                train_batches_cap: Some(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut nav = Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage)
+            .with_options(options);
+        nav.prepare().expect("prepare");
+        nav.generate_guideline(Priority::Balance, &RuntimeConstraints::none())
+            .expect("explore")
+            .guideline
+            .config
+            .summary()
+    };
+    assert_eq!(make(), make());
+}

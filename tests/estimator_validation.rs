@@ -1,0 +1,95 @@
+//! Cross-crate integration: estimator quality floors under the
+//! paper's leave-one-dataset-out protocol (Tab. 2's structure).
+
+use gnnavigator::estimator::{GrayBoxEstimator, ProfileDb, Profiler};
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{DesignSpace, ExecutionOptions, RuntimeBackend};
+
+fn build_db() -> ProfileDb {
+    let profiler = Profiler::new(
+        RuntimeBackend::new(Platform::default_rtx4090()),
+        ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(2),
+            ..Default::default()
+        },
+    );
+    let mut db = ProfileDb::new();
+    for (i, id) in [DatasetId::Reddit2, DatasetId::OgbnArxiv, DatasetId::OgbnProducts]
+        .iter()
+        .enumerate()
+    {
+        let dataset = Dataset::load_scaled(*id, 0.05).expect("load");
+        let configs: Vec<_> = DesignSpace::standard()
+            .sample(20, ModelKind::Sage, 31 + i as u64)
+            .into_iter()
+            .map(|mut c| {
+                c.batch_size = c.batch_size.min(128);
+                c.hidden_dim = 16;
+                c
+            })
+            .collect();
+        db.merge(profiler.profile(&dataset, &configs).expect("profile"));
+    }
+    db
+}
+
+#[test]
+fn leave_one_out_metrics_above_floor() {
+    let db = build_db();
+    for held_out in [DatasetId::Reddit2, DatasetId::OgbnProducts] {
+        let (_, report) =
+            GrayBoxEstimator::leave_one_dataset_out(&db, held_out).expect("loo fit");
+        assert!(
+            report.r2_memory > 0.5,
+            "{held_out:?}: memory r2 {} below floor",
+            report.r2_memory
+        );
+        assert!(
+            report.r2_time > 0.0,
+            "{held_out:?}: time r2 {} below floor",
+            report.r2_time
+        );
+        assert!(
+            report.mse_accuracy < 0.15,
+            "{held_out:?}: accuracy mse {} above ceiling",
+            report.mse_accuracy
+        );
+    }
+}
+
+#[test]
+fn estimator_orders_cache_vs_no_cache_correctly() {
+    // Qualitative fidelity: the estimator must know that adding a
+    // static cache reduces predicted epoch time and raises memory.
+    use gnnavigator::cache::CachePolicy;
+    use gnnavigator::estimator::Context;
+    use gnnavigator::TrainingConfig;
+
+    let db = build_db();
+    let mut est = GrayBoxEstimator::new();
+    est.fit(&db).expect("fit");
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05).expect("load");
+    let platform = Platform::default_rtx4090();
+
+    let no_cache = TrainingConfig {
+        cache_ratio: 0.0,
+        cache_policy: CachePolicy::None,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let cached = TrainingConfig {
+        cache_ratio: 0.5,
+        cache_policy: CachePolicy::StaticDegree,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let p0 = est.predict(&Context::new(&dataset, &platform, no_cache));
+    let p1 = est.predict(&Context::new(&dataset, &platform, cached));
+    assert!(p1.hit_rate > p0.hit_rate, "cache raises predicted hit rate");
+    assert!(p1.time_s < p0.time_s, "cache reduces predicted epoch time");
+    assert!(p1.mem_bytes > p0.mem_bytes, "cache costs predicted memory");
+}

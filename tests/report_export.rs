@@ -1,0 +1,57 @@
+//! Cross-crate integration: exporting measured results.
+
+use gnnavigator::graph::{Dataset, DatasetId};
+use gnnavigator::hwsim::Platform;
+use gnnavigator::nn::ModelKind;
+use gnnavigator::runtime::{
+    write_perf_csv, write_perf_jsonl, ExecutionOptions, RuntimeBackend, PERF_CSV_HEADER,
+};
+use gnnavigator::Template;
+
+fn measured_rows() -> Vec<(String, gnnavigator::TrainingConfig, gnnavigator::runtime::Perf)> {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions::timing_only();
+    Template::ALL
+        .iter()
+        .map(|t| {
+            let config = t.config(ModelKind::Sage);
+            let perf = backend.execute(&dataset, &config, &opts).expect("run").perf;
+            (t.label().to_string(), config, perf)
+        })
+        .collect()
+}
+
+#[test]
+fn csv_export_roundtrips_header_and_rows() {
+    let rows = measured_rows();
+    let mut buf = Vec::new();
+    write_perf_csv(&mut buf, &rows).expect("write");
+    let text = String::from_utf8(buf).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1 + rows.len());
+    assert_eq!(lines[0], PERF_CSV_HEADER);
+    assert!(lines[1].starts_with("PyG,"));
+    // Measured values survive the formatting with full precision.
+    let epoch_time: f64 = lines[1]
+        .split(',')
+        .nth(1)
+        .expect("time column")
+        .parse()
+        .expect("numeric");
+    assert!((epoch_time - rows[0].2.epoch_time.as_secs()).abs() < 1e-9);
+}
+
+#[test]
+fn jsonl_export_is_parseable_shape() {
+    let rows = measured_rows();
+    let mut buf = Vec::new();
+    write_perf_jsonl(&mut buf, &rows).expect("write");
+    let text = String::from_utf8(buf).expect("utf8");
+    assert_eq!(text.lines().count(), rows.len());
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        // Balanced quotes (no broken escaping).
+        assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+    }
+}
