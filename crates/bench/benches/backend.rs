@@ -15,14 +15,10 @@ fn bench_templates(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_templates");
     group.sample_size(10);
     for template in Template::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(template),
-            &template,
-            |b, &template| {
-                let config = template.config(ModelKind::Sage);
-                b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(template), &template, |b, &template| {
+            let config = template.config(ModelKind::Sage);
+            b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+        });
     }
     group.finish();
 }
@@ -64,10 +60,5 @@ fn bench_training_step_included(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_templates,
-    bench_pipelining_ablation,
-    bench_training_step_included
-);
+criterion_group!(benches, bench_templates, bench_pipelining_ablation, bench_training_step_included);
 criterion_main!(benches);

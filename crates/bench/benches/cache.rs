@@ -29,22 +29,18 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_policies");
     group.sample_size(20);
     for policy in CachePolicy::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut cache = build_cache(policy, 10_000, &g);
-                    let mut hits = 0usize;
-                    for batch in &batches {
-                        let out = cache.lookup(batch);
-                        hits += out.hits.len();
-                        cache.update(&out.misses);
-                    }
-                    hits
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut cache = build_cache(policy, 10_000, &g);
+                let mut hits = 0usize;
+                for batch in &batches {
+                    let out = cache.lookup(batch);
+                    hits += out.hits.len();
+                    cache.update(&out.misses);
+                }
+                hits
+            });
+        });
     }
     group.finish();
 }
@@ -56,20 +52,16 @@ fn bench_static_cache_ratio_ablation(c: &mut Criterion) {
     group.sample_size(20);
     for ratio in [5usize, 20, 50] {
         let entries = g.num_nodes() * ratio / 100;
-        group.bench_with_input(
-            BenchmarkId::new("ratio_pct", ratio),
-            &entries,
-            |b, &entries| {
-                b.iter(|| {
-                    let mut cache = build_cache(CachePolicy::StaticDegree, entries, &g);
-                    let mut hits = 0usize;
-                    for batch in &batches {
-                        hits += cache.lookup(batch).hits.len();
-                    }
-                    hits
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ratio_pct", ratio), &entries, |b, &entries| {
+            b.iter(|| {
+                let mut cache = build_cache(CachePolicy::StaticDegree, entries, &g);
+                let mut hits = 0usize;
+                for batch in &batches {
+                    hits += cache.lookup(batch).hits.len();
+                }
+                hits
+            });
+        });
     }
     group.finish();
 }

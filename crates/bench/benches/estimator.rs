@@ -40,11 +40,7 @@ fn bench_fit_and_predict(c: &mut Criterion) {
     });
     let mut est = GrayBoxEstimator::new();
     est.fit(&db).expect("fit");
-    let ctx = Context::new(
-        &dataset,
-        &Platform::default_rtx4090(),
-        TrainingConfig::default(),
-    );
+    let ctx = Context::new(&dataset, &Platform::default_rtx4090(), TrainingConfig::default());
     group.bench_function("predict_one_candidate", |b| {
         b.iter(|| est.predict(&ctx));
     });

@@ -49,9 +49,8 @@ fn bench_dfs_budgets(c: &mut Criterion) {
 
 fn bench_pareto_and_decision(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
-    let points: Vec<[f64; 3]> = (0..2000)
-        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), -rng.gen::<f64>()])
-        .collect();
+    let points: Vec<[f64; 3]> =
+        (0..2000).map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), -rng.gen::<f64>()]).collect();
     let mut group = c.benchmark_group("pareto");
     group.sample_size(20);
     group.bench_function("front_2000_points", |b| {
@@ -86,14 +85,7 @@ fn bench_search_strategy_ablation(c: &mut Criterion) {
     group.bench_function("dfs_600", |b| {
         let dfs = DfsExplorer::new(DesignSpace::standard(), 600, 3);
         b.iter(|| {
-            dfs.run(
-                &est,
-                &dataset,
-                &platform,
-                ModelKind::Sage,
-                &RuntimeConstraints::none(),
-                &[],
-            )
+            dfs.run(&est, &dataset, &platform, ModelKind::Sage, &RuntimeConstraints::none(), &[])
         });
     });
     group.bench_function("evolution_600", |b| {

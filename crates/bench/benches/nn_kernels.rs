@@ -30,17 +30,11 @@ fn bench_train_step_per_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
     group.sample_size(10);
     for kind in ModelKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &kind,
-            |bench, &kind| {
-                let mut model = GnnModel::new(kind, feat_dim, 32, classes, 2, 5);
-                let mut opt = Adam::new(0.01);
-                bench.iter(|| {
-                    train::train_step(&mut model, &mut opt, &g, &x, &labels, &targets)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |bench, &kind| {
+            let mut model = GnnModel::new(kind, feat_dim, 32, classes, 2, 5);
+            let mut opt = Adam::new(0.01);
+            bench.iter(|| train::train_step(&mut model, &mut opt, &g, &x, &labels, &targets));
+        });
     }
     group.finish();
 }

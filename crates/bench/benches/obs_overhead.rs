@@ -1,0 +1,51 @@
+//! Overhead of the gnnav-obs instrumentation compiled into
+//! `RuntimeBackend::execute`.
+//!
+//! The disabled registry must be near-free (one relaxed atomic load
+//! per instrumented site): the `disabled` and `enabled` groups time
+//! the identical workload with the global registry off and on, and the
+//! `registry_primitives` group pins the per-call cost of the disabled
+//! recording paths themselves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_runtime::{ExecutionOptions, RuntimeBackend, TrainingConfig};
+
+fn bench_execute_disabled_vs_enabled(c: &mut Criterion) {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions::timing_only();
+    let config = TrainingConfig::default();
+    let mut group = c.benchmark_group("obs_overhead_execute");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        gnnav_obs::global().enable(false);
+        b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+    });
+    group.bench_function("enabled", |b| {
+        gnnav_obs::global().enable(true);
+        b.iter(|| backend.execute(&dataset, &config, &opts).expect("run"));
+        gnnav_obs::global().enable(false);
+        gnnav_obs::global().reset();
+    });
+    group.finish();
+}
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    let registry = gnnav_obs::Registry::new();
+    let mut group = c.benchmark_group("obs_registry_primitives");
+    group.bench_function("disabled_counter_add", |b| {
+        b.iter(|| registry.add(black_box("bench.counter"), black_box(1)));
+    });
+    group.bench_function("disabled_gauge_set", |b| {
+        b.iter(|| registry.gauge_set(black_box("bench.gauge"), black_box(1.5)));
+    });
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| drop(registry.span(black_box("bench.span"))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute_disabled_vs_enabled, bench_registry_primitives);
+criterion_main!(benches);

@@ -61,10 +61,7 @@ fn bench_locality_bias_overhead(c: &mut Criterion) {
         b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
     });
     group.bench_function("biased_eta_075", |b| {
-        let s = NodeWiseSampler::new(
-            vec![10, 10],
-            LocalityBias::new(g.num_nodes(), &hot, 0.75),
-        );
+        let s = NodeWiseSampler::new(vec![10, 10], LocalityBias::new(g.num_nodes(), &hot, 0.75));
         let mut rng = StdRng::seed_from_u64(9);
         b.iter(|| s.sample(&g, &targets, &mut rng).expect("sample"));
     });

@@ -74,18 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     for pipelined in [false, true] {
-        push(
-            "pipelined",
-            pipelined.to_string(),
-            TrainingConfig { pipelined, ..base.clone() },
-        );
+        push("pipelined", pipelined.to_string(), TrainingConfig { pipelined, ..base.clone() });
     }
     for precision in [gnnav_hwsim::Precision::Fp32, gnnav_hwsim::Precision::Fp16] {
-        push(
-            "precision",
-            precision.to_string(),
-            TrainingConfig { precision, ..base.clone() },
-        );
+        push("precision", precision.to_string(), TrainingConfig { precision, ..base.clone() });
     }
     for dropout in [0.0, 0.2, 0.5] {
         push("dropout", format!("{dropout:.1}"), TrainingConfig { dropout, ..base.clone() });

@@ -11,7 +11,9 @@
 //! Run with `cargo run --release -p gnnav-bench --bin fig1`.
 //! `GNNAV_SCALE` (default 0.5) and `GNNAV_EPOCHS` (default 3).
 
-use gnnav_bench::{env_epochs, env_scale, fmt_mem, fmt_pct, fmt_speedup, fmt_time, print_table, template_config};
+use gnnav_bench::{
+    env_epochs, env_scale, fmt_mem, fmt_pct, fmt_speedup, fmt_time, print_table, template_config,
+};
 use gnnav_cache::CachePolicy;
 use gnnav_graph::{Dataset, DatasetId};
 use gnnav_hwsim::Platform;
@@ -50,10 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("## (a) PaGraph speedup vs. extra memory (cache-ratio sweep)");
-    print_table(
-        &["cache r", "Time", "speedup", "Memory", "mem vs PyG", "hit"],
-        &rows,
-    );
+    print_table(&["cache r", "Time", "speedup", "Memory", "mem vs PyG", "hit"], &rows);
 
     // --- Fig. 1b: 2PGraph epoch time and accuracy vs PaGraph. ---
     // Apples-to-apples: PaGraph is given the *same* cache budget as
@@ -100,10 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("\n## (b) 2PGraph epoch time / accuracy trade-off vs. PaGraph (same cache budget, acc averaged over {SEEDS} seeds)");
-    print_table(
-        &["Method", "Time", "vs PaGraph", "Accuracy", "dAcc"],
-        &rows,
-    );
+    print_table(&["Method", "Time", "vs PaGraph", "Accuracy", "dAcc"], &rows);
     println!("\n(paper: 2PGraph 2.45x over PaGraph at ~3% accuracy cost)");
     Ok(())
 }

@@ -38,9 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit on every dataset except the held-out Reddit2, plus
     // power-law augmentation (the estimator's leave-one-out protocol).
     let mut train = ProfileDb::new();
-    for (i, id) in [DatasetId::OgbnArxiv, DatasetId::OgbnProducts, DatasetId::Reddit]
-        .iter()
-        .enumerate()
+    for (i, id) in
+        [DatasetId::OgbnArxiv, DatasetId::OgbnProducts, DatasetId::Reddit].iter().enumerate()
     {
         let d = Dataset::load_scaled(*id, scale)?;
         let cfgs: Vec<_> = DesignSpace::standard()
@@ -50,11 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         train.merge(profiler.profile(&d, &cfgs)?);
     }
-    let aug_cfgs: Vec<_> = DesignSpace::standard()
-        .sample(12, ModelKind::Sage, 404)
-        .into_iter()
-        .map(shrink)
-        .collect();
+    let aug_cfgs: Vec<_> =
+        DesignSpace::standard().sample(12, ModelKind::Sage, 404).into_iter().map(shrink).collect();
     train.merge(profiler.profile_augmentation(2, 3000, &aug_cfgs, 77)?);
 
     // Test configurations span the FULL design space (batch sizes the

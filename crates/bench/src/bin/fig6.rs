@@ -40,18 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let started = std::time::Instant::now();
     let db: ProfileDb = profiler.profile(&dataset, &configs)?;
-    eprintln!(
-        "executed {} candidates in {:.0}s",
-        db.len(),
-        started.elapsed().as_secs_f64()
-    );
+    eprintln!("executed {} candidates in {:.0}s", db.len(), started.elapsed().as_secs_f64());
 
     // Ground-truth Pareto front over (T, Γ, −Acc).
-    let points: Vec<[f64; 3]> = db
-        .records()
-        .iter()
-        .map(|r| [r.epoch_time_s, r.mem_bytes, -r.accuracy])
-        .collect();
+    let points: Vec<[f64; 3]> =
+        db.records().iter().map(|r| [r.epoch_time_s, r.mem_bytes, -r.accuracy]).collect();
     let front = pareto_front_indices(&points);
     let on_front = |i: usize| front.contains(&i);
 

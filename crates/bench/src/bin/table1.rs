@@ -10,7 +10,10 @@
 //! `GNNAV_SCALE` (default 0.5) and `GNNAV_EPOCHS` (default 3) shrink
 //! the experiment for smoke runs.
 
-use gnnav_bench::{env_epochs, env_scale, fmt_mem, fmt_mem_delta, fmt_pct, fmt_speedup, fmt_time, print_table, scaled_space, template_config};
+use gnnav_bench::{
+    env_epochs, env_scale, fmt_mem, fmt_mem_delta, fmt_pct, fmt_speedup, fmt_time, print_table,
+    scaled_space, template_config,
+};
 use gnnav_graph::{Dataset, DatasetId};
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
@@ -47,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             space: scaled_space(scale),
             ..Default::default()
         };
-        let mut nav = Navigator::new(dataset, Platform::default_rtx4090(), model)
-            .with_options(options);
+        let mut nav =
+            Navigator::new(dataset, Platform::default_rtx4090(), model).with_options(options);
 
         // Baselines (reproduced on the same backend, §4.1).
         let mut rows: Vec<Vec<String>> = Vec::new();

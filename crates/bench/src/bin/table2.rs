@@ -20,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = env_scale(0.2);
     let samples = 60usize;
     // The paper validates on Reddit, Reddit2, and Ogbn-products.
-    let validation_targets =
-        [DatasetId::Reddit, DatasetId::Reddit2, DatasetId::OgbnProducts];
+    let validation_targets = [DatasetId::Reddit, DatasetId::Reddit2, DatasetId::OgbnProducts];
     // All benchmark datasets contribute profiles.
     let profile_sources = DatasetId::ALL;
 
@@ -69,10 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(r2_t);
     rows.push(r2_m);
     rows.push(mse_a);
-    print_table(
-        &["Validation", "Performance Metric", "Reddit", "Reddit2", "Ogbn-products"],
-        &rows,
-    );
+    print_table(&["Validation", "Performance Metric", "Reddit", "Reddit2", "Ogbn-products"], &rows);
     println!("\n(paper: R2 of T 0.73-0.84, R2 of G 0.73-0.98, MSE of Acc 0.016-0.029)");
     Ok(())
 }

@@ -574,9 +574,7 @@ impl Cache for LfuCache {
     }
 
     fn resident(&self) -> Vec<NodeId> {
-        (0..self.resident.len() as u32)
-            .filter(|&v| self.resident[v as usize])
-            .collect()
+        (0..self.resident.len() as u32).filter(|&v| self.resident[v as usize]).collect()
     }
 
     fn stats(&self) -> CacheStats {
@@ -595,6 +593,14 @@ mod tests {
             b.add_edge(0, v);
         }
         b.symmetrize().build().expect("build")
+    }
+
+    #[test]
+    fn hit_rate_zero_lookups_is_zero() {
+        // Fresh stats must report 0.0, not NaN, before any lookup.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let empty = LookupOutcome { hits: Vec::new(), misses: Vec::new() };
+        assert_eq!(empty.hit_rate(), 0.0);
     }
 
     #[test]

@@ -5,10 +5,7 @@ use gnnav_graph::generators::barabasi_albert;
 use proptest::prelude::*;
 
 fn access_sequence() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..200, 1..40),
-        1..25,
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..200, 1..40), 1..25)
 }
 
 proptest! {

@@ -29,6 +29,8 @@ OPTIONS:
     --max-time-ms <FLOAT>          epoch-time constraint
     --max-mem-mb <FLOAT>           device-memory constraint
     --min-acc <PERCENT>            accuracy constraint
+    --metrics-out <PATH>           write a metrics snapshot as JSON
+    --verbose                      print the metrics table and phase breakdown
     -h, --help                     print this help
 ";
 
@@ -40,6 +42,8 @@ struct Args {
     platform: Platform,
     scale: f64,
     constraints: RuntimeConstraints,
+    metrics_out: Option<std::path::PathBuf>,
+    verbose: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,12 +54,12 @@ fn parse_args() -> Result<Args, String> {
         platform: Platform::default_rtx4090(),
         scale: 0.2,
         constraints: RuntimeConstraints::none(),
+        metrics_out: None,
+        verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--dataset" => {
                 args.dataset = match value("--dataset")?.to_uppercase().as_str() {
@@ -92,9 +96,7 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--scale" => {
-                args.scale = value("--scale")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                args.scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
             }
             "--max-time-ms" => {
                 let ms: f64 = value("--max-time-ms")?
@@ -103,17 +105,19 @@ fn parse_args() -> Result<Args, String> {
                 args.constraints.max_time_s = Some(ms * 1e-3);
             }
             "--max-mem-mb" => {
-                let mb: f64 = value("--max-mem-mb")?
-                    .parse()
-                    .map_err(|e| format!("bad --max-mem-mb: {e}"))?;
+                let mb: f64 =
+                    value("--max-mem-mb")?.parse().map_err(|e| format!("bad --max-mem-mb: {e}"))?;
                 args.constraints.max_mem_bytes = Some(mb * 1e6);
             }
             "--min-acc" => {
-                let pct: f64 = value("--min-acc")?
-                    .parse()
-                    .map_err(|e| format!("bad --min-acc: {e}"))?;
+                let pct: f64 =
+                    value("--min-acc")?.parse().map_err(|e| format!("bad --min-acc: {e}"))?;
                 args.constraints.min_accuracy = Some(pct / 100.0);
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(value("--metrics-out")?.into());
+            }
+            "--verbose" => args.verbose = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -142,6 +146,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let metrics = gnnavigator::obs::global();
+    if args.metrics_out.is_some() || args.verbose {
+        metrics.enable(true);
+    }
     let dataset = Dataset::load_scaled(args.dataset, args.scale)?;
     println!(
         "dataset {} ({} nodes) | model {} | platform {} | priority {}",
@@ -179,5 +187,24 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         guided.perf.mem_delta_vs(&pyg.perf) * 100.0,
         (guided.perf.accuracy - pyg.perf.accuracy) * 100.0
     );
+
+    if args.verbose {
+        let phases = &guided.perf.phases;
+        let total = phases.total().as_secs().max(f64::MIN_POSITIVE);
+        println!("\nguideline epoch phase breakdown (simulated):");
+        for (name, d) in [
+            ("sample", phases.sample),
+            ("transfer", phases.transfer),
+            ("replace", phases.replace),
+            ("compute", phases.compute),
+        ] {
+            println!("  {name:<10} {:>12} {:>5.1}%", d.to_string(), d.as_secs() / total * 100.0);
+        }
+        println!("\nmetrics:\n{}", metrics.snapshot().to_table());
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics.snapshot().to_json())?;
+        eprintln!("metrics written to {}", path.display());
+    }
     Ok(())
 }

@@ -39,24 +39,26 @@
 
 pub mod navigator;
 
-/// Graph substrate: CSR graphs, generators, dataset stand-ins.
-pub use gnnav_graph as graph;
-/// NN substrate: tensors, GCN/SAGE/GAT, optimizers.
-pub use gnnav_nn as nn;
-/// Unified sampling abstraction.
-pub use gnnav_sampler as sampler;
-/// Heterogeneous platform simulation.
-pub use gnnav_hwsim as hwsim;
 /// Device feature-cache policies.
 pub use gnnav_cache as cache;
-/// Regression models for the estimator.
-pub use gnnav_ml as ml;
-/// Reconfigurable runtime backend.
-pub use gnnav_runtime as runtime;
 /// Gray-box performance estimator.
 pub use gnnav_estimator as estimator;
 /// Design space exploration.
 pub use gnnav_explorer as explorer;
+/// Graph substrate: CSR graphs, generators, dataset stand-ins.
+pub use gnnav_graph as graph;
+/// Heterogeneous platform simulation.
+pub use gnnav_hwsim as hwsim;
+/// Regression models for the estimator.
+pub use gnnav_ml as ml;
+/// NN substrate: tensors, GCN/SAGE/GAT, optimizers.
+pub use gnnav_nn as nn;
+/// Metrics/tracing registry with JSON snapshot export.
+pub use gnnav_obs as obs;
+/// Reconfigurable runtime backend.
+pub use gnnav_runtime as runtime;
+/// Unified sampling abstraction.
+pub use gnnav_sampler as sampler;
 
 pub use gnnav_explorer::{Guideline, Priority, RuntimeConstraints};
 pub use gnnav_runtime::{Template, TrainingConfig};

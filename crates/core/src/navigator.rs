@@ -184,13 +184,7 @@ impl Navigator {
         let estimator = self.estimator.as_ref().ok_or(NavigatorError::NotPrepared)?;
         let explorer = Explorer::new(estimator, self.options.explore_budget)
             .with_space(self.options.space.clone());
-        Ok(explorer.explore(
-            &self.dataset,
-            &self.platform,
-            self.model,
-            priority,
-            constraints,
-        )?)
+        Ok(explorer.explore(&self.dataset, &self.platform, self.model, priority, constraints)?)
     }
 
     /// Generates guidelines for every priority preset (the Bal /
@@ -203,10 +197,7 @@ impl Navigator {
         &self,
         constraints: &RuntimeConstraints,
     ) -> Result<Vec<ExplorationResult>, NavigatorError> {
-        Priority::ALL
-            .iter()
-            .map(|&p| self.generate_guideline(p, constraints))
-            .collect()
+        Priority::ALL.iter().map(|&p| self.generate_guideline(p, constraints)).collect()
     }
 
     /// Applies a guideline on the runtime backend (Step 3), returning
@@ -216,9 +207,7 @@ impl Navigator {
     ///
     /// Propagates backend failures.
     pub fn apply(&self, guideline: &Guideline) -> Result<ExecutionReport, NavigatorError> {
-        Ok(self
-            .backend
-            .execute(&self.dataset, &guideline.config, &self.options.apply_exec)?)
+        Ok(self.backend.execute(&self.dataset, &guideline.config, &self.options.apply_exec)?)
     }
 
     /// Runs a baseline template under the same execution options, for
@@ -261,8 +250,7 @@ mod tests {
             },
             ..Default::default()
         };
-        Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage)
-            .with_options(options)
+        Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage).with_options(options)
     }
 
     #[test]

@@ -44,12 +44,67 @@ fn tiny_end_to_end_run_succeeds() {
         .args(["--dataset", "RD2", "--scale", "0.01", "--priority", "bal"])
         .output()
         .expect("spawn");
-    assert!(
-        out.status.success(),
-        "stderr: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("guideline:"), "{text}");
     assert!(text.contains("speedup"), "{text}");
+}
+
+#[test]
+fn metrics_out_writes_schema_with_phase_cache_and_explorer_series() {
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("metrics.json");
+    let out = gnnavigate()
+        .args([
+            "--dataset",
+            "RD2",
+            "--scale",
+            "0.01",
+            "--priority",
+            "bal",
+            "--verbose",
+            "--metrics-out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Envelope.
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"enabled\": true"), "{json}");
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
+    // The four phase timers of the paper's Eq. 4.
+    for phase in [
+        "\"backend.phase.sample_s\"",
+        "\"backend.phase.transfer_s\"",
+        "\"backend.phase.replace_s\"",
+        "\"backend.phase.compute_s\"",
+    ] {
+        assert!(json.contains(phase), "missing {phase} in {json}");
+    }
+    // Cache hit/miss counters and explorer candidate counts.
+    assert!(json.contains("\"backend.cache.hits\""), "{json}");
+    assert!(json.contains("\"backend.cache.misses\""), "{json}");
+    assert!(json.contains("\"explorer.candidates.evaluated\""), "{json}");
+    assert!(json.contains("\"explorer.candidates.rejected\""), "{json}");
+
+    // --verbose prints the metrics table and the phase breakdown.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phase breakdown"), "{text}");
+    assert!(text.contains("backend.cache.hits"), "{text}");
+}
+
+#[test]
+fn metrics_disabled_by_default() {
+    // Without --metrics-out/--verbose, no metrics table appears.
+    let out = gnnavigate().args(["--dataset", "RD2", "--scale", "0.01"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("backend.cache.hits"), "{text}");
 }

@@ -1,0 +1,65 @@
+//! Offline subset of `crossbeam`: `crossbeam::thread::scope`.
+//!
+//! Backed by `std::thread::scope` (stable since 1.63). Matches the
+//! crossbeam calling convention the workspace uses: the closure
+//! receives a scope handle, `spawn` passes the scope to the child
+//! closure, and `scope` returns `Err` (instead of propagating the
+//! panic) when any child panicked.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope
+        /// handle (crossbeam convention) so it can spawn further work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all spawned threads before
+    /// returning. A panic in any child is captured and returned as
+    /// `Err` rather than unwinding through the caller.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_collects() {
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                }
+            })
+            .expect("no panics");
+            assert_eq!(total.into_inner(), 4);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -86,8 +86,8 @@ mod tests {
             train_batches_cap: Some(3),
             ..Default::default()
         };
-        let profiler = Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts)
-            .with_threads(4);
+        let profiler =
+            Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts).with_threads(4);
         let cfgs: Vec<_> = DesignSpace::standard()
             .sample(n, ModelKind::Sage, seed)
             .into_iter()
@@ -107,11 +107,8 @@ mod tests {
         let mut acc = AccuracyEstimator::new();
         acc.fit(&train).expect("fit");
         let truth: Vec<f64> = test.records().iter().map(|r| r.accuracy).collect();
-        let pred: Vec<f64> = test
-            .records()
-            .iter()
-            .map(|r| acc.predict(&r.context, r.avg_batch_nodes))
-            .collect();
+        let pred: Vec<f64> =
+            test.records().iter().map(|r| acc.predict(&r.context, r.avg_batch_nodes)).collect();
         let err = mse(&truth, &pred);
         // Paper Tab. 2 keeps accuracy MSE <= 0.03.
         assert!(err < 0.05, "accuracy MSE = {err}");
@@ -127,9 +124,6 @@ mod tests {
         .with_threads(2);
         let cfgs = DesignSpace::standard().sample(3, ModelKind::Sage, 4);
         let db = profiler.profile(&dataset, &cfgs).expect("profile");
-        assert!(matches!(
-            AccuracyEstimator::new().fit(&db),
-            Err(EstimatorError::EmptyProfile)
-        ));
+        assert!(matches!(AccuracyEstimator::new().fit(&db), Err(EstimatorError::EmptyProfile)));
     }
 }

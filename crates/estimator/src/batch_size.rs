@@ -68,8 +68,7 @@ impl BatchSizePredictor {
             let features = batch_size_features(&r.context);
             let target = r.avg_batch_nodes.max(1.0).ln();
             global.push_row(&features, target)?;
-            family_tables[family_index(r.context.config.sampler)]
-                .push_row(&features, target)?;
+            family_tables[family_index(r.context.config.sampler)].push_row(&features, target)?;
         }
         self.global.fit(&global)?;
         for (slot, table) in self.per_family.iter_mut().zip(&family_tables) {
@@ -94,9 +93,8 @@ impl BatchSizePredictor {
     pub fn predict(&self, ctx: &Context) -> f64 {
         assert!(self.fitted, "predictor not fitted");
         let features = batch_size_features(ctx);
-        let model = self.per_family[family_index(ctx.config.sampler)]
-            .as_ref()
-            .unwrap_or(&self.global);
+        let model =
+            self.per_family[family_index(ctx.config.sampler)].as_ref().unwrap_or(&self.global);
         let ln_vi = model.predict(&features);
         // On small graphs |B^0| may exceed |V| (the backend dedups), so
         // the lower clamp is min(|B^0|, |V|).
@@ -194,8 +192,7 @@ mod tests {
         let mut gray = BatchSizePredictor::new();
         gray.fit(&train).expect("fit");
         let truth: Vec<f64> = test.records().iter().map(|r| r.avg_batch_nodes).collect();
-        let pred: Vec<f64> =
-            test.records().iter().map(|r| gray.predict(&r.context)).collect();
+        let pred: Vec<f64> = test.records().iter().map(|r| gray.predict(&r.context)).collect();
         let r2 = r2_score(&truth, &pred);
         assert!(r2 > 0.6, "gray-box batch size r2 = {r2}");
     }

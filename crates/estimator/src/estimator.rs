@@ -9,6 +9,8 @@ use crate::time::{HitRatePredictor, TimeEstimator};
 use crate::EstimatorError;
 use gnnav_graph::DatasetId;
 use gnnav_ml::{mse, r2_score};
+use gnnav_obs::names as metric;
+use std::time::Instant;
 
 /// A predicted performance triple plus intermediate quantities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +97,8 @@ impl GrayBoxEstimator {
     ///
     /// Returns [`EstimatorError::EmptyProfile`] when `db` is empty.
     pub fn fit(&mut self, db: &ProfileDb) -> Result<(), EstimatorError> {
+        let metrics = gnnav_obs::global();
+        let fit_started = metrics.is_enabled().then(Instant::now);
         // Stacked fitting: downstream components are fitted against the
         // *upstream predictors' own outputs* (not the measured values)
         // so training matches the prediction pipeline exactly — the
@@ -118,7 +122,46 @@ impl GrayBoxEstimator {
             Err(EstimatorError::EmptyProfile) => self.accuracy = None,
             Err(e) => return Err(e),
         }
+        if let Some(started) = fit_started {
+            metrics.add(metric::ESTIMATOR_FITS, 1);
+            metrics.gauge_set(metric::ESTIMATOR_FIT_WALL, started.elapsed().as_secs_f64());
+            self.record_in_sample_mape(db);
+        }
         Ok(())
+    }
+
+    /// Publishes in-sample MAPE gauges for each fitted target. Records
+    /// whose measured value is zero are skipped (relative error is
+    /// undefined there).
+    fn record_in_sample_mape(&self, db: &ProfileDb) {
+        let metrics = gnnav_obs::global();
+        let mut time = (0.0f64, 0usize);
+        let mut mem = (0.0f64, 0usize);
+        let mut acc = (0.0f64, 0usize);
+        for r in db.records() {
+            let est = self.predict(&r.context);
+            if r.epoch_time_s > 0.0 {
+                time.0 += ((est.time_s - r.epoch_time_s) / r.epoch_time_s).abs();
+                time.1 += 1;
+            }
+            if r.mem_bytes > 0.0 {
+                mem.0 += ((est.mem_bytes - r.mem_bytes) / r.mem_bytes).abs();
+                mem.1 += 1;
+            }
+            if r.accuracy > 0.0 && self.predicts_accuracy() {
+                acc.0 += ((est.accuracy - r.accuracy) / r.accuracy).abs();
+                acc.1 += 1;
+            }
+        }
+        for (name, (sum, n)) in [
+            (metric::ESTIMATOR_MAPE_TIME, time),
+            (metric::ESTIMATOR_MAPE_MEMORY, mem),
+            (metric::ESTIMATOR_MAPE_ACCURACY, acc),
+        ] {
+            if n > 0 {
+                metrics.gauge_set(name, sum / n as f64);
+            }
+        }
     }
 
     /// Whether the accuracy component was fitted.
@@ -132,6 +175,7 @@ impl GrayBoxEstimator {
     ///
     /// Panics if the estimator is unfitted.
     pub fn predict(&self, ctx: &Context) -> PerfEstimate {
+        gnnav_obs::global().add(metric::ESTIMATOR_PREDICTIONS, 1);
         let vi = self.batch.predict(ctx);
         let hit = self.hit.predict(ctx, vi);
         let time_s = self.time.predict(ctx, vi, hit);
@@ -212,8 +256,8 @@ mod tests {
             train_batches_cap: Some(2),
             ..Default::default()
         };
-        let profiler = Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts)
-            .with_threads(4);
+        let profiler =
+            Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts).with_threads(4);
         let cfgs: Vec<_> = DesignSpace::standard()
             .sample(n, ModelKind::Sage, seed)
             .into_iter()

@@ -114,11 +114,8 @@ mod tests {
         let mut mem = MemoryEstimator::new();
         mem.fit(&train).expect("fit");
         let truth: Vec<f64> = test.records().iter().map(|r| r.mem_bytes).collect();
-        let pred: Vec<f64> = test
-            .records()
-            .iter()
-            .map(|r| mem.predict(&r.context, r.avg_batch_nodes))
-            .collect();
+        let pred: Vec<f64> =
+            test.records().iter().map(|r| mem.predict(&r.context, r.avg_batch_nodes)).collect();
         let r2 = r2_score(&truth, &pred);
         assert!(r2 > 0.9, "memory r2 = {r2}");
     }

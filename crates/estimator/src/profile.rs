@@ -8,8 +8,10 @@
 
 use crate::context::Context;
 use gnnav_graph::{Dataset, DatasetId};
+use gnnav_obs::names as metric;
 use gnnav_runtime::{ExecutionOptions, RuntimeBackend, RuntimeError, TrainingConfig};
 use parking_lot::Mutex;
+use std::time::{Duration, Instant};
 
 /// One profiled run: context plus every measured quantity.
 #[derive(Debug, Clone)]
@@ -74,11 +76,8 @@ impl ProfileDb {
     /// ("established upon the performance across all the datasets
     /// available, except the one waiting for estimation").
     pub fn leave_one_out(&self, held_out: DatasetId) -> (ProfileDb, ProfileDb) {
-        let (hold, keep): (Vec<ProfileRecord>, Vec<ProfileRecord>) = self
-            .records
-            .iter()
-            .cloned()
-            .partition(|r| r.dataset_id == held_out);
+        let (hold, keep): (Vec<ProfileRecord>, Vec<ProfileRecord>) =
+            self.records.iter().cloned().partition(|r| r.dataset_id == held_out);
         (ProfileDb { records: keep }, ProfileDb { records: hold })
     }
 
@@ -142,47 +141,74 @@ impl Profiler {
         dataset: &Dataset,
         configs: &[TrainingConfig],
     ) -> Result<ProfileDb, RuntimeError> {
-        let results: Mutex<Vec<ProfileRecord>> = Mutex::new(Vec::with_capacity(configs.len()));
+        let metrics = gnnav_obs::global();
+        let sweep_span = metrics.span(metric::PROFILER_SWEEP_WALL);
+        // Records carry the config index they came from so the final
+        // database order is independent of thread completion order —
+        // downstream fits must be deterministic for a given seed.
+        let results: Mutex<Vec<(usize, ProfileRecord)>> =
+            Mutex::new(Vec::with_capacity(configs.len()));
+        let busy: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
         let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.threads.min(configs.len().max(1));
         crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads.min(configs.len().max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= configs.len() {
-                        break;
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let started = Instant::now();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= configs.len() {
+                            break;
+                        }
+                        if let Ok(report) = self.backend.execute(dataset, &configs[i], &self.opts) {
+                            let ctx =
+                                Context::new(dataset, self.backend.platform(), configs[i].clone());
+                            let p = report.perf;
+                            let n_iter = p.n_iter.max(1) as f64;
+                            let record = ProfileRecord {
+                                dataset_id: dataset.id(),
+                                context: ctx,
+                                epoch_time_s: p.epoch_time.as_secs(),
+                                mem_bytes: p.peak_mem_bytes as f64,
+                                accuracy: p.accuracy,
+                                hit_rate: p.hit_rate,
+                                avg_batch_nodes: p.avg_batch_nodes,
+                                avg_batch_edges: p.avg_batch_edges,
+                                phase_s: [
+                                    p.phases.sample.as_secs() / n_iter,
+                                    p.phases.transfer.as_secs() / n_iter,
+                                    p.phases.replace.as_secs() / n_iter,
+                                    p.phases.compute.as_secs() / n_iter,
+                                ],
+                                n_iter,
+                            };
+                            results.lock().push((i, record));
+                        }
                     }
-                    if let Ok(report) = self.backend.execute(dataset, &configs[i], &self.opts) {
-                        let ctx = Context::new(
-                            dataset,
-                            self.backend.platform(),
-                            configs[i].clone(),
-                        );
-                        let p = report.perf;
-                        let n_iter = p.n_iter.max(1) as f64;
-                        let record = ProfileRecord {
-                            dataset_id: dataset.id(),
-                            context: ctx,
-                            epoch_time_s: p.epoch_time.as_secs(),
-                            mem_bytes: p.peak_mem_bytes as f64,
-                            accuracy: p.accuracy,
-                            hit_rate: p.hit_rate,
-                            avg_batch_nodes: p.avg_batch_nodes,
-                            avg_batch_edges: p.avg_batch_edges,
-                            phase_s: [
-                                p.phases.sample.as_secs() / n_iter,
-                                p.phases.transfer.as_secs() / n_iter,
-                                p.phases.replace.as_secs() / n_iter,
-                                p.phases.compute.as_secs() / n_iter,
-                            ],
-                            n_iter,
-                        };
-                        results.lock().push(record);
-                    }
+                    busy.lock().push(started.elapsed());
                 });
             }
         })
         .expect("profiling threads do not panic");
-        let records = results.into_inner();
+        let mut indexed = results.into_inner();
+        indexed.sort_by_key(|(i, _)| *i);
+        let records: Vec<ProfileRecord> = indexed.into_iter().map(|(_, r)| r).collect();
+
+        if metrics.is_enabled() {
+            let wall = sweep_span.elapsed().as_secs_f64();
+            metrics.add(metric::PROFILER_RECORDS, records.len() as u64);
+            metrics.add(metric::PROFILER_FAILED, (configs.len() - records.len()) as u64);
+            metrics.gauge_set(metric::PROFILER_THREADS, workers as f64);
+            if wall > 0.0 {
+                metrics.gauge_set(metric::PROFILER_RECORDS_PER_S, records.len() as f64 / wall);
+                let busy_total: f64 = busy.lock().iter().map(|d| d.as_secs_f64()).sum();
+                metrics.gauge_set(
+                    metric::PROFILER_UTILIZATION,
+                    (busy_total / (workers as f64 * wall)).clamp(0.0, 1.0),
+                );
+            }
+        }
+
         if records.is_empty() && !configs.is_empty() {
             return Err(RuntimeError::InvalidConfig(
                 "every profiled configuration failed to execute".into(),
@@ -208,13 +234,8 @@ impl Profiler {
     ) -> Result<ProfileDb, Box<dyn std::error::Error>> {
         let mut db = ProfileDb::new();
         for i in 0..count {
-            let dataset = Dataset::synthetic(
-                num_nodes,
-                3 + (i % 5),
-                64,
-                16,
-                seed.wrapping_add(i as u64),
-            )?;
+            let dataset =
+                Dataset::synthetic(num_nodes, 3 + (i % 5), 64, 16, seed.wrapping_add(i as u64))?;
             db.merge(self.profile(&dataset, configs)?);
         }
         Ok(db)
@@ -225,8 +246,8 @@ impl Profiler {
 mod tests {
     use super::*;
     use gnnav_hwsim::Platform;
-    use gnnav_runtime::DesignSpace;
     use gnnav_nn::ModelKind;
+    use gnnav_runtime::DesignSpace;
 
     fn profiler() -> Profiler {
         let opts = ExecutionOptions {
@@ -266,6 +287,33 @@ mod tests {
     }
 
     #[test]
+    fn threaded_profile_is_deterministic_and_config_ordered() {
+        // Regression: workers used to push records in completion
+        // order, so a threaded sweep shuffled the database between
+        // runs and diverged from the single-threaded result.
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(6);
+        let threaded = profiler().with_threads(4);
+        let serial = profiler().with_threads(1);
+        let a = threaded.profile(&dataset, &cfgs).expect("a");
+        let b = threaded.profile(&dataset, &cfgs).expect("b");
+        let s = serial.profile(&dataset, &cfgs).expect("s");
+        assert_eq!(a.len(), s.len());
+        assert_eq!(b.len(), s.len());
+        for (r, canonical) in a.records().iter().zip(s.records()) {
+            assert_eq!(r.context.config, canonical.context.config);
+            assert_eq!(r.epoch_time_s, canonical.epoch_time_s);
+            assert_eq!(r.mem_bytes, canonical.mem_bytes);
+            assert_eq!(r.accuracy, canonical.accuracy);
+            assert_eq!(r.phase_s, canonical.phase_s);
+        }
+        for (r, canonical) in b.records().iter().zip(s.records()) {
+            assert_eq!(r.context.config, canonical.context.config);
+            assert_eq!(r.epoch_time_s, canonical.epoch_time_s);
+        }
+    }
+
+    #[test]
     fn leave_one_out_partitions() {
         let d1 = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
         let d2 = Dataset::load_scaled(DatasetId::OgbnArxiv, 0.01).expect("load");
@@ -280,9 +328,7 @@ mod tests {
 
     #[test]
     fn augmentation_uses_synthetic_graphs() {
-        let db = profiler()
-            .profile_augmentation(2, 300, &small_configs(2), 9)
-            .expect("augment");
+        let db = profiler().profile_augmentation(2, 300, &small_configs(2), 9).expect("augment");
         assert!(db.records().iter().all(|r| r.dataset_id == DatasetId::Synthetic));
         assert!(db.len() >= 2);
     }

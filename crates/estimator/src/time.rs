@@ -132,10 +132,7 @@ fn replace_features(ctx: &Context, vi: f64, hit: f64) -> Vec<f64> {
     }
     let bytes = vi * (1.0 - hit) * ctx.row_bytes();
     let entries = ctx.config.cache_ratio * ctx.num_nodes;
-    vec![
-        bytes / (ctx.platform.device.mem_bandwidth_gbs * 1e9),
-        (entries + 1.0).ln() * 1e-6,
-    ]
+    vec![bytes / (ctx.platform.device.mem_bandwidth_gbs * 1e9), (entries + 1.0).ln() * 1e-6]
 }
 
 fn compute_features(ctx: &Context, vi: f64) -> Vec<f64> {
@@ -221,20 +218,10 @@ impl TimeEstimator {
     pub fn predict(&self, ctx: &Context, vi_pred: f64, hit_pred: f64) -> f64 {
         assert!(self.fitted, "estimator not fitted");
         let ts = self.sample.predict(&sample_features(ctx, vi_pred)).max(0.0);
-        let tt = self
-            .transfer
-            .predict(&transfer_features(ctx, vi_pred, hit_pred))
-            .max(0.0);
-        let tr = self
-            .replace
-            .predict(&replace_features(ctx, vi_pred, hit_pred))
-            .max(0.0);
+        let tt = self.transfer.predict(&transfer_features(ctx, vi_pred, hit_pred)).max(0.0);
+        let tr = self.replace.predict(&replace_features(ctx, vi_pred, hit_pred)).max(0.0);
         let tc = self.compute.predict(&compute_features(ctx, vi_pred)).max(0.0);
-        let iter = if ctx.config.pipelined {
-            (ts + tt).max(tr + tc)
-        } else {
-            ts + tt + tr + tc
-        };
+        let iter = if ctx.config.pipelined { (ts + tt).max(tr + tc) } else { ts + tt + tr + tc };
         ctx.n_iter() * iter
     }
 }
@@ -291,12 +278,12 @@ mod tests {
         let train = profiled(2, 25);
         let mut hit = HitRatePredictor::new();
         hit.fit(&train).expect("fit");
-        let no_cache = train
-            .records()
-            .iter()
-            .find(|r| r.context.config.cache_ratio == 0.0)
-            .expect("space contains cacheless configs");
-        assert_eq!(hit.predict(&no_cache.context, 1000.0), 0.0);
+        // Build the cacheless context explicitly instead of relying on
+        // the random design-space sample to contain one.
+        let mut ctx = train.records()[0].context.clone();
+        ctx.config.cache_policy = gnnav_cache::CachePolicy::None;
+        ctx.config.cache_ratio = 0.0;
+        assert_eq!(hit.predict(&ctx, 1000.0), 0.0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use gnnav_estimator::Context;
 use gnnav_graph::{Dataset, DatasetId};
 use gnnav_hwsim::Platform;
-use gnnav_runtime::{DesignSpace, TrainingConfig};
 use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, TrainingConfig};
 use proptest::prelude::*;
 
 fn ctx_with(config: TrainingConfig) -> Context {

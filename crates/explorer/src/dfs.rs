@@ -73,18 +73,17 @@ impl DfsExplorer {
     ) -> (Vec<EvaluatedCandidate>, DfsStats) {
         let mut stats = DfsStats::default();
         let mut out: Vec<EvaluatedCandidate> = Vec::new();
-        let mut evaluate = |config: TrainingConfig,
-                            stats: &mut DfsStats,
-                            out: &mut Vec<EvaluatedCandidate>| {
-            let ctx = Context::new(dataset, platform, config.clone());
-            let estimate = estimator.predict(&ctx);
-            stats.evaluated += 1;
-            if constraints.satisfied_by(&estimate) {
-                out.push(EvaluatedCandidate { config, estimate });
-            } else {
-                stats.rejected += 1;
-            }
-        };
+        let mut evaluate =
+            |config: TrainingConfig, stats: &mut DfsStats, out: &mut Vec<EvaluatedCandidate>| {
+                let ctx = Context::new(dataset, platform, config.clone());
+                let estimate = estimator.predict(&ctx);
+                stats.evaluated += 1;
+                if constraints.satisfied_by(&estimate) {
+                    out.push(EvaluatedCandidate { config, estimate });
+                } else {
+                    stats.rejected += 1;
+                }
+            };
 
         // Seeds: the templates of existing systems, so guidelines never
         // lose to the approaches the explorer knows about.
@@ -284,9 +283,7 @@ mod tests {
         let explorer = DfsExplorer::new(DesignSpace::standard(), 300, 3);
         // Budget below the largest cache alone.
         let constraints = RuntimeConstraints {
-            max_mem_bytes: Some(
-                0.2 * dataset.num_nodes() as f64 * dataset.feat_dim() as f64 * 2.0,
-            ),
+            max_mem_bytes: Some(0.2 * dataset.num_nodes() as f64 * dataset.feat_dim() as f64 * 2.0),
             ..RuntimeConstraints::none()
         };
         let (cands, stats) = explorer.run(

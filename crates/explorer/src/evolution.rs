@@ -177,9 +177,7 @@ impl EvolutionarySearch {
             // (μ + λ) selection by scalarized score.
             population.extend(offspring);
             population.sort_by(|a, b| {
-                score(&a.1, &norms)
-                    .partial_cmp(&score(&b.1, &norms))
-                    .expect("finite scores")
+                score(&a.1, &norms).partial_cmp(&score(&b.1, &norms)).expect("finite scores")
             });
             population.truncate(self.params.population);
         }
@@ -281,10 +279,8 @@ mod tests {
     #[test]
     fn constraints_filter_reported_candidates() {
         let (dataset, est) = setup();
-        let constraints = RuntimeConstraints {
-            max_mem_bytes: Some(5e6),
-            ..RuntimeConstraints::none()
-        };
+        let constraints =
+            RuntimeConstraints { max_mem_bytes: Some(5e6), ..RuntimeConstraints::none() };
         let search = EvolutionarySearch::new(
             DesignSpace::standard(),
             EvolutionParams { budget: 80, ..Default::default() },

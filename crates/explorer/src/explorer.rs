@@ -9,7 +9,9 @@ use gnnav_estimator::GrayBoxEstimator;
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
+use gnnav_obs::names as metric;
 use gnnav_runtime::{DesignSpace, Template};
+use std::time::Instant;
 
 /// Everything one exploration produced.
 #[derive(Debug, Clone)]
@@ -97,14 +99,25 @@ impl<'a> Explorer<'a> {
         priority: Priority,
         constraints: &RuntimeConstraints,
     ) -> Result<ExplorationResult, ExplorerError> {
+        let metrics = gnnav_obs::global();
+        let _explore_span = metrics.span(metric::EXPLORER_EXPLORE_WALL);
         let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
         let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
         let (evaluated, stats) =
             dfs.run(self.estimator, dataset, platform, model, constraints, &seeds);
         let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();
         let front = pareto_front_indices(&points);
-        let guideline =
-            decide(&evaluated, priority).ok_or(ExplorerError::NoFeasibleCandidate)?;
+        let decide_started = metrics.is_enabled().then(Instant::now);
+        let guideline = decide(&evaluated, priority);
+        if let Some(started) = decide_started {
+            metrics.add(metric::EXPLORER_RUNS, 1);
+            metrics.add(metric::EXPLORER_EVALUATED, stats.evaluated as u64);
+            metrics.add(metric::EXPLORER_REJECTED, stats.rejected as u64);
+            metrics.add(metric::EXPLORER_PRUNED, stats.pruned_subtrees as u64);
+            metrics.gauge_set(metric::EXPLORER_FRONT_SIZE, front.len() as f64);
+            metrics.gauge_set(metric::EXPLORER_DECISION_LATENCY, started.elapsed().as_secs_f64());
+        }
+        let guideline = guideline.ok_or(ExplorerError::NoFeasibleCandidate)?;
         Ok(ExplorationResult { guideline, evaluated, front, stats })
     }
 }
@@ -183,10 +196,8 @@ mod tests {
     fn infeasible_constraints_error() {
         let (dataset, est) = setup();
         let explorer = Explorer::new(&est, 400);
-        let impossible = RuntimeConstraints {
-            max_time_s: Some(1e-12),
-            ..RuntimeConstraints::none()
-        };
+        let impossible =
+            RuntimeConstraints { max_time_s: Some(1e-12), ..RuntimeConstraints::none() };
         let err = explorer
             .explore(
                 &dataset,

@@ -35,12 +35,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder {
-            num_nodes,
-            edges: Vec::new(),
-            symmetrize: false,
-            keep_self_loops: false,
-        }
+        GraphBuilder { num_nodes, edges: Vec::new(), symmetrize: false, keep_self_loops: false }
     }
 
     /// Creates a builder with capacity for `edges` edges.
@@ -101,9 +96,8 @@ impl GraphBuilder {
                 }
             }
         }
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(
-            self.edges.len() * if self.symmetrize { 2 } else { 1 },
-        );
+        let mut edges: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(self.edges.len() * if self.symmetrize { 2 } else { 1 });
         for &(u, v) in &self.edges {
             if u == v && !self.keep_self_loops {
                 continue;
@@ -132,11 +126,7 @@ impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
     /// Collects edges into a builder sized by the largest endpoint.
     fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
         let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
         let mut b = GraphBuilder::new(n);
         b.edges = edges;
         b
@@ -183,10 +173,7 @@ mod tests {
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 5);
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::NodeOutOfRange { node: 5, .. })
-        ));
+        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { node: 5, .. })));
     }
 
     #[test]

@@ -139,16 +139,12 @@ impl Graph {
 
     /// Iterator over all directed edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.node_ids()
-            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+        self.node_ids().flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
     }
 
     /// Maximum out-degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes)
-            .map(|v| self.offsets[v + 1] - self.offsets[v])
-            .max()
-            .unwrap_or(0)
+        (0..self.num_nodes).map(|v| self.offsets[v + 1] - self.offsets[v]).max().unwrap_or(0)
     }
 
     /// Mean out-degree.
@@ -305,12 +301,8 @@ mod tests {
     #[test]
     fn induced_subgraph_keeps_internal_edges() {
         // Triangle 0-1-2 plus pendant 3, directed both ways.
-        let g = Graph::from_csr(
-            4,
-            vec![0, 2, 4, 7, 8],
-            vec![1, 2, 0, 2, 0, 1, 3, 2],
-        )
-        .expect("valid");
+        let g =
+            Graph::from_csr(4, vec![0, 2, 4, 7, 8], vec![1, 2, 0, 2, 0, 1, 3, 2]).expect("valid");
         let (sub, map) = g.induced_subgraph(&[2, 0]).expect("induce");
         assert_eq!(map, vec![2, 0]);
         assert_eq!(sub.num_nodes(), 2);
@@ -324,14 +316,8 @@ mod tests {
     #[test]
     fn induced_subgraph_rejects_duplicates_and_oob() {
         let g = path3();
-        assert!(matches!(
-            g.induced_subgraph(&[0, 0]),
-            Err(GraphError::InvalidParameter(_))
-        ));
-        assert!(matches!(
-            g.induced_subgraph(&[9]),
-            Err(GraphError::NodeOutOfRange { .. })
-        ));
+        assert!(matches!(g.induced_subgraph(&[0, 0]), Err(GraphError::InvalidParameter(_))));
+        assert!(matches!(g.induced_subgraph(&[9]), Err(GraphError::NodeOutOfRange { .. })));
     }
 
     #[test]

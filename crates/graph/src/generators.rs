@@ -120,9 +120,7 @@ pub fn rmat(
     seed: u64,
 ) -> Result<Graph, GraphError> {
     if scale == 0 || edge_factor == 0 {
-        return Err(GraphError::InvalidParameter(
-            "scale and edge_factor must be > 0".into(),
-        ));
+        return Err(GraphError::InvalidParameter("scale and edge_factor must be > 0".into()));
     }
     let RmatParams { a, b, c, d } = params;
     if a <= 0.0 || b <= 0.0 || c <= 0.0 || d <= 0.0 {
@@ -182,9 +180,7 @@ pub fn stochastic_block_model(
     }
     for p in [p_in, p_out] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameter(format!(
-                "probability {p} outside [0, 1]"
-            )));
+            return Err(GraphError::InvalidParameter(format!("probability {p} outside [0, 1]")));
         }
     }
     let n: usize = community_sizes.iter().sum();
@@ -247,14 +243,10 @@ pub fn community_preferential(
         ));
     }
     if !(0.0..=1.0).contains(&mixing) {
-        return Err(GraphError::InvalidParameter(format!(
-            "mixing {mixing} outside [0, 1]"
-        )));
+        return Err(GraphError::InvalidParameter(format!("mixing {mixing} outside [0, 1]")));
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let community: Vec<u32> = (0..num_nodes)
-        .map(|v| (v % num_communities) as u32)
-        .collect();
+    let community: Vec<u32> = (0..num_nodes).map(|v| (v % num_communities) as u32).collect();
     let mut b = GraphBuilder::with_capacity(num_nodes, num_nodes * edges_per_node * 2);
     // Per-community and global degree-proportional endpoint pools.
     let mut pools: Vec<Vec<NodeId>> = vec![Vec::new(); num_communities];

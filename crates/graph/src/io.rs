@@ -58,9 +58,7 @@ pub fn read_edge_list<R: Read>(
                 ))
             })?
             .parse()
-            .map_err(|e| {
-                GraphError::InvalidParameter(format!("line {}: {e}", lineno + 1))
-            })
+            .map_err(|e| GraphError::InvalidParameter(format!("line {}: {e}", lineno + 1)))
         };
         let u = parse(parts.next())?;
         let v = parse(parts.next())?;

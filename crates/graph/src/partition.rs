@@ -79,21 +79,12 @@ pub fn greedy_bfs_partition(g: &Graph, k: usize) -> Result<Vec<u32>, GraphError>
     }
 
     // Grow the smallest region one node at a time.
-    loop {
-        let Some(p) = (0..k)
-            .filter(|&p| !frontiers[p].is_empty())
-            .min_by_key(|&p| sizes[p])
-        else {
-            break;
-        };
+    while let Some(p) = (0..k).filter(|&p| !frontiers[p].is_empty()).min_by_key(|&p| sizes[p]) {
         let mut grew = false;
         while let Some(&v) = frontiers[p].front() {
             // Claim the first unassigned neighbor of the frontier head.
-            let next = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .find(|&u| assignment[u as usize] == UNASSIGNED);
+            let next =
+                g.neighbors(v).iter().copied().find(|&u| assignment[u as usize] == UNASSIGNED);
             match next {
                 Some(u) => {
                     assignment[u as usize] = p as u32;
@@ -131,9 +122,7 @@ pub fn greedy_bfs_partition(g: &Graph, k: usize) -> Result<Vec<u32>, GraphError>
 /// Panics if `assignment.len() != g.num_nodes()`.
 pub fn edge_cut(g: &Graph, assignment: &[u32]) -> usize {
     assert_eq!(assignment.len(), g.num_nodes(), "one partition id per node");
-    g.edges()
-        .filter(|&(u, v)| assignment[u as usize] != assignment[v as usize])
-        .count()
+    g.edges().filter(|&(u, v)| assignment[u as usize] != assignment[v as usize]).count()
 }
 
 /// Balance factor: largest partition size divided by the ideal
@@ -177,8 +166,7 @@ mod tests {
 
     #[test]
     fn bfs_partition_beats_round_robin_on_clustered_graph() {
-        let (g, _) = stochastic_block_model(&[200, 200, 200, 200], 0.05, 0.002, 3)
-            .expect("gen");
+        let (g, _) = stochastic_block_model(&[200, 200, 200, 200], 0.05, 0.002, 3).expect("gen");
         let bfs = greedy_bfs_partition(&g, 4).expect("partition");
         let round_robin: Vec<u32> = (0..g.num_nodes() as u32).map(|v| v % 4).collect();
         assert!(

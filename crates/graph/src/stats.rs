@@ -92,11 +92,7 @@ impl GraphStats {
     ///
     /// Panics if `communities.len() != g.num_nodes()`.
     pub fn with_communities(g: &Graph, communities: &[u32]) -> Self {
-        assert_eq!(
-            communities.len(),
-            g.num_nodes(),
-            "one community id per node required"
-        );
+        assert_eq!(communities.len(), g.num_nodes(), "one community id per node required");
         let mut intra = 0usize;
         let total = g.num_edges();
         for (u, v) in g.edges() {

@@ -163,17 +163,29 @@ pub struct Platform {
 impl Platform {
     /// The paper's primary platform: Xeon host + RTX 4090 over PCIe 4.
     pub fn default_rtx4090() -> Self {
-        Platform { host: HostProfile::xeon(), device: DeviceProfile::rtx4090(), link: LinkProfile::pcie4() }
+        Platform {
+            host: HostProfile::xeon(),
+            device: DeviceProfile::rtx4090(),
+            link: LinkProfile::pcie4(),
+        }
     }
 
     /// Xeon host + A100 over PCIe 4.
     pub fn default_a100() -> Self {
-        Platform { host: HostProfile::xeon(), device: DeviceProfile::a100(), link: LinkProfile::pcie4() }
+        Platform {
+            host: HostProfile::xeon(),
+            device: DeviceProfile::a100(),
+            link: LinkProfile::pcie4(),
+        }
     }
 
     /// Desktop host + M90 over PCIe 3 (the constrained scenario).
     pub fn default_m90() -> Self {
-        Platform { host: HostProfile::desktop(), device: DeviceProfile::m90(), link: LinkProfile::pcie3() }
+        Platform {
+            host: HostProfile::desktop(),
+            device: DeviceProfile::m90(),
+            link: LinkProfile::pcie3(),
+        }
     }
 }
 

@@ -82,8 +82,7 @@ impl RandomForestRegressor {
             })
             .collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var =
-            preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
         (mean, var.sqrt())
     }
 }
@@ -174,10 +173,8 @@ mod tests {
     #[test]
     fn num_trees_respected() {
         let t = noisy_table(4);
-        let mut f = RandomForestRegressor::new(ForestParams {
-            num_trees: 5,
-            ..ForestParams::default()
-        });
+        let mut f =
+            RandomForestRegressor::new(ForestParams { num_trees: 5, ..ForestParams::default() });
         f.fit(&t).expect("fit");
         assert_eq!(f.num_trees(), 5);
     }
@@ -232,9 +229,7 @@ mod uncertainty_tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut noisy = Table::with_dims(1);
         for i in 0..80 {
-            noisy
-                .push_row(&[i as f64], i as f64 + rng.gen_range(-10.0..10.0))
-                .expect("ok");
+            noisy.push_row(&[i as f64], i as f64 + rng.gen_range(-10.0..10.0)).expect("ok");
         }
         let mut f = RandomForestRegressor::new(ForestParams::default());
         f.fit(&noisy).expect("fit");

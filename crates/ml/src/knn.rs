@@ -82,9 +82,8 @@ impl Regressor for KnnRegressor {
             })
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        dists
+            .select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         dists[..k].iter().map(|&(_, y)| y).sum::<f64>() / k as f64
     }
 }

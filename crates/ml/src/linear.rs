@@ -133,11 +133,8 @@ impl Regressor for RidgeRegressor {
         assert!(self.fitted, "model not fitted");
         assert_eq!(features.len(), self.weights.len(), "feature dim mismatch");
         let mut acc = self.intercept;
-        for ((&w, &v), (&m, &s)) in self
-            .weights
-            .iter()
-            .zip(features)
-            .zip(self.means.iter().zip(&self.stds))
+        for ((&w, &v), (&m, &s)) in
+            self.weights.iter().zip(features).zip(self.means.iter().zip(&self.stds))
         {
             // Extrapolation guard: a near-constant training column can
             // place an out-of-distribution input hundreds of standard
@@ -278,9 +275,6 @@ mod tests {
     #[test]
     fn cholesky_rejects_non_spd() {
         let a = vec![0.0, 0.0, 0.0, 0.0];
-        assert!(matches!(
-            cholesky_solve(&a, &[1.0, 1.0], 2),
-            Err(MlError::SingularSystem)
-        ));
+        assert!(matches!(cholesky_solve(&a, &[1.0, 1.0], 2), Err(MlError::SingularSystem)));
     }
 }

@@ -12,10 +12,7 @@ use rand::SeedableRng;
 ///
 /// Panics if `test_fraction` is not in `(0, 1)`.
 pub fn train_test_split(table: &Table, test_fraction: f64, seed: u64) -> (Table, Table) {
-    assert!(
-        test_fraction > 0.0 && test_fraction < 1.0,
-        "test_fraction must be in (0, 1)"
-    );
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0, 1)");
     let n = table.num_rows();
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -45,11 +42,8 @@ pub fn k_fold_indices(num_rows: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, 
     for f in 0..k {
         let len = base + usize::from(f < extra);
         let test: Vec<usize> = indices[start..start + len].to_vec();
-        let train: Vec<usize> = indices[..start]
-            .iter()
-            .chain(&indices[start + len..])
-            .copied()
-            .collect();
+        let train: Vec<usize> =
+            indices[..start].iter().chain(&indices[start + len..]).copied().collect();
         folds.push((train, test));
         start += len;
     }

@@ -31,15 +31,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A CART regression tree minimizing within-node variance.
@@ -132,9 +125,7 @@ impl DecisionTreeRegressor {
             // Sort indices by this feature.
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| {
-                table.row(a)[f]
-                    .partial_cmp(&table.row(b)[f])
-                    .expect("finite features")
+                table.row(a)[f].partial_cmp(&table.row(b)[f]).expect("finite features")
             });
             let stride = (order.len() / self.params.max_thresholds).max(1);
             let mut left_sum = 0.0f64;
@@ -253,10 +244,8 @@ mod tests {
             let x = i as f64 / 20.0;
             t.push_row(&[x], x * x).expect("ok");
         }
-        let mut tree = DecisionTreeRegressor::new(TreeParams {
-            max_depth: 10,
-            ..TreeParams::default()
-        });
+        let mut tree =
+            DecisionTreeRegressor::new(TreeParams { max_depth: 10, ..TreeParams::default() });
         tree.fit(&t).expect("fit");
         let truth: Vec<f64> = (0..200).map(|i| (i as f64 / 20.0).powi(2)).collect();
         let pred: Vec<f64> = (0..200).map(|i| tree.predict(&[i as f64 / 20.0])).collect();

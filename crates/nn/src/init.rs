@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 pub fn glorot_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let limit = (6.0 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols)
-        .map(|_| rng.gen_range(-limit..limit))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
     Matrix::from_vec(rows, cols, data)
 }
 

@@ -127,9 +127,8 @@ pub fn gcn_aggregate(g: &Graph, x: &Matrix) -> Matrix {
     let n = g.num_nodes();
     let d = x.cols();
     let mut out = Matrix::zeros(n, d);
-    let inv_sqrt: Vec<f32> = (0..n as u32)
-        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
-        .collect();
+    let inv_sqrt: Vec<f32> =
+        (0..n as u32).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
     for v in 0..n as u32 {
         let cv = inv_sqrt[v as usize];
         // Self-loop term.
@@ -321,10 +320,7 @@ impl Layer for SageLayer {
     }
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
-        vec![
-            ParamRef::Linear(&mut self.lin_self),
-            ParamRef::Linear(&mut self.lin_neigh),
-        ]
+        vec![ParamRef::Linear(&mut self.lin_self), ParamRef::Linear(&mut self.lin_neigh)]
     }
 
     fn param_count(&self) -> usize {
@@ -406,9 +402,7 @@ impl Layer for GatLayer {
         let n = g.num_nodes();
         let d = self.out_dim();
         let z = x.matmul(&self.lin.w);
-        let dot = |row: &[f32], v: &[f32]| -> f32 {
-            row.iter().zip(v).map(|(a, b)| a * b).sum()
-        };
+        let dot = |row: &[f32], v: &[f32]| -> f32 { row.iter().zip(v).map(|(a, b)| a * b).sum() };
         let s_l: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_l.v)).collect();
         let s_r: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_r.v)).collect();
 
@@ -503,11 +497,7 @@ impl Layer for GatLayer {
             for i in 0..count {
                 let de = alpha[start + i] * (d_alpha[i] - dot);
                 let dpre = de * leaky_grad(pre[start + i]);
-                let u = if i + 1 == count {
-                    v
-                } else {
-                    g.neighbors(v)[i]
-                };
+                let u = if i + 1 == count { v } else { g.neighbors(v)[i] };
                 ds_l[u as usize] += dpre;
                 ds_r[v as usize] += dpre;
             }
@@ -516,12 +506,8 @@ impl Layer for GatLayer {
         // s_l[u] = z[u]·a_l and s_r[u] = z[u]·a_r.
         for u in 0..n {
             let zu = z.row(u);
-            for ((ga, &zz), (gb, _)) in self
-                .att_l
-                .g
-                .iter_mut()
-                .zip(zu)
-                .zip(self.att_r.g.iter_mut().zip(zu))
+            for ((ga, &zz), (gb, _)) in
+                self.att_l.g.iter_mut().zip(zu).zip(self.att_r.g.iter_mut().zip(zu))
             {
                 *ga += ds_l[u] * zz;
                 *gb += ds_r[u] * zz;
@@ -625,9 +611,7 @@ mod tests {
         let ip = |a: &Matrix, b: &Matrix| -> f32 {
             a.as_slice().iter().zip(b.as_slice()).map(|(p, q)| p * q).sum()
         };
-        assert!(
-            (ip(&gcn_aggregate(&g, &x), &y) - ip(&x, &gcn_aggregate(&g, &y))).abs() < 1e-4
-        );
+        assert!((ip(&gcn_aggregate(&g, &x), &y) - ip(&x, &gcn_aggregate(&g, &y))).abs() < 1e-4);
     }
 
     /// Finite-difference gradient check for a layer: perturb inputs and
@@ -639,12 +623,7 @@ mod tests {
         let r = glorot_uniform(4, layer.out_dim(), 8);
 
         let out = layer.forward(&g, &x);
-        let _loss0: f32 = out
-            .as_slice()
-            .iter()
-            .zip(r.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let _loss0: f32 = out.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
         layer.zero_grad();
         let grad_x = layer.backward(&g, &r);
 
@@ -654,21 +633,11 @@ mod tests {
             let mut xp = x.clone();
             xp.set(rr, cc, xp.get(rr, cc) + eps);
             let op = layer.forward(&g, &xp);
-            let lp: f32 = op
-                .as_slice()
-                .iter()
-                .zip(r.as_slice())
-                .map(|(a, b)| a * b)
-                .sum();
+            let lp: f32 = op.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
             let mut xm = x.clone();
             xm.set(rr, cc, xm.get(rr, cc) - eps);
             let om = layer.forward(&g, &xm);
-            let lm: f32 = om
-                .as_slice()
-                .iter()
-                .zip(r.as_slice())
-                .map(|(a, b)| a * b)
-                .sum();
+            let lm: f32 = om.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
             let fd = (lp - lm) / (2.0 * eps);
             let an = grad_x.get(rr, cc);
             assert!(
@@ -709,26 +678,13 @@ mod tests {
         let eps = 1e-2f32;
         let orig = layer.lin.w.get(1, 0);
         layer.lin.w.set(1, 0, orig + eps);
-        let lp: f32 = layer
-            .forward(&g, &x)
-            .as_slice()
-            .iter()
-            .zip(r.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lp: f32 =
+            layer.forward(&g, &x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
         layer.lin.w.set(1, 0, orig - eps);
-        let lm: f32 = layer
-            .forward(&g, &x)
-            .as_slice()
-            .iter()
-            .zip(r.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lm: f32 =
+            layer.forward(&g, &x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
         let fd = (lp - lm) / (2.0 * eps);
-        assert!(
-            (fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()),
-            "fd {fd} vs analytic {analytic}"
-        );
+        assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "fd {fd} vs analytic {analytic}");
     }
 
     #[test]
@@ -894,13 +850,7 @@ mod multi_head_tests {
         let eps = 1e-2f32;
         for &(rr, cc) in &[(0usize, 0usize), (3, 2)] {
             let loss = |layer: &mut MultiHeadGatLayer, x: &Matrix| -> f32 {
-                layer
-                    .forward(&g, x)
-                    .as_slice()
-                    .iter()
-                    .zip(r.as_slice())
-                    .map(|(a, b)| a * b)
-                    .sum()
+                layer.forward(&g, x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
             };
             let mut xp = x.clone();
             xp.set(rr, cc, xp.get(rr, cc) + eps);

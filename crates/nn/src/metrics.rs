@@ -107,12 +107,7 @@ mod tests {
     #[test]
     fn macro_f1_penalizes_minority_errors_more_than_accuracy() {
         // 3 of class 0 correct, 1 of class 1 wrong.
-        let logits = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-        ]);
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]]);
         let labels = [0u16, 0, 0, 1];
         let acc = accuracy(&logits, &labels, &[0, 1, 2, 3]);
         let f1 = macro_f1(&logits, &labels, &[0, 1, 2, 3]);

@@ -213,17 +213,17 @@ impl GnnModel {
                     // Inverted dropout: kept units scaled so the
                     // expectation is unchanged at eval time.
                     let scale = 1.0 / (1.0 - self.dropout);
-                    let mask: Vec<f32> = h
-                        .as_slice()
-                        .iter()
-                        .map(|_| {
-                            if self.dropout_rng.gen::<f32>() < self.dropout {
-                                0.0
-                            } else {
-                                scale
-                            }
-                        })
-                        .collect();
+                    let mask: Vec<f32> =
+                        h.as_slice()
+                            .iter()
+                            .map(|_| {
+                                if self.dropout_rng.gen::<f32>() < self.dropout {
+                                    0.0
+                                } else {
+                                    scale
+                                }
+                            })
+                            .collect();
                     for (v, &m) in h.as_mut_slice().iter_mut().zip(&mask) {
                         *v *= m;
                     }
@@ -362,11 +362,7 @@ mod tests {
 
         let loss = |m: &mut GnnModel, x: &Matrix| -> f32 {
             let out = m.forward(&g, x);
-            out.as_slice()
-                .iter()
-                .zip(r.as_slice())
-                .map(|(a, b)| a * b)
-                .sum()
+            out.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
         };
         let _ = loss(&mut m, &x);
         m.zero_grad();
@@ -394,10 +390,7 @@ mod tests {
         let lm = loss(&mut m, &x);
         bump(&mut m, eps);
         let fd = (lp - lm) / (2.0 * eps);
-        assert!(
-            (fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()),
-            "fd {fd} vs analytic {analytic}"
-        );
+        assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "fd {fd} vs analytic {analytic}");
     }
 
     #[test]
@@ -500,10 +493,7 @@ mod dropout_tests {
         bump(&mut m, -2.0 * eps);
         let lm = loss(&mut m, &x);
         let fd = (lp - lm) / (2.0 * eps);
-        assert!(
-            (fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()),
-            "fd {fd} vs analytic {analytic}"
-        );
+        assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "fd {fd} vs analytic {analytic}");
     }
 
     #[test]

@@ -49,13 +49,7 @@ pub fn train_step(
 ///
 /// At the reproduction's graph scales a full-graph forward is cheap,
 /// so evaluation does not sample.
-pub fn evaluate(
-    model: &mut GnnModel,
-    g: &Graph,
-    x: &Matrix,
-    labels: &[u16],
-    rows: &[u32],
-) -> f64 {
+pub fn evaluate(model: &mut GnnModel, g: &Graph, x: &Matrix, labels: &[u16], rows: &[u32]) -> f64 {
     model.set_train_mode(false);
     let logits = model.forward(g, x);
     model.set_train_mode(true);

@@ -1,9 +1,9 @@
 //! Property-based tests for the NN substrate.
 
+use gnnav_graph::GraphBuilder;
 use gnnav_nn::loss::softmax_cross_entropy;
 use gnnav_nn::tensor::Matrix;
 use gnnav_nn::{Adam, GnnModel, ModelKind};
-use gnnav_graph::GraphBuilder;
 use proptest::prelude::*;
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {

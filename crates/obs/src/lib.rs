@@ -1,0 +1,563 @@
+//! **gnnav-obs** — dependency-light observability for the GNNavigator
+//! runtime.
+//!
+//! Three primitives, one registry:
+//!
+//! - **Counters** — monotonically increasing `u64` (cache hits/misses,
+//!   candidates evaluated, profiled records, ...).
+//! - **Gauges** — last-write-wins `f64` (per-phase epoch time, MAPE,
+//!   Pareto-front size, ...).
+//! - **Histograms** — streaming summaries (count/sum/min/max/last) of
+//!   `f64` observations; span timers record wall seconds here.
+//!
+//! [`Registry::span`] gives hierarchical RAII wall-clock timers: spans
+//! started while another span is open on the same thread record under
+//! the dotted path of their ancestors (`backend.execute.epoch`).
+//!
+//! A registry is **disabled by default** and every recording call
+//! starts with one relaxed atomic load, so instrumentation compiled
+//! into hot paths costs near zero until someone opts in (the
+//! `obs_overhead` bench in `gnnav-bench` pins this). Snapshots export
+//! as deterministic, sorted-key JSON via [`Snapshot::to_json`] so
+//! benchmark PRs can diff machine-readable metrics files.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnav_obs::global;
+//!
+//! global().enable(true);
+//! global().add("demo.events", 3);
+//! global().gauge_set("demo.level", 0.75);
+//! {
+//!     let _t = global().span("demo.work");
+//!     // ... timed region ...
+//! }
+//! let snap = global().snapshot();
+//! assert_eq!(snap.counters["demo.events"], 3);
+//! assert!(snap.to_json().contains("\"demo.level\""));
+//! # global().reset();
+//! # global().enable(false);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub mod names;
+
+/// Streaming summary of one histogram series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Most recent observation.
+    pub last: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl HistogramData {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.last = v;
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            last: self.last,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>, // f64 bit patterns
+    histograms: BTreeMap<String, Arc<Mutex<HistogramData>>>,
+}
+
+/// A metrics registry: the shared sink all instrumentation writes to.
+///
+/// Cloneless sharing happens through [`global`]; isolated registries
+/// (tests, embedders) are created with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Registry {
+    /// Creates a disabled registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Turns recording on or off. While off, every recording method
+    /// returns after a single relaxed atomic load.
+    pub fn enable(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to the counter `name`.
+    #[inline]
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge `name` to `value`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.gauge_cell(name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records `value` into the histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cell = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+        };
+        cell.lock().unwrap_or_else(|e| e.into_inner()).observe(value);
+    }
+
+    /// Records `d` (in seconds) into the histogram `name`.
+    #[inline]
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_secs_f64());
+    }
+
+    /// Starts a hierarchical wall-clock span. The elapsed time lands
+    /// in a histogram named after the dotted path of enclosing spans
+    /// when the guard drops. Inert (no clock read) while disabled.
+    #[inline]
+    pub fn span<'r>(&'r self, name: &'static str) -> Span<'r> {
+        if !self.is_enabled() {
+            return Span { registry: self, start: None, path: String::new() };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join(".")
+        });
+        Span { registry: self, start: Some(Instant::now()), path }
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Reads the current value of counter `name` (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.counters.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Reads the current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.get(name).map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// Takes a consistent point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Snapshot {
+            enabled: self.is_enabled(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().unwrap_or_else(|e| e.into_inner()).summary()))
+                .collect(),
+        }
+    }
+
+    /// Drops every metric series (the enabled flag is untouched).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *inner = Inner::default();
+    }
+}
+
+/// RAII wall-clock timer returned by [`Registry::span`].
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    start: Option<Instant>,
+    path: String,
+}
+
+impl Span<'_> {
+    /// Elapsed time so far (zero for inert spans).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map_or(Duration::ZERO, |s| s.elapsed())
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            self.registry.observe(&self.path, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Point-in-time copy of a registry, exportable as JSON or a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Whether the source registry was recording.
+    pub enabled: bool,
+    /// All counters.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// All histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trip float formatting; integral values keep a
+        // trailing `.0` so the type is unambiguous.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+impl Snapshot {
+    /// Serializes as pretty-printed JSON with deterministically sorted
+    /// keys. Schema:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "enabled": true,
+    ///   "counters": { "name": 42 },
+    ///   "gauges": { "name": 1.5 },
+    ///   "histograms": {
+    ///     "name": {"count": 3, "sum": 0.9, "min": 0.1, "max": 0.5,
+    ///              "mean": 0.3, "last": 0.2}
+    ///   }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"version\": 1,\n  \"enabled\": ");
+        out.push_str(if self.enabled { "true" } else { "false" });
+        out.push_str(",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, k);
+            out.push_str(": ");
+            push_json_f64(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, k);
+            out.push_str(": {");
+            out.push_str(&format!("\"count\": {}, \"sum\": ", h.count));
+            push_json_f64(&mut out, h.sum);
+            out.push_str(", \"min\": ");
+            push_json_f64(&mut out, h.min);
+            out.push_str(", \"max\": ");
+            push_json_f64(&mut out, h.max);
+            out.push_str(", \"mean\": ");
+            push_json_f64(&mut out, h.mean());
+            out.push_str(", \"last\": ");
+            push_json_f64(&mut out, h.last);
+            out.push('}');
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders a human-readable table (the CLI's `--verbose` output).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<40} {v:.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / min / max):\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<40} {} / {:.6} / {:.6} / {:.6}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry all built-in instrumentation writes to.
+/// Disabled until someone calls `global().enable(true)`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.add("c", 5);
+        r.gauge_set("g", 1.0);
+        r.observe("h", 2.0);
+        {
+            let _s = r.span("s");
+        }
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(!snap.enabled);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.enable(true);
+        r.add("c", 2);
+        r.add("c", 3);
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", -4.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], -4.5);
+        assert_eq!(r.counter_value("c"), 5);
+        assert_eq!(r.gauge_value("g"), Some(-4.5));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_extremes() {
+        let r = Registry::new();
+        r.enable(true);
+        for v in [3.0, 1.0, 2.0] {
+            r.observe("h", v);
+        }
+        let h = r.snapshot().histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.last, 2.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        let r = Registry::new();
+        r.enable(true);
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let snap = r.snapshot();
+        assert!(snap.histograms.contains_key("outer"), "{:?}", snap.histograms);
+        assert!(snap.histograms.contains_key("outer.inner"));
+        assert!(snap.histograms["outer"].sum >= snap.histograms["outer.inner"].sum);
+        // The stack unwound: a fresh span is top-level again.
+        {
+            let _again = r.span("again");
+        }
+        assert!(r.snapshot().histograms.contains_key("again"));
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_parsable_shape() {
+        let r = Registry::new();
+        r.enable(true);
+        r.add("b.count", 1);
+        r.add("a.count", 2);
+        r.gauge_set("z.value", 0.5);
+        r.observe("t.hist", 1.25);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\n  \"version\": 1"));
+        assert!(json.find("\"a.count\"").unwrap() < json.find("\"b.count\"").unwrap());
+        assert!(json.contains("\"z.value\": 0.5"));
+        assert!(json.contains("\"count\": 1, \"sum\": 1.25"));
+        assert!(json.trim_end().ends_with('}'));
+        // Balanced braces (cheap structural sanity check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        let r = Registry::new();
+        r.enable(true);
+        r.gauge_set("weird\"name\\with\tescapes", f64::NAN);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"weird\\\"name\\\\with\\tescapes\": null"));
+    }
+
+    #[test]
+    fn reset_clears_series() {
+        let r = Registry::new();
+        r.enable(true);
+        r.add("c", 1);
+        r.reset();
+        assert_eq!(r.counter_value("c"), 0);
+        assert!(r.is_enabled(), "reset must not flip the enabled bit");
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let r = std::sync::Arc::new(Registry::new());
+        r.enable(true);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.add("par", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(r.counter_value("par"), 8000);
+    }
+
+    #[test]
+    fn table_rendering_mentions_every_series() {
+        let r = Registry::new();
+        r.enable(true);
+        r.add("events", 7);
+        r.gauge_set("level", 0.25);
+        r.observe("latency", 0.5);
+        let table = r.snapshot().to_table();
+        assert!(table.contains("events"));
+        assert!(table.contains("level"));
+        assert!(table.contains("latency"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Canonical metric names.
+//!
+//! Centralized so instrumentation sites, the CLI exporter, and the
+//! schema tests agree on spelling. Naming scheme:
+//! `<component>.<subject>[.<unit-suffix>]`, with `_s` marking seconds
+//! (simulated unless the name says `wall`).
+
+// --- runtime backend -------------------------------------------------
+
+/// Backend executions completed.
+pub const BACKEND_RUNS: &str = "backend.runs";
+/// Mini-batches processed (all epochs, all runs).
+pub const BACKEND_BATCHES: &str = "backend.batches";
+/// Feature-cache lookup hits.
+pub const CACHE_HITS: &str = "backend.cache.hits";
+/// Feature-cache lookup misses.
+pub const CACHE_MISSES: &str = "backend.cache.misses";
+/// Cache rows evicted/replaced by updates.
+pub const CACHE_EVICTIONS: &str = "backend.cache.evictions";
+/// Per-epoch simulated host sampling time (gauge, last run).
+pub const PHASE_SAMPLE: &str = "backend.phase.sample_s";
+/// Per-epoch simulated host→device transfer time.
+pub const PHASE_TRANSFER: &str = "backend.phase.transfer_s";
+/// Per-epoch simulated cache-replacement time.
+pub const PHASE_REPLACE: &str = "backend.phase.replace_s";
+/// Per-epoch simulated device compute time.
+pub const PHASE_COMPUTE: &str = "backend.phase.compute_s";
+/// Per-epoch simulated epoch time (gauge, last run).
+pub const EPOCH_TIME: &str = "backend.epoch_time_s";
+/// Wall time spent in host-side sampling (gauge, last run).
+pub const WALL_SAMPLE: &str = "backend.wall.sample_s";
+/// Wall time spent in training steps (gauge, last run).
+pub const WALL_TRAIN: &str = "backend.wall.train_s";
+/// Full `RuntimeBackend::execute` wall time (histogram, seconds).
+pub const EXECUTE_WALL: &str = "backend.execute";
+/// Last training loss of the most recent run (gauge).
+pub const LOSS_LAST: &str = "backend.loss.last";
+/// Mean training loss of the most recent run (gauge).
+pub const LOSS_MEAN: &str = "backend.loss.mean";
+
+// --- gray-box profiler ----------------------------------------------
+
+/// Ground-truth records collected by profiling sweeps.
+pub const PROFILER_RECORDS: &str = "profiler.records";
+/// Configurations that failed to execute during sweeps.
+pub const PROFILER_FAILED: &str = "profiler.failed_configs";
+/// Records per wall second of the last sweep (gauge).
+pub const PROFILER_RECORDS_PER_S: &str = "profiler.records_per_s";
+/// Mean worker utilization of the last sweep in [0, 1] (gauge).
+pub const PROFILER_UTILIZATION: &str = "profiler.thread_utilization";
+/// Worker threads used by the last sweep (gauge).
+pub const PROFILER_THREADS: &str = "profiler.threads";
+/// Full profiling-sweep wall time (histogram, seconds).
+pub const PROFILER_SWEEP_WALL: &str = "profiler.sweep";
+
+// --- gray-box estimator ---------------------------------------------
+
+/// `GrayBoxEstimator::fit` invocations.
+pub const ESTIMATOR_FITS: &str = "estimator.fits";
+/// Wall seconds of the last fit (gauge).
+pub const ESTIMATOR_FIT_WALL: &str = "estimator.fit_wall_s";
+/// Predictions served.
+pub const ESTIMATOR_PREDICTIONS: &str = "estimator.predictions";
+/// In-sample MAPE of epoch-time prediction after the last fit.
+pub const ESTIMATOR_MAPE_TIME: &str = "estimator.mape.time";
+/// In-sample MAPE of peak-memory prediction after the last fit.
+pub const ESTIMATOR_MAPE_MEMORY: &str = "estimator.mape.memory";
+/// In-sample MAPE of accuracy prediction after the last fit (absent
+/// in timing-only mode).
+pub const ESTIMATOR_MAPE_ACCURACY: &str = "estimator.mape.accuracy";
+
+// --- explorer --------------------------------------------------------
+
+/// Explorations completed.
+pub const EXPLORER_RUNS: &str = "explorer.runs";
+/// Constraint-satisfying candidates evaluated by the search.
+pub const EXPLORER_EVALUATED: &str = "explorer.candidates.evaluated";
+/// Candidates rejected by runtime constraints.
+pub const EXPLORER_REJECTED: &str = "explorer.candidates.rejected";
+/// Subtrees pruned by the DFS bound.
+pub const EXPLORER_PRUNED: &str = "explorer.subtrees.pruned";
+/// Size of the estimated Pareto front of the last exploration (gauge).
+pub const EXPLORER_FRONT_SIZE: &str = "explorer.front.size";
+/// Wall seconds the decision maker took on the last exploration
+/// (gauge).
+pub const EXPLORER_DECISION_LATENCY: &str = "explorer.decision.latency_s";
+/// Full exploration wall time (histogram, seconds).
+pub const EXPLORER_EXPLORE_WALL: &str = "explorer.explore";

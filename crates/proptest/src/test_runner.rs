@@ -1,0 +1,74 @@
+//! Harness configuration, failure type, and the deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (carries the assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+
+    /// Alias kept for proptest API compatibility.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test RNG: the seed is an FNV-1a hash of the test
+/// name, so every test has an independent but fully reproducible
+/// stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG seeded from `test_name`.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

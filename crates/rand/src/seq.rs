@@ -1,0 +1,59 @@
+//! Sequence helpers (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Slice extensions: in-place Fisher–Yates shuffle and uniform choice.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(3));
+        b.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let v: Vec<u8> = vec![];
+        assert!(v.choose(&mut StdRng::seed_from_u64(1)).is_none());
+    }
+}

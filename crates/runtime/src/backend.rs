@@ -15,9 +15,11 @@ use gnnav_graph::Dataset;
 use gnnav_hwsim::{CostModel, MemoryLedger, Platform, SimTime};
 use gnnav_nn::tensor::Matrix;
 use gnnav_nn::{train, Adam, GnnModel};
+use gnnav_obs::names as metric;
 use gnnav_sampler::batch_targets;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::{Duration, Instant};
 
 /// Probability (at `η = 1`) that a cold training target is replaced
 /// by a hot one during locality-aware target scheduling.
@@ -123,6 +125,9 @@ impl RuntimeBackend {
         if opts.epochs == 0 {
             return Err(RuntimeError::InvalidConfig("epochs must be > 0".into()));
         }
+        let metrics = gnnav_obs::global();
+        let _execute_span = metrics.span(metric::EXECUTE_WALL);
+        let observing = metrics.is_enabled();
         let graph = dataset.graph();
         let feats = dataset.features();
         let cost = CostModel::new(self.platform.clone());
@@ -167,13 +172,7 @@ impl RuntimeBackend {
             Vec::new()
         };
         let hot_train: Vec<u32> = if config.locality_eta > 0.0 {
-            dataset
-                .split()
-                .train
-                .iter()
-                .copied()
-                .filter(|&v| hot_mask[v as usize])
-                .collect()
+            dataset.split().train.iter().copied().filter(|&v| hot_mask[v as usize]).collect()
         } else {
             Vec::new()
         };
@@ -185,6 +184,14 @@ impl RuntimeBackend {
         let mut total_batches = 0usize;
         let mut n_iter = 0usize;
         let mut loss_history = Vec::new();
+
+        // Metric accumulators: kept as plain locals inside the hot
+        // loop and flushed to the registry once per execution, so the
+        // per-batch cost with metrics enabled stays one branch + a few
+        // integer adds (and exactly one branch when disabled).
+        let mut evictions = 0usize;
+        let mut wall_sample = Duration::ZERO;
+        let mut wall_train = Duration::ZERO;
 
         for _epoch in 0..opts.epochs {
             let mut epoch_targets = dataset.split().train.clone();
@@ -200,7 +207,11 @@ impl RuntimeBackend {
             let batches = batch_targets(&epoch_targets, config.batch_size, &mut rng);
             n_iter = batches.len();
             for (bi, targets) in batches.iter().enumerate() {
+                let sample_started = observing.then(Instant::now);
                 let mb = sampler.sample(graph, targets, &mut rng)?;
+                if let Some(t0) = sample_started {
+                    wall_sample += t0.elapsed();
+                }
 
                 // Host: sampling.
                 let t_sample = cost.t_sample(mb.expansion(), mb.num_edges());
@@ -214,6 +225,7 @@ impl RuntimeBackend {
                 // replacing once full).
                 let may_update = config.cache_update || cache.len() < cache.capacity();
                 let replaced = if may_update { cache.update(&outcome.misses) } else { 0 };
+                evictions += replaced;
                 let t_replace = cost.t_replace(replaced * row_bytes, cache.len());
 
                 // Device compute.
@@ -231,22 +243,23 @@ impl RuntimeBackend {
                 phases.transfer += t_transfer;
                 phases.replace += t_replace;
                 phases.compute += t_compute;
-                epoch_time_total +=
-                    cost.iteration_time(t_sample, t_transfer, t_replace, t_compute, config.pipelined);
+                epoch_time_total += cost.iteration_time(
+                    t_sample,
+                    t_transfer,
+                    t_replace,
+                    t_compute,
+                    config.pipelined,
+                );
 
                 total_nodes += mb.num_nodes();
                 total_edges += mb.num_edges();
                 total_batches += 1;
 
                 // The actual training step (Algorithm 1 lines 4–8).
-                let train_this = opts.train
-                    && opts.train_batches_cap.is_none_or(|cap| bi < cap);
+                let train_this = opts.train && opts.train_batches_cap.is_none_or(|cap| bi < cap);
                 if train_this {
-                    let x = Matrix::from_vec(
-                        mb.num_nodes(),
-                        feats.dim(),
-                        feats.gather(&mb.nodes),
-                    );
+                    let train_started = observing.then(Instant::now);
+                    let x = Matrix::from_vec(mb.num_nodes(), feats.dim(), feats.gather(&mb.nodes));
                     let labels = feats.gather_labels(&mb.nodes);
                     let loss = train::train_step(
                         &mut model,
@@ -257,6 +270,9 @@ impl RuntimeBackend {
                         &mb.target_locals(),
                     );
                     loss_history.push(loss);
+                    if let Some(t0) = train_started {
+                        wall_train += t0.elapsed();
+                    }
                 }
             }
         }
@@ -285,6 +301,27 @@ impl RuntimeBackend {
                 compute: phases.compute * inv_epochs,
             },
         };
+
+        if observing {
+            let stats = cache.stats();
+            metrics.add(metric::BACKEND_RUNS, 1);
+            metrics.add(metric::BACKEND_BATCHES, total_batches as u64);
+            metrics.add(metric::CACHE_HITS, stats.hits as u64);
+            metrics.add(metric::CACHE_MISSES, (stats.lookups - stats.hits) as u64);
+            metrics.add(metric::CACHE_EVICTIONS, evictions as u64);
+            metrics.gauge_set(metric::PHASE_SAMPLE, perf.phases.sample.as_secs());
+            metrics.gauge_set(metric::PHASE_TRANSFER, perf.phases.transfer.as_secs());
+            metrics.gauge_set(metric::PHASE_REPLACE, perf.phases.replace.as_secs());
+            metrics.gauge_set(metric::PHASE_COMPUTE, perf.phases.compute.as_secs());
+            metrics.gauge_set(metric::EPOCH_TIME, perf.epoch_time.as_secs());
+            metrics.gauge_set(metric::WALL_SAMPLE, wall_sample.as_secs_f64());
+            metrics.gauge_set(metric::WALL_TRAIN, wall_train.as_secs_f64());
+            if let Some(&last) = loss_history.last() {
+                let mean = loss_history.iter().sum::<f32>() / loss_history.len() as f32;
+                metrics.gauge_set(metric::LOSS_LAST, last as f64);
+                metrics.gauge_set(metric::LOSS_MEAN, mean as f64);
+            }
+        }
         Ok(ExecutionReport { perf, loss_history, config: config.clone() })
     }
 }
@@ -329,9 +366,8 @@ mod tests {
     fn timing_only_skips_training() {
         let d = tiny_dataset();
         let backend = RuntimeBackend::new(Platform::default_rtx4090());
-        let r = backend
-            .execute(&d, &small_config(), &ExecutionOptions::timing_only())
-            .expect("run");
+        let r =
+            backend.execute(&d, &small_config(), &ExecutionOptions::timing_only()).expect("run");
         assert!(r.loss_history.is_empty());
         assert_eq!(r.perf.accuracy, 0.0);
     }
@@ -342,9 +378,28 @@ mod tests {
         let backend = RuntimeBackend::new(Platform::default_rtx4090());
         let a = backend.execute(&d, &small_config(), &fast_opts()).expect("run");
         let b = backend.execute(&d, &small_config(), &fast_opts()).expect("run");
-        assert_eq!(a.perf.epoch_time, b.perf.epoch_time);
-        assert_eq!(a.perf.accuracy, b.perf.accuracy);
+        // The whole triple (and every diagnostic) must reproduce
+        // bit-for-bit, not just the headline numbers.
+        assert_eq!(a.perf, b.perf);
         assert_eq!(a.loss_history, b.loss_history);
+    }
+
+    #[test]
+    fn zero_batches_yield_finite_zero_averages() {
+        // An empty train split runs zero mini-batches; the batch
+        // averages must come out 0.0, not NaN from a 0/0.
+        let base = tiny_dataset();
+        let test = base.split().test.clone();
+        let d = base
+            .with_split(gnnav_graph::Split { train: Vec::new(), val: Vec::new(), test })
+            .expect("split");
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let r =
+            backend.execute(&d, &small_config(), &ExecutionOptions::timing_only()).expect("run");
+        assert_eq!(r.perf.avg_batch_nodes, 0.0);
+        assert_eq!(r.perf.avg_batch_edges, 0.0);
+        assert_eq!(r.perf.n_iter, 0);
+        assert!(r.loss_history.is_empty());
     }
 
     #[test]
@@ -391,9 +446,8 @@ mod tests {
             ..platform.device
         };
         let backend = RuntimeBackend::new(platform);
-        let err = backend
-            .execute(&d, &small_config(), &ExecutionOptions::timing_only())
-            .unwrap_err();
+        let err =
+            backend.execute(&d, &small_config(), &ExecutionOptions::timing_only()).unwrap_err();
         assert!(matches!(err, RuntimeError::Hw(_)));
     }
 

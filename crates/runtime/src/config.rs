@@ -196,11 +196,8 @@ impl TrainingConfig {
         Ok(match self.sampler {
             SamplerKind::NodeWise => Box::new(NodeWiseSampler::new(self.fanouts.clone(), bias)),
             SamplerKind::LayerWise => {
-                let sizes: Vec<usize> = self
-                    .fanouts
-                    .iter()
-                    .map(|&k| (k * self.batch_size / 4).max(16))
-                    .collect();
+                let sizes: Vec<usize> =
+                    self.fanouts.iter().map(|&k| (k * self.batch_size / 4).max(16)).collect();
                 Box::new(LayerWiseSampler::new(sizes, bias))
             }
             SamplerKind::SubgraphWise => {

@@ -49,13 +49,19 @@ pub struct Perf {
 impl Perf {
     /// Speedup of `self` relative to `baseline` (>1 means faster).
     ///
-    /// Returns infinity if `self` took zero time.
+    /// Two zero-time runs are equally fast (1.0); only a zero-time
+    /// `self` against a non-zero baseline is infinitely faster.
     pub fn speedup_vs(&self, baseline: &Perf) -> f64 {
         let own = self.epoch_time.as_secs();
+        let base = baseline.epoch_time.as_secs();
         if own == 0.0 {
-            f64::INFINITY
+            if base == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
-            baseline.epoch_time.as_secs() / own
+            base / own
         }
     }
 
@@ -100,6 +106,24 @@ mod tests {
         assert!((fast.mem_delta_vs(&base) - 0.3).abs() < 1e-12);
         let lean = perf(2.0, 700);
         assert!((lean.mem_delta_vs(&base) + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_zero_time_edge_cases() {
+        let zero = perf(0.0, 1000);
+        let nonzero = perf(2.0, 1000);
+        // 0/0: equally (not infinitely) fast.
+        assert_eq!(zero.speedup_vs(&zero), 1.0);
+        // Zero own time against a real baseline: unbounded speedup.
+        assert_eq!(zero.speedup_vs(&nonzero), f64::INFINITY);
+        // Real own time against a zero baseline: speedup collapses to 0.
+        assert_eq!(nonzero.speedup_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn mem_delta_zero_baseline_is_neutral() {
+        let base = perf(1.0, 0);
+        assert_eq!(perf(1.0, 500).mem_delta_vs(&base), 0.0);
     }
 
     #[test]

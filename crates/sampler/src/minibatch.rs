@@ -117,13 +117,46 @@ mod tests {
     #[test]
     fn from_layers_orders_targets_first_and_dedups() {
         let g = line(6);
-        let mb = MiniBatch::from_layers(&g, vec![vec![2, 3], vec![1, 3, 4], vec![0, 1]])
-            .expect("batch");
+        let mb =
+            MiniBatch::from_layers(&g, vec![vec![2, 3], vec![1, 3, 4], vec![0, 1]]).expect("batch");
         assert_eq!(mb.nodes, vec![2, 3, 1, 4, 0]);
         assert_eq!(mb.targets_len, 2);
         assert_eq!(mb.layers[1], vec![1, 4]); // 3 was already seen
         assert_eq!(mb.expansion(), 3);
         assert_eq!(mb.target_locals(), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_layers_dedups_within_target_layer() {
+        let g = line(5);
+        // A target repeated in B^0 counts once; targets_len reflects
+        // the deduplicated target set so loss rows stay aligned.
+        let mb = MiniBatch::from_layers(&g, vec![vec![1, 2, 1], vec![3]]).expect("batch");
+        assert_eq!(mb.nodes, vec![1, 2, 3]);
+        assert_eq!(mb.targets_len, 2);
+        assert_eq!(mb.layers[0], vec![1, 2]);
+        assert_eq!(mb.target_locals(), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_layers_skips_out_of_range_ids() {
+        let g = line(4);
+        let mb = MiniBatch::from_layers(&g, vec![vec![1, 99], vec![400, 2]]).expect("batch");
+        assert_eq!(mb.nodes, vec![1, 2]);
+        assert_eq!(mb.targets_len, 1);
+        assert_eq!(mb.layers, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn from_layers_local_ids_match_node_positions() {
+        let g = line(6);
+        let mb = MiniBatch::from_layers(&g, vec![vec![4, 2], vec![3, 5]]).expect("batch");
+        // The first `targets_len` local ids are exactly the targets,
+        // and the subgraph has one local id per unique node.
+        assert_eq!(mb.nodes[..mb.targets_len], [4, 2]);
+        assert_eq!(mb.subgraph.num_nodes(), mb.nodes.len());
+        assert_eq!(mb.num_nodes(), 4);
+        assert_eq!(mb.expansion(), 2);
     }
 
     #[test]

@@ -29,8 +29,12 @@ pub trait Sampler: std::fmt::Debug + Send + Sync {
     /// # Errors
     ///
     /// Returns an error if a target id is out of range for `g`.
-    fn sample(&self, g: &Graph, targets: &[NodeId], rng: &mut StdRng)
-        -> Result<MiniBatch, GraphError>;
+    fn sample(
+        &self,
+        g: &Graph,
+        targets: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Result<MiniBatch, GraphError>;
 
     /// Number of sampling hops `L`.
     fn num_layers(&self) -> usize;
@@ -317,10 +321,7 @@ mod tests {
     fn node_wise_biased_prefers_hot_set() {
         let g = graph();
         let hot: Vec<u32> = (0..50).collect(); // BA early nodes = hubs
-        let biased = NodeWiseSampler::new(
-            vec![3, 3],
-            LocalityBias::new(g.num_nodes(), &hot, 1.0),
-        );
+        let biased = NodeWiseSampler::new(vec![3, 3], LocalityBias::new(g.num_nodes(), &hot, 1.0));
         let unbiased = NodeWiseSampler::new(vec![3, 3], LocalityBias::none(g.num_nodes()));
         let targets: Vec<u32> = (100..160).collect();
         let hot_frac = |mb: &MiniBatch| {

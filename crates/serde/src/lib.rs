@@ -1,0 +1,21 @@
+//! Offline subset of `serde`.
+//!
+//! The workspace only uses serde as a *compile-time capability
+//! marker* (`#[derive(Serialize, Deserialize)]` plus trait bounds like
+//! `T: serde::Serialize`); nothing actually serializes through serde —
+//! JSON export is hand-rolled in `gnnav-obs` and the report writer.
+//! These marker traits and the derives in `serde_derive` are exactly
+//! enough to compile that surface without network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

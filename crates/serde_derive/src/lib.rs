@@ -1,0 +1,125 @@
+//! Derive macros for the offline serde shim.
+//!
+//! The traits in the `serde` shim have no required items, so deriving
+//! is just emitting `impl serde::Serialize for T {}` — no `syn`/`quote`
+//! needed. The hand-rolled parser below handles structs/enums with
+//! optional plain generic parameter lists (bounds allowed, no `where`
+//! clauses), which covers everything in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, decl, usage) = parse_item(input);
+    let generics = if decl.is_empty() { String::new() } else { format!("<{decl}>") };
+    let args = if usage.is_empty() { String::new() } else { format!("<{usage}>") };
+    format!("impl{generics} ::serde::Serialize for {name}{args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, decl, usage) = parse_item(input);
+    let decl = if decl.is_empty() { "'de".to_string() } else { format!("'de, {decl}") };
+    let args = if usage.is_empty() { String::new() } else { format!("<{usage}>") };
+    format!("impl<{decl}> ::serde::Deserialize<'de> for {name}{args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Returns `(type_name, generic_decls, generic_usage)` — e.g. for
+/// `struct Foo<'a, T: Clone>` that is `("Foo", "'a, T: Clone", "'a, T")`.
+fn parse_item(input: TokenStream) -> (String, String, String) {
+    let mut iter = input.into_iter().peekable();
+    // Scan for the `struct` / `enum` / `union` keyword, skipping
+    // attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, found {other:?}"),
+    };
+    // Optional generic parameter list: tokens between `<` and the
+    // matching top-level `>`.
+    let mut raw: Vec<TokenTree> = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push(tt);
+        }
+    }
+    if raw.is_empty() {
+        return (name, String::new(), String::new());
+    }
+    // Split on top-level commas; the usage form of each parameter is
+    // its leading lifetime or identifier (bounds and defaults dropped).
+    let mut decl_parts: Vec<String> = Vec::new();
+    let mut usage_parts: Vec<String> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    let flush = |current: &mut Vec<TokenTree>,
+                 decl_parts: &mut Vec<String>,
+                 usage_parts: &mut Vec<String>| {
+        if current.is_empty() {
+            return;
+        }
+        let decl: String = current.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+        let usage = match current.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                // Lifetime: `'` punct followed by its identifier.
+                match current.get(1) {
+                    Some(TokenTree::Ident(id)) => format!("'{id}"),
+                    _ => String::new(),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "const" => match current.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => String::new(),
+            },
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => String::new(),
+        };
+        decl_parts.push(decl);
+        usage_parts.push(usage);
+        current.clear();
+    };
+    for tt in raw {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                flush(&mut current, &mut decl_parts, &mut usage_parts);
+            }
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                current.push(tt);
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => current.push(tt),
+            _ => current.push(tt),
+        }
+    }
+    flush(&mut current, &mut decl_parts, &mut usage_parts);
+    (name, decl_parts.join(", "), usage_parts.join(", "))
+}

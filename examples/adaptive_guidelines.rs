@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut nav = Navigator::new(dataset.clone(), Platform::default_rtx4090(), ModelKind::Sage);
     nav.prepare()?;
     println!("## Priorities on RTX 4090 (ogbn-products stand-in)\n");
-    println!(
-        "{:<6} {:>12} {:>10} {:>9}  config",
-        "prio", "time/epoch", "memory", "accuracy"
-    );
+    println!("{:<6} {:>12} {:>10} {:>9}  config", "prio", "time/epoch", "memory", "accuracy");
     for priority in Priority::ALL {
         let result = nav.generate_guideline(priority, &RuntimeConstraints::none())?;
         let report = nav.apply(&result.guideline)?;

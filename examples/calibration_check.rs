@@ -8,7 +8,8 @@ use gnnav_runtime::{ExecutionOptions, RuntimeBackend, Template};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale: f64 = std::env::var("GNNAV_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let batch: usize = std::env::var("GNNAV_BATCH").ok().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let batch: usize =
+        std::env::var("GNNAV_BATCH").ok().and_then(|s| s.parse().ok()).unwrap_or(128);
     let dataset = Dataset::load_scaled(DatasetId::Reddit2, scale)?;
     let backend = RuntimeBackend::new(Platform::default_rtx4090());
     let mut results = Vec::new();
@@ -27,15 +28,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = perf.expect("ran");
         println!(
             "{:8} T={:10} mem={:7.2}MB acc={:5.2}% hit={:4.2} |Vi|={:6.0}",
-            t.label(), p.epoch_time.to_string(), p.peak_mem_mb(), acc * 100.0, p.hit_rate,
+            t.label(),
+            p.epoch_time.to_string(),
+            p.peak_mem_mb(),
+            acc * 100.0,
+            p.hit_rate,
             p.avg_batch_nodes,
         );
         results.push((t, p, acc));
     }
     let (_, pyg, pyg_acc) = results[0];
     for (t, p, acc) in &results[1..] {
-        println!("{:8} speedup {:.2}x  mem {:+.1}%  dacc {:+.2}%",
-            t.label(), p.speedup_vs(&pyg), p.mem_delta_vs(&pyg) * 100.0, (acc - pyg_acc) * 100.0);
+        println!(
+            "{:8} speedup {:.2}x  mem {:+.1}%  dacc {:+.2}%",
+            t.label(),
+            p.speedup_vs(&pyg),
+            p.mem_delta_vs(&pyg) * 100.0,
+            (acc - pyg_acc) * 100.0
+        );
     }
     Ok(())
 }

@@ -12,9 +12,7 @@
 use gnnavigator::graph::{Dataset, DatasetId};
 use gnnavigator::hwsim::Platform;
 use gnnavigator::nn::ModelKind;
-use gnnavigator::runtime::{
-    write_perf_csv, write_perf_jsonl, ExecutionOptions, RuntimeBackend,
-};
+use gnnavigator::runtime::{write_perf_csv, write_perf_jsonl, ExecutionOptions, RuntimeBackend};
 use gnnavigator::Template;
 use std::fs::{self, File};
 

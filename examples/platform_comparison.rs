@@ -18,11 +18,8 @@ use gnnavigator::{Navigator, Priority, RuntimeConstraints, TrainingConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.15)?;
-    let platforms = [
-        Platform::default_rtx4090(),
-        Platform::default_a100(),
-        Platform::default_m90(),
-    ];
+    let platforms =
+        [Platform::default_rtx4090(), Platform::default_a100(), Platform::default_m90()];
 
     println!("## Fixed configuration across platforms\n");
     let fixed = TrainingConfig { batch_size: 128, ..TrainingConfig::default() };

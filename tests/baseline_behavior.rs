@@ -12,10 +12,7 @@ fn run(template: Template, epochs: usize) -> Perf {
     let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1).expect("load");
     let backend = RuntimeBackend::new(Platform::default_rtx4090());
     let opts = ExecutionOptions { epochs, train: false, ..ExecutionOptions::timing_only() };
-    backend
-        .execute(&dataset, &template.config(ModelKind::Sage), &opts)
-        .expect("run")
-        .perf
+    backend.execute(&dataset, &template.config(ModelKind::Sage), &opts).expect("run").perf
 }
 
 #[test]
@@ -65,10 +62,8 @@ fn two_pgraph_accuracy_cost_shows_up_with_training() {
     let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.08).expect("load");
     let backend = RuntimeBackend::new(Platform::default_rtx4090());
     let opts = ExecutionOptions { epochs: 2, ..Default::default() };
-    let pyg = backend
-        .execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts)
-        .expect("run")
-        .perf;
+    let pyg =
+        backend.execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts).expect("run").perf;
     let two_p = backend
         .execute(&dataset, &Template::TwoPGraph.config(ModelKind::Sage), &opts)
         .expect("run")
@@ -87,10 +82,8 @@ fn phase_decomposition_sums_to_serial_time() {
     let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05).expect("load");
     let backend = RuntimeBackend::new(Platform::default_rtx4090());
     let opts = ExecutionOptions::timing_only();
-    let perf = backend
-        .execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts)
-        .expect("run")
-        .perf;
+    let perf =
+        backend.execute(&dataset, &Template::Pyg.config(ModelKind::Sage), &opts).expect("run").perf;
     let total = perf.phases.total().as_secs();
     assert!(
         (total - perf.epoch_time.as_secs()).abs() < 1e-9 * total.max(1.0),

@@ -34,9 +34,8 @@ fn pipeline_produces_feasible_guideline_for_every_priority() {
         .with_options(fast_options());
     nav.prepare().expect("prepare");
     for priority in Priority::ALL {
-        let result = nav
-            .generate_guideline(priority, &RuntimeConstraints::none())
-            .expect("explore");
+        let result =
+            nav.generate_guideline(priority, &RuntimeConstraints::none()).expect("explore");
         let report = nav.apply(&result.guideline).expect("apply");
         assert!(report.perf.epoch_time.as_secs() > 0.0, "{priority}");
         assert!(report.perf.peak_mem_bytes > 0, "{priority}");
@@ -81,14 +80,10 @@ fn guideline_is_on_the_estimated_pareto_front() {
     let mut nav = Navigator::new(dataset, Platform::default_rtx4090(), ModelKind::Sage)
         .with_options(fast_options());
     nav.prepare().expect("prepare");
-    let result = nav
-        .generate_guideline(Priority::Balance, &RuntimeConstraints::none())
-        .expect("explore");
+    let result =
+        nav.generate_guideline(Priority::Balance, &RuntimeConstraints::none()).expect("explore");
     assert!(
-        result
-            .front
-            .iter()
-            .any(|&i| result.evaluated[i].config == result.guideline.config),
+        result.front.iter().any(|&i| result.evaluated[i].config == result.guideline.config),
         "guideline must sit on the estimated Pareto front"
     );
 }

@@ -18,9 +18,8 @@ fn build_db() -> ProfileDb {
         },
     );
     let mut db = ProfileDb::new();
-    for (i, id) in [DatasetId::Reddit2, DatasetId::OgbnArxiv, DatasetId::OgbnProducts]
-        .iter()
-        .enumerate()
+    for (i, id) in
+        [DatasetId::Reddit2, DatasetId::OgbnArxiv, DatasetId::OgbnProducts].iter().enumerate()
     {
         let dataset = Dataset::load_scaled(*id, 0.05).expect("load");
         let configs: Vec<_> = DesignSpace::standard()
@@ -41,18 +40,9 @@ fn build_db() -> ProfileDb {
 fn leave_one_out_metrics_above_floor() {
     let db = build_db();
     for held_out in [DatasetId::Reddit2, DatasetId::OgbnProducts] {
-        let (_, report) =
-            GrayBoxEstimator::leave_one_dataset_out(&db, held_out).expect("loo fit");
-        assert!(
-            report.r2_memory > 0.5,
-            "{held_out:?}: memory r2 {} below floor",
-            report.r2_memory
-        );
-        assert!(
-            report.r2_time > 0.0,
-            "{held_out:?}: time r2 {} below floor",
-            report.r2_time
-        );
+        let (_, report) = GrayBoxEstimator::leave_one_dataset_out(&db, held_out).expect("loo fit");
+        assert!(report.r2_memory > 0.5, "{held_out:?}: memory r2 {} below floor", report.r2_memory);
+        assert!(report.r2_time > 0.0, "{held_out:?}: time r2 {} below floor", report.r2_time);
         assert!(
             report.mse_accuracy < 0.15,
             "{held_out:?}: accuracy mse {} above ceiling",

@@ -33,12 +33,8 @@ fn csv_export_roundtrips_header_and_rows() {
     assert_eq!(lines[0], PERF_CSV_HEADER);
     assert!(lines[1].starts_with("PyG,"));
     // Measured values survive the formatting with full precision.
-    let epoch_time: f64 = lines[1]
-        .split(',')
-        .nth(1)
-        .expect("time column")
-        .parse()
-        .expect("numeric");
+    let epoch_time: f64 =
+        lines[1].split(',').nth(1).expect("time column").parse().expect("numeric");
     assert!((epoch_time - rows[0].2.epoch_time.as_secs()).abs() < 1e-9);
 }
 
