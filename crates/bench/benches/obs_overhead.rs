@@ -6,6 +6,13 @@
 //! the identical workload with the global registry off and on, and the
 //! `registry_primitives` group pins the per-call cost of the disabled
 //! recording paths themselves.
+//!
+//! The `enabled` primitive group pins the cost ceiling of the hot
+//! recording paths: `observe` through the thread-local histogram-cell
+//! cache (one global-lock acquisition per name per thread, amortized
+//! to a TLS hash lookup), `observe` through a pre-registered
+//! [`gnnav_obs::Histogram`] handle (no lookup at all), and the
+//! name-keyed counter/span paths for comparison.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gnnav_graph::{Dataset, DatasetId};
@@ -47,5 +54,36 @@ fn bench_registry_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execute_disabled_vs_enabled, bench_registry_primitives);
+fn bench_registry_enabled_paths(c: &mut Criterion) {
+    let registry = gnnav_obs::Registry::new();
+    registry.enable(true);
+    let mut group = c.benchmark_group("obs_registry_enabled");
+    group.bench_function("enabled_counter_add", |b| {
+        b.iter(|| registry.add(black_box("bench.counter"), black_box(1)));
+    });
+    group.bench_function("enabled_observe_tls_cached", |b| {
+        // First call populates the thread-local cell cache; steady
+        // state is a TLS HashMap hit plus one cell-mutex lock.
+        b.iter(|| registry.observe(black_box("bench.hist"), black_box(1.5e-3)));
+    });
+    group.bench_function("enabled_observe_preregistered", |b| {
+        let hist = registry.histogram("bench.hist.handle");
+        b.iter(|| hist.observe(black_box(1.5e-3)));
+    });
+    group.bench_function("enabled_counter_preregistered", |b| {
+        let counter = registry.counter("bench.counter.handle");
+        b.iter(|| counter.add(black_box(1)));
+    });
+    group.bench_function("enabled_span", |b| {
+        b.iter(|| drop(registry.span(black_box("bench.span"))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_execute_disabled_vs_enabled,
+    bench_registry_primitives,
+    bench_registry_enabled_paths
+);
 criterion_main!(benches);

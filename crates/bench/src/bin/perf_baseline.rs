@@ -1,0 +1,100 @@
+//! Regenerates the committed metrics-diff baselines.
+//!
+//! ```sh
+//! cargo run --release -p gnnav-bench --bin perf_baseline -- .
+//! ```
+//!
+//! Writes `BENCH_backend.json` (a seeded `RuntimeBackend::execute`
+//! run) and `BENCH_explorer.json` (a seeded single-threaded
+//! profile → fit → explore pipeline) into the output directory —
+//! CI replays the same workloads and gates them with
+//! `gnnavigate metrics-diff`.
+//!
+//! Both workloads are fully deterministic: fixed seeds, fixed scales,
+//! and a single profiler thread (the threaded sweep's gauge
+//! last-write-wins order is scheduler-dependent). Wall-clock series
+//! (anything named `*wall*`, `*latency*`, `*per_s*`, `*utilization*`)
+//! and histograms (which summarize wall durations) are stripped
+//! before writing: only simulator-determined counters and gauges are
+//! stable enough to gate.
+
+use gnnav_estimator::{GrayBoxEstimator, Profiler};
+use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_obs::Snapshot;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+use std::path::Path;
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 0x7A51;
+
+fn deterministic(snapshot: Snapshot) -> Snapshot {
+    let mut kept = snapshot.filtered(|name| {
+        !["wall", "latency", "per_s", "utilization"].iter().any(|frag| name.contains(frag))
+    });
+    kept.histograms.clear();
+    kept
+}
+
+fn backend_baseline(dataset: &Dataset) -> Snapshot {
+    let metrics = gnnav_obs::global();
+    metrics.reset();
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs: 2, seed: SEED, ..Default::default() };
+    backend.execute(dataset, &TrainingConfig::default(), &opts).expect("backend run");
+    deterministic(metrics.snapshot())
+}
+
+fn explorer_baseline(dataset: &Dataset) -> Snapshot {
+    let metrics = gnnav_obs::global();
+    metrics.reset();
+    let profiler = Profiler::new(
+        RuntimeBackend::new(Platform::default_rtx4090()),
+        ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(2),
+            seed: SEED,
+            ..Default::default()
+        },
+    )
+    .with_threads(1);
+    let configs = DesignSpace::standard().sample(24, ModelKind::Sage, SEED);
+    let db = profiler.profile(dataset, &configs).expect("profile sweep");
+    let mut estimator = GrayBoxEstimator::new();
+    estimator.fit(&db).expect("fit");
+    let explorer = Explorer::new(&estimator, 300).with_seed(SEED);
+    explorer
+        .explore(
+            dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            Priority::Balance,
+            &RuntimeConstraints::none(),
+        )
+        .expect("explore");
+    deterministic(metrics.snapshot())
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let out_dir = Path::new(&out_dir);
+    gnnav_obs::global().enable(true);
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, SCALE).expect("load dataset");
+
+    for (name, snapshot) in [
+        ("BENCH_backend.json", backend_baseline(&dataset)),
+        ("BENCH_explorer.json", explorer_baseline(&dataset)),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, snapshot.to_json()).expect("write baseline");
+        println!(
+            "{} written ({} counters, {} gauges)",
+            path.display(),
+            snapshot.counters.len(),
+            snapshot.gauges.len()
+        );
+    }
+}

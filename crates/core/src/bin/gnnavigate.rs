@@ -3,15 +3,21 @@
 //! ```sh
 //! gnnavigate --dataset RD2 --model sage --priority ex-tm --scale 0.2
 //! gnnavigate --dataset PR --platform m90 --max-mem-mb 20 --min-acc 75
+//! gnnavigate --scale 0.02 --trace-out trace.json --audit-out audit.json
+//! gnnavigate metrics-diff BENCH_backend.json current.json --threshold 20
 //! ```
 //!
 //! Runs the full pipeline (profile → fit → explore → apply) and prints
-//! the guideline next to the PyG baseline.
+//! the guideline next to the PyG baseline. The `metrics-diff`
+//! subcommand compares two metrics snapshots and exits non-zero when a
+//! gated series regressed past the threshold — the CI perf gate.
 
 use gnnavigator::graph::{Dataset, DatasetId};
 use gnnavigator::hwsim::Platform;
 use gnnavigator::nn::ModelKind;
-use gnnavigator::{Navigator, Priority, RuntimeConstraints, Template};
+use gnnavigator::obs::diff::diff_snapshots;
+use gnnavigator::obs::Snapshot;
+use gnnavigator::{Navigator, NavigatorOptions, Priority, RuntimeConstraints, Template};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -19,6 +25,7 @@ gnnavigate — adaptive GNN training guideline exploration
 
 USAGE:
     gnnavigate [OPTIONS]
+    gnnavigate metrics-diff <BASELINE.json> <CURRENT.json> [--threshold <PCT>]
 
 OPTIONS:
     --dataset <AR|PR|RD|RD2>       dataset stand-in        [default: RD2]
@@ -29,9 +36,22 @@ OPTIONS:
     --max-time-ms <FLOAT>          epoch-time constraint
     --max-mem-mb <FLOAT>           device-memory constraint
     --min-acc <PERCENT>            accuracy constraint
+    --profile-samples <N>          configs profiled for the estimator
+    --explore-budget <N>           DFS leaf-evaluation budget
+    --epochs <N>                   training epochs when applying guidelines
+    --seed <N>                     pipeline seed (profiling + exploration)
     --metrics-out <PATH>           write a metrics snapshot as JSON
+    --trace-out <PATH>             write the event journal as Chrome trace JSON
+                                   (open in Perfetto / chrome://tracing)
+    --audit-out <PATH>             write the explorer decision audit as JSON
     --verbose                      print the metrics table and phase breakdown
     -h, --help                     print this help
+
+METRICS-DIFF:
+    Compares CURRENT against BASELINE series-by-series and prints a
+    regression table sorted by relative change. Exits 1 when any gated
+    series (counters; non-wall gauges) moved more than the threshold
+    [default: 10] percent.
 ";
 
 #[derive(Debug)]
@@ -42,11 +62,17 @@ struct Args {
     platform: Platform,
     scale: f64,
     constraints: RuntimeConstraints,
+    profile_samples: Option<usize>,
+    explore_budget: Option<usize>,
+    epochs: Option<usize>,
+    seed: Option<u64>,
     metrics_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+    audit_out: Option<std::path::PathBuf>,
     verbose: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         dataset: DatasetId::Reddit2,
         model: ModelKind::Sage,
@@ -54,10 +80,16 @@ fn parse_args() -> Result<Args, String> {
         platform: Platform::default_rtx4090(),
         scale: 0.2,
         constraints: RuntimeConstraints::none(),
+        profile_samples: None,
+        explore_budget: None,
+        epochs: None,
+        seed: None,
         metrics_out: None,
+        trace_out: None,
+        audit_out: None,
         verbose: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -114,8 +146,35 @@ fn parse_args() -> Result<Args, String> {
                     value("--min-acc")?.parse().map_err(|e| format!("bad --min-acc: {e}"))?;
                 args.constraints.min_accuracy = Some(pct / 100.0);
             }
+            "--profile-samples" => {
+                args.profile_samples = Some(
+                    value("--profile-samples")?
+                        .parse()
+                        .map_err(|e| format!("bad --profile-samples: {e}"))?,
+                );
+            }
+            "--explore-budget" => {
+                args.explore_budget = Some(
+                    value("--explore-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --explore-budget: {e}"))?,
+                );
+            }
+            "--epochs" => {
+                args.epochs =
+                    Some(value("--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?);
+            }
+            "--seed" => {
+                args.seed = Some(value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?);
+            }
             "--metrics-out" => {
                 args.metrics_out = Some(value("--metrics-out")?.into());
+            }
+            "--trace-out" => {
+                args.trace_out = Some(value("--trace-out")?.into());
+            }
+            "--audit-out" => {
+                args.audit_out = Some(value("--audit-out")?.into());
             }
             "--verbose" => args.verbose = true,
             "-h" | "--help" => {
@@ -129,7 +188,17 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("metrics-diff") {
+        return match run_metrics_diff(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let args = match parse_args(argv.into_iter()) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
@@ -145,10 +214,54 @@ fn main() -> ExitCode {
     }
 }
 
+/// `gnnavigate metrics-diff <baseline.json> <current.json> [--threshold pct]`:
+/// the CI perf gate. Exits non-zero when a gated series regressed.
+fn run_metrics_diff(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 10.0_f64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("missing value for --threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown metrics-diff flag `{flag}`").into());
+            }
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return Err("metrics-diff expects exactly two snapshot paths (try --help)".into());
+    };
+    let load = |path: &str| -> Result<Snapshot, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Snapshot::from_json(&text).map_err(|e| format!("{path}: invalid snapshot: {e}").into())
+    };
+    let report = diff_snapshots(&load(baseline_path)?, &load(current_path)?, threshold);
+    print!("{}", report.to_table());
+    Ok(if report.has_breach() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
 fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let metrics = gnnavigator::obs::global();
-    if args.metrics_out.is_some() || args.verbose {
+    if args.metrics_out.is_some()
+        || args.trace_out.is_some()
+        || args.audit_out.is_some()
+        || args.verbose
+    {
         metrics.enable(true);
+    }
+    if args.trace_out.is_some() {
+        metrics.journal().enable(true);
     }
     let dataset = Dataset::load_scaled(args.dataset, args.scale)?;
     println!(
@@ -159,7 +272,20 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         args.platform.device.name,
         args.priority
     );
-    let mut nav = Navigator::new(dataset, args.platform, args.model);
+    let mut options = NavigatorOptions::default();
+    if let Some(n) = args.profile_samples {
+        options.profile_samples = n;
+    }
+    if let Some(n) = args.explore_budget {
+        options.explore_budget = n;
+    }
+    if let Some(n) = args.epochs {
+        options.apply_exec.epochs = n;
+    }
+    if let Some(s) = args.seed {
+        options.seed = s;
+    }
+    let mut nav = Navigator::new(dataset, args.platform, args.model).with_options(options);
     eprintln!("profiling design space + fitting gray-box estimator...");
     nav.prepare()?;
     eprintln!("exploring guidelines...");
@@ -205,6 +331,14 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, metrics.snapshot().to_json())?;
         eprintln!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, metrics.journal().snapshot().to_chrome_trace())?;
+        eprintln!("chrome trace written to {} (open in https://ui.perfetto.dev)", path.display());
+    }
+    if let Some(path) = &args.audit_out {
+        std::fs::write(path, gnnavigator::explorer::audit_to_json(&result.audit))?;
+        eprintln!("decision audit ({} records) written to {}", result.audit.len(), path.display());
     }
     Ok(())
 }

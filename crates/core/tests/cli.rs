@@ -74,10 +74,14 @@ fn metrics_out_writes_schema_with_phase_cache_and_explorer_series() {
     std::fs::remove_dir_all(&dir).ok();
 
     // Envelope.
-    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"version\": 2"), "{json}");
     assert!(json.contains("\"enabled\": true"), "{json}");
     for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
         assert!(json.contains(section), "missing {section} in {json}");
+    }
+    // Version-2 histograms carry log-bucket percentiles.
+    for field in ["\"p50\"", "\"p95\"", "\"p99\""] {
+        assert!(json.contains(field), "missing {field} in {json}");
     }
     // The four phase timers of the paper's Eq. 4.
     for phase in [
@@ -98,6 +102,145 @@ fn metrics_out_writes_schema_with_phase_cache_and_explorer_series() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("phase breakdown"), "{text}");
     assert!(text.contains("backend.cache.hits"), "{text}");
+
+    // Gauge cells use adaptive formatting: round-trippable, and
+    // magnitudes outside [1e-4, 1e7) rendered in scientific notation
+    // rather than a mangled fixed-point expansion.
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("backend.peak_mem_bytes"))
+        .expect("peak_mem_bytes gauge in verbose table");
+    let cell = line.split_whitespace().last().expect("value cell");
+    let value: f64 = cell.parse().expect("table cell parses back to f64");
+    assert!(value > 0.0, "{line}");
+    let fixed_range = value == 0.0 || (1e-4..1e7).contains(&value.abs());
+    assert_eq!(cell.contains('e'), !fixed_range, "adaptive formatting violated: {cell}");
+}
+
+#[test]
+fn trace_and_audit_outputs_are_valid() {
+    use gnnavigator::obs::json::{parse, Value};
+
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let trace_path = dir.join("trace.json");
+    let audit_path = dir.join("audit.json");
+    let out = gnnavigate()
+        .args(["--dataset", "RD2", "--scale", "0.01", "--seed", "7"])
+        .args(["--profile-samples", "24", "--explore-budget", "300", "--epochs", "2"])
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg("--audit-out")
+        .arg(&audit_path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let audit = std::fs::read_to_string(&audit_path).expect("audit written");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The trace must be valid JSON with complete (X) events on both
+    // the wall-clock (pid 1) and sim-clock (pid 2) processes.
+    let doc = parse(&trace).expect("trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_arr).expect("traceEvents array");
+    let ph = |e: &Value| e.get("ph").and_then(Value::as_str).map(str::to_string);
+    let pid = |e: &Value| e.get("pid").and_then(Value::as_f64);
+    assert!(events.iter().any(|e| ph(e).as_deref() == Some("X") && pid(e) == Some(1.0)));
+    assert!(events.iter().any(|e| ph(e).as_deref() == Some("X") && pid(e) == Some(2.0)));
+    for e in events.iter().filter(|e| ph(e).as_deref() == Some("X")) {
+        assert!(e.get("dur").and_then(Value::as_f64).is_some(), "X event without dur");
+    }
+    // Phase tracks, the profiler workers, and the explorer all leave
+    // named threads behind.
+    let thread_names: Vec<String> = events
+        .iter()
+        .filter(|e| ph(e).as_deref() == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+        .collect();
+    for expected in ["wall clock", "sim clock", "backend", "phase.sample", "explorer"] {
+        assert!(thread_names.iter().any(|n| n == expected), "missing track {expected}");
+    }
+    assert!(thread_names.iter().any(|n| n.starts_with("profiler.worker-")), "{thread_names:?}");
+
+    // The audit trail records a reason for every decision and ends
+    // with the selected guideline.
+    let doc = parse(&audit).expect("audit parses as JSON");
+    let records = doc.get("records").and_then(Value::as_arr).expect("records array");
+    assert!(!records.is_empty());
+    for r in records {
+        let action = r.get("action").and_then(Value::as_str).expect("action");
+        assert!(
+            ["accepted", "rejected", "pruned_subtree", "selected"].contains(&action),
+            "{action}"
+        );
+        let reason = r.get("reason").and_then(Value::as_str).expect("reason");
+        assert!(!reason.is_empty(), "empty reason for {action}");
+        assert!(r.get("config").and_then(Value::as_str).is_some());
+    }
+    assert_eq!(
+        records.last().and_then(|r| r.get("action")).and_then(Value::as_str),
+        Some("selected")
+    );
+    assert!(records.iter().any(|r| r.get("action").and_then(Value::as_str) == Some("accepted")));
+}
+
+#[test]
+fn metrics_diff_gates_regressions() {
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let write = |name: &str, batches: u64| {
+        let path = dir.join(name);
+        let json = format!(
+            "{{\"version\": 2, \"enabled\": true, \
+             \"counters\": {{\"backend.batches\": {batches}}}, \
+             \"gauges\": {{}}, \"histograms\": {{}}}}"
+        );
+        std::fs::write(&path, json).expect("write snapshot");
+        path
+    };
+    let baseline = write("baseline.json", 100);
+    let regressed = write("regressed.json", 200);
+    let ok = write("ok.json", 110);
+
+    // An injected 100% regression breaches the 20% threshold.
+    let out = gnnavigate()
+        .arg("metrics-diff")
+        .args([&baseline, &regressed])
+        .args(["--threshold", "20"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "regression must exit non-zero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BREACH"), "{text}");
+    assert!(text.contains("backend.batches"), "{text}");
+    assert!(text.contains("1 breach"), "{text}");
+
+    // A 10% move passes the same gate.
+    let out = gnnavigate()
+        .arg("metrics-diff")
+        .args([&baseline, &ok])
+        .args(["--threshold", "20"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 breach"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_diff_rejects_bad_invocations() {
+    // Wrong arity.
+    let out = gnnavigate().args(["metrics-diff", "only-one.json"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two"));
+
+    // Missing file.
+    let out = gnnavigate()
+        .args(["metrics-diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/a.json"));
 }
 
 #[test]

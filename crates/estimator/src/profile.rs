@@ -143,6 +143,12 @@ impl Profiler {
     ) -> Result<ProfileDb, RuntimeError> {
         let metrics = gnnav_obs::global();
         let sweep_span = metrics.span(metric::PROFILER_SWEEP_WALL);
+        // Spans opened on the workers below would otherwise record at
+        // the top level — their thread-local span stacks are empty —
+        // so the sweep's dotted path is captured here and re-anchored
+        // per worker with `span_under`.
+        let sweep_path = sweep_span.path().to_string();
+        let journal = metrics.journal();
         // Records carry the config index they came from so the final
         // database order is independent of thread completion order —
         // downstream fits must be deterministic for a given seed.
@@ -152,15 +158,36 @@ impl Profiler {
         let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
         let workers = self.threads.min(configs.len().max(1));
         crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
+            for worker in 0..workers {
+                let sweep_path = &sweep_path;
+                let (results, busy, next) = (&results, &busy, &next);
+                scope.spawn(move |_| {
                     let started = Instant::now();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= configs.len() {
                             break;
                         }
-                        if let Ok(report) = self.backend.execute(dataset, &configs[i], &self.opts) {
+                        let config_span = metrics.span_under(sweep_path, "config");
+                        let config_wall_us = journal.is_enabled().then(|| journal.now_us());
+                        let outcome = self.backend.execute(dataset, &configs[i], &self.opts);
+                        if let Some(wall0) = config_wall_us {
+                            journal.span_complete(
+                                metric::EVENT_PROFILE_CONFIG,
+                                format!("{}{worker}", metric::TRACK_PROFILER_WORKER_PREFIX),
+                                wall0,
+                                Some(journal.now_us() - wall0),
+                                None,
+                                None,
+                                vec![
+                                    ("config_index".into(), i.into()),
+                                    ("config".into(), configs[i].summary().into()),
+                                    ("ok".into(), outcome.is_ok().into()),
+                                ],
+                            );
+                        }
+                        drop(config_span);
+                        if let Ok(report) = outcome {
                             let ctx =
                                 Context::new(dataset, self.backend.platform(), configs[i].clone());
                             let p = report.perf;
@@ -311,6 +338,47 @@ mod tests {
             assert_eq!(r.context.config, canonical.context.config);
             assert_eq!(r.epoch_time_s, canonical.epoch_time_s);
         }
+    }
+
+    #[test]
+    fn threaded_sweep_spans_are_parented() {
+        // Regression: worker threads have empty span stacks, so their
+        // spans used to record as top-level `backend.execute` instead
+        // of under the sweep. Existence-only assertions: the global
+        // registry is shared with concurrently running tests.
+        let metrics = gnnav_obs::global();
+        metrics.enable(true);
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        profiler().with_threads(2).profile(&dataset, &small_configs(3)).expect("profile");
+        let snap = metrics.snapshot();
+        assert!(
+            snap.histograms.contains_key("profiler.sweep.config"),
+            "worker config span missing: {:?}",
+            snap.histograms.keys().collect::<Vec<_>>()
+        );
+        assert!(snap.histograms.contains_key("profiler.sweep.config.backend.execute"));
+        assert!(snap.histograms.contains_key("profiler.sweep.config.backend.execute.epoch"));
+    }
+
+    #[test]
+    fn sweep_journal_records_one_event_per_config() {
+        let metrics = gnnav_obs::global();
+        metrics.enable(true);
+        metrics.journal().enable(true);
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let before = metrics
+            .journal()
+            .snapshot()
+            .events
+            .iter()
+            .filter(|e| e.name == metric::EVENT_PROFILE_CONFIG)
+            .count();
+        profiler().with_threads(2).profile(&dataset, &small_configs(3)).expect("profile");
+        let events = metrics.journal().snapshot().events;
+        let configs: Vec<_> =
+            events.iter().filter(|e| e.name == metric::EVENT_PROFILE_CONFIG).collect();
+        assert!(configs.len() >= before + 3, "got {} config events", configs.len());
+        assert!(configs.iter().all(|e| e.track.starts_with(metric::TRACK_PROFILER_WORKER_PREFIX)));
     }
 
     #[test]

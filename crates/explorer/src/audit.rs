@@ -1,0 +1,150 @@
+//! Decision audit trail for exploration runs.
+//!
+//! The DFS makes thousands of accept/reject/prune decisions per
+//! exploration; aggregate counters say how many, the audit trail says
+//! *why* — one [`AuditRecord`] per decision, with the candidate
+//! configuration, its predicted `T`/`Γ`/`Acc` triple, and the reason
+//! in plain words. The CLI dumps it via `gnnavigate --audit-out`.
+
+use gnnav_estimator::PerfEstimate;
+use gnnav_obs::json;
+
+/// What the explorer did with a candidate (or subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditAction {
+    /// Evaluated and kept: satisfies every runtime constraint.
+    Accepted,
+    /// Evaluated and discarded: violates a runtime constraint.
+    Rejected,
+    /// An entire subtree cut by an analytic bound, never evaluated.
+    PrunedSubtree,
+    /// Chosen as the final guideline by the decision maker.
+    Selected,
+}
+
+impl AuditAction {
+    /// Stable lowercase label used in the JSON dump.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditAction::Accepted => "accepted",
+            AuditAction::Rejected => "rejected",
+            AuditAction::PrunedSubtree => "pruned_subtree",
+            AuditAction::Selected => "selected",
+        }
+    }
+}
+
+/// One explorer decision.
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    /// Human-readable candidate description (`TrainingConfig::summary`
+    /// for evaluated leaves, the fixed axis assignment for pruned
+    /// subtrees).
+    pub config: String,
+    /// The estimator's prediction (`None` for pruned subtrees, which
+    /// are cut before estimation).
+    pub estimate: Option<PerfEstimate>,
+    /// What happened.
+    pub action: AuditAction,
+    /// Why, in plain words.
+    pub reason: String,
+    /// Whether the candidate came from the template seeds rather than
+    /// the DFS traversal.
+    pub seed_candidate: bool,
+}
+
+/// Serializes an audit trail as deterministic JSON:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "records": [
+///     {"action": "accepted", "config": "...", "reason": "...",
+///      "seed": false,
+///      "predicted": {"time_s": 0.1, "mem_bytes": 1e9,
+///                    "accuracy": 0.91, "hit_rate": 0.4}}
+///   ]
+/// }
+/// ```
+pub fn audit_to_json(records: &[AuditRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 160);
+    out.push_str("{\n  \"version\": 1,\n  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"action\": ");
+        json::push_string(&mut out, r.action.label());
+        out.push_str(", \"config\": ");
+        json::push_string(&mut out, &r.config);
+        out.push_str(", \"reason\": ");
+        json::push_string(&mut out, &r.reason);
+        out.push_str(&format!(", \"seed\": {}", r.seed_candidate));
+        out.push_str(", \"predicted\": ");
+        match &r.estimate {
+            Some(est) => {
+                out.push_str("{\"time_s\": ");
+                json::push_f64(&mut out, est.time_s);
+                out.push_str(", \"mem_bytes\": ");
+                json::push_f64(&mut out, est.mem_bytes);
+                out.push_str(", \"accuracy\": ");
+                json::push_f64(&mut out, est.accuracy);
+                out.push_str(", \"hit_rate\": ");
+                json::push_f64(&mut out, est.hit_rate);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_json_is_parsable_and_complete() {
+        let records = vec![
+            AuditRecord {
+                config: "batch=512 \"quoted\"".into(),
+                estimate: Some(PerfEstimate {
+                    time_s: 0.25,
+                    mem_bytes: 1e9,
+                    accuracy: 0.9,
+                    batch_nodes: 100.0,
+                    hit_rate: 0.5,
+                }),
+                action: AuditAction::Accepted,
+                reason: "satisfies all constraints".into(),
+                seed_candidate: true,
+            },
+            AuditRecord {
+                config: "cache_ratio=0.5".into(),
+                estimate: None,
+                action: AuditAction::PrunedSubtree,
+                reason: "cache lower bound exceeds memory budget".into(),
+                seed_candidate: false,
+            },
+        ];
+        let text = audit_to_json(&records);
+        let doc = json::parse(&text).expect("valid JSON");
+        let recs = doc.get("records").and_then(|r| r.as_arr()).expect("records");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get("action").and_then(json::Value::as_str), Some("accepted"));
+        assert_eq!(
+            recs[0].get("predicted").and_then(|p| p.get("time_s")).and_then(json::Value::as_f64),
+            Some(0.25)
+        );
+        assert_eq!(recs[0].get("seed"), Some(&json::Value::Bool(true)));
+        assert_eq!(recs[1].get("predicted"), Some(&json::Value::Null));
+        assert_eq!(recs[1].get("action").and_then(json::Value::as_str), Some("pruned_subtree"));
+    }
+
+    #[test]
+    fn empty_trail_is_valid_json() {
+        let text = audit_to_json(&[]);
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("records").and_then(|r| r.as_arr()).map(<[_]>::len), Some(0));
+    }
+}

@@ -5,11 +5,13 @@
 //! estimator at candidates and pruning subtrees whose estimated
 //! performance cannot satisfy the runtime constraints.
 
+use crate::audit::{AuditAction, AuditRecord};
 use crate::targets::RuntimeConstraints;
 use gnnav_estimator::{Context, GrayBoxEstimator, PerfEstimate};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
+use gnnav_obs::names as metric;
 use gnnav_runtime::{DesignSpace, TrainingConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -71,27 +73,79 @@ impl DfsExplorer {
         constraints: &RuntimeConstraints,
         seeds: &[TrainingConfig],
     ) -> (Vec<EvaluatedCandidate>, DfsStats) {
+        let (out, stats, _) =
+            self.run_audited(estimator, dataset, platform, model, constraints, seeds);
+        (out, stats)
+    }
+
+    /// Like [`DfsExplorer::run`], additionally returning one
+    /// [`AuditRecord`] per decision — every evaluated candidate
+    /// (accepted or rejected, with the violated constraint spelled
+    /// out) and every pruned subtree. When the global journal is
+    /// recording, each decision is also emitted as an instant event on
+    /// the `explorer` track.
+    pub fn run_audited(
+        &self,
+        estimator: &GrayBoxEstimator,
+        dataset: &Dataset,
+        platform: &Platform,
+        model: ModelKind,
+        constraints: &RuntimeConstraints,
+        seeds: &[TrainingConfig],
+    ) -> (Vec<EvaluatedCandidate>, DfsStats, Vec<AuditRecord>) {
         let mut stats = DfsStats::default();
         let mut out: Vec<EvaluatedCandidate> = Vec::new();
-        let mut evaluate =
-            |config: TrainingConfig, stats: &mut DfsStats, out: &mut Vec<EvaluatedCandidate>| {
-                let ctx = Context::new(dataset, platform, config.clone());
-                let estimate = estimator.predict(&ctx);
-                stats.evaluated += 1;
-                if constraints.satisfied_by(&estimate) {
-                    out.push(EvaluatedCandidate { config, estimate });
-                } else {
-                    stats.rejected += 1;
-                }
-            };
+        let mut audit: Vec<AuditRecord> = Vec::new();
+        let journal = gnnav_obs::global().journal();
+        let seed_phase = std::cell::Cell::new(true);
+        let mut evaluate = |config: TrainingConfig,
+                            stats: &mut DfsStats,
+                            out: &mut Vec<EvaluatedCandidate>,
+                            audit: &mut Vec<AuditRecord>| {
+            let ctx = Context::new(dataset, platform, config.clone());
+            let estimate = estimator.predict(&ctx);
+            stats.evaluated += 1;
+            let violation = constraints.violation(&estimate);
+            let accepted = violation.is_none();
+            let reason =
+                violation.unwrap_or_else(|| "satisfies all runtime constraints".to_string());
+            if journal.is_enabled() {
+                journal.instant(
+                    metric::EVENT_CANDIDATE,
+                    metric::TRACK_EXPLORER,
+                    None,
+                    vec![
+                        ("config".into(), config.summary().into()),
+                        ("time_s".into(), estimate.time_s.into()),
+                        ("mem_bytes".into(), estimate.mem_bytes.into()),
+                        ("accuracy".into(), estimate.accuracy.into()),
+                        ("accepted".into(), accepted.into()),
+                        ("reason".into(), reason.as_str().into()),
+                    ],
+                );
+            }
+            audit.push(AuditRecord {
+                config: config.summary(),
+                estimate: Some(estimate),
+                action: if accepted { AuditAction::Accepted } else { AuditAction::Rejected },
+                reason,
+                seed_candidate: seed_phase.get(),
+            });
+            if accepted {
+                out.push(EvaluatedCandidate { config, estimate });
+            } else {
+                stats.rejected += 1;
+            }
+        };
 
         // Seeds: the templates of existing systems, so guidelines never
         // lose to the approaches the explorer knows about.
         for seed_config in seeds {
             if seed_config.validate().is_ok() {
-                evaluate(seed_config.clone(), &mut stats, &mut out);
+                evaluate(seed_config.clone(), &mut stats, &mut out, &mut audit);
             }
         }
+        seed_phase.set(false);
 
         // Restarted, randomized-order DFS: a budgeted DFS from one
         // root only varies the deepest axes, so the budget is split
@@ -128,6 +182,7 @@ impl DfsExplorer {
                 &mut visited,
                 &mut stats,
                 &mut out,
+                &mut audit,
                 &mut evaluate,
             );
             if restart_evals == 0 {
@@ -135,7 +190,7 @@ impl DfsExplorer {
             }
             spent += restart_evals;
         }
-        (out, stats)
+        (out, stats, audit)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -153,7 +208,13 @@ impl DfsExplorer {
         visited: &mut std::collections::HashSet<Vec<usize>>,
         stats: &mut DfsStats,
         out: &mut Vec<EvaluatedCandidate>,
-        evaluate: &mut impl FnMut(TrainingConfig, &mut DfsStats, &mut Vec<EvaluatedCandidate>),
+        audit: &mut Vec<AuditRecord>,
+        evaluate: &mut impl FnMut(
+            TrainingConfig,
+            &mut DfsStats,
+            &mut Vec<EvaluatedCandidate>,
+            &mut Vec<AuditRecord>,
+        ),
     ) {
         if *evals >= budget {
             return;
@@ -163,7 +224,7 @@ impl DfsExplorer {
                 return; // already evaluated in a previous restart
             }
             if let Some(config) = self.space.config_at(assignment, model) {
-                evaluate(config, stats, out);
+                evaluate(config, stats, out, audit);
                 *evals += 1;
             }
             return;
@@ -182,6 +243,31 @@ impl DfsExplorer {
                     let cache_lb = ratio * dataset.num_nodes() as f64 * min_row_bytes;
                     if cache_lb > max_mem {
                         stats.pruned_subtrees += 1;
+                        let subtree = format!("subtree {}={ratio}", self.space.axis_name(axis));
+                        let reason = format!(
+                            "cache memory lower bound {:.2} MB > max {:.2} MB",
+                            cache_lb / 1e6,
+                            max_mem / 1e6
+                        );
+                        let journal = gnnav_obs::global().journal();
+                        if journal.is_enabled() {
+                            journal.instant(
+                                metric::EVENT_PRUNE,
+                                metric::TRACK_EXPLORER,
+                                None,
+                                vec![
+                                    ("subtree".into(), subtree.as_str().into()),
+                                    ("reason".into(), reason.as_str().into()),
+                                ],
+                            );
+                        }
+                        audit.push(AuditRecord {
+                            config: subtree,
+                            estimate: None,
+                            action: AuditAction::PrunedSubtree,
+                            reason,
+                            seed_candidate: false,
+                        });
                         continue;
                     }
                 }
@@ -199,6 +285,7 @@ impl DfsExplorer {
                 visited,
                 stats,
                 out,
+                audit,
                 evaluate,
             );
             if *evals >= budget {
@@ -327,5 +414,53 @@ mod tests {
     #[should_panic(expected = "budget must be > 0")]
     fn zero_budget_rejected() {
         let _ = DfsExplorer::new(DesignSpace::standard(), 0, 1);
+    }
+
+    #[test]
+    fn audit_covers_every_decision_with_a_reason() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let est = fitted(&dataset);
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 150, 7);
+        // Tight memory budget: forces both pruned subtrees and
+        // post-estimation rejections into the trail.
+        let constraints = RuntimeConstraints {
+            max_mem_bytes: Some(0.2 * dataset.num_nodes() as f64 * dataset.feat_dim() as f64 * 2.0),
+            ..RuntimeConstraints::none()
+        };
+        let seeds = vec![gnnav_runtime::Template::Pyg.config(ModelKind::Sage)];
+        let (cands, stats, audit) = explorer.run_audited(
+            &est,
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            &constraints,
+            &seeds,
+        );
+        use crate::audit::AuditAction;
+        let accepted = audit.iter().filter(|r| r.action == AuditAction::Accepted).count();
+        let rejected = audit.iter().filter(|r| r.action == AuditAction::Rejected).count();
+        let pruned = audit.iter().filter(|r| r.action == AuditAction::PrunedSubtree).count();
+        assert_eq!(accepted + rejected, stats.evaluated, "one record per evaluation");
+        assert_eq!(accepted, cands.len());
+        assert_eq!(rejected, stats.rejected);
+        assert_eq!(pruned, stats.pruned_subtrees);
+        assert!(pruned > 0, "tight budget should prune");
+        for r in &audit {
+            assert!(!r.reason.is_empty(), "decision without a reason: {r:?}");
+            match r.action {
+                AuditAction::PrunedSubtree => {
+                    assert!(r.estimate.is_none());
+                    assert!(r.reason.contains("lower bound"), "{}", r.reason);
+                }
+                AuditAction::Rejected => {
+                    assert!(r.estimate.is_some());
+                    assert!(r.reason.contains("peak memory"), "{}", r.reason);
+                }
+                _ => assert!(r.estimate.is_some()),
+            }
+        }
+        // The seed template is flagged as such.
+        assert!(audit.first().is_some_and(|r| r.seed_candidate));
+        assert!(audit.iter().skip(1).filter(|r| r.seed_candidate).count() == 0);
     }
 }

@@ -1,5 +1,6 @@
 //! End-to-end guideline exploration (Step 2 of Fig. 2).
 
+use crate::audit::{AuditAction, AuditRecord};
 use crate::decision::{decide, Guideline};
 use crate::dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
 use crate::pareto::{objectives, pareto_front_indices};
@@ -24,6 +25,10 @@ pub struct ExplorationResult {
     pub front: Vec<usize>,
     /// Traversal statistics.
     pub stats: DfsStats,
+    /// The decision audit trail: one record per evaluated candidate
+    /// and pruned subtree, plus the selected guideline (dumped via
+    /// `gnnavigate --audit-out`).
+    pub audit: Vec<AuditRecord>,
 }
 
 /// The guideline explorer: DFS + estimator + decision maker.
@@ -103,8 +108,8 @@ impl<'a> Explorer<'a> {
         let _explore_span = metrics.span(metric::EXPLORER_EXPLORE_WALL);
         let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
         let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
-        let (evaluated, stats) =
-            dfs.run(self.estimator, dataset, platform, model, constraints, &seeds);
+        let (evaluated, stats, mut audit) =
+            dfs.run_audited(self.estimator, dataset, platform, model, constraints, &seeds);
         let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();
         let front = pareto_front_indices(&points);
         let decide_started = metrics.is_enabled().then(Instant::now);
@@ -118,7 +123,32 @@ impl<'a> Explorer<'a> {
             metrics.gauge_set(metric::EXPLORER_DECISION_LATENCY, started.elapsed().as_secs_f64());
         }
         let guideline = guideline.ok_or(ExplorerError::NoFeasibleCandidate)?;
-        Ok(ExplorationResult { guideline, evaluated, front, stats })
+        let reason = format!(
+            "minimizes the {}-weighted scalarization over a {}-point Pareto front",
+            priority.label(),
+            front.len()
+        );
+        let journal = metrics.journal();
+        if journal.is_enabled() {
+            journal.instant(
+                metric::EVENT_GUIDELINE,
+                metric::TRACK_EXPLORER,
+                None,
+                vec![
+                    ("config".into(), guideline.config.summary().into()),
+                    ("priority".into(), priority.label().into()),
+                    ("reason".into(), reason.as_str().into()),
+                ],
+            );
+        }
+        audit.push(AuditRecord {
+            config: guideline.config.summary(),
+            estimate: Some(guideline.estimate),
+            action: AuditAction::Selected,
+            reason,
+            seed_candidate: false,
+        });
+        Ok(ExplorationResult { guideline, evaluated, front, stats, audit })
     }
 }
 

@@ -9,6 +9,7 @@
 //! seeds the search with the baseline templates so guidelines never
 //! lose to the prior systems they generalize.
 
+pub mod audit;
 pub mod decision;
 pub mod dfs;
 pub mod evolution;
@@ -16,6 +17,7 @@ pub mod explorer;
 pub mod pareto;
 pub mod targets;
 
+pub use audit::{audit_to_json, AuditAction, AuditRecord};
 pub use decision::{decide, Guideline};
 pub use dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
 pub use evolution::{EvolutionParams, EvolutionarySearch};

@@ -107,6 +107,32 @@ impl RuntimeConstraints {
             && self.max_mem_bytes.is_none_or(|m| est.mem_bytes <= m)
             && self.min_accuracy.is_none_or(|a| est.accuracy >= a)
     }
+
+    /// The first constraint `est` violates, described with the
+    /// predicted value and the limit — `None` when all are satisfied.
+    /// Feeds the explorer's decision audit trail.
+    pub fn violation(&self, est: &PerfEstimate) -> Option<String> {
+        if let Some(t) = self.max_time_s {
+            if est.time_s > t {
+                return Some(format!("predicted epoch time {:.4}s > max {t:.4}s", est.time_s));
+            }
+        }
+        if let Some(m) = self.max_mem_bytes {
+            if est.mem_bytes > m {
+                return Some(format!(
+                    "predicted peak memory {:.2} MB > max {:.2} MB",
+                    est.mem_bytes / 1e6,
+                    m / 1e6
+                ));
+            }
+        }
+        if let Some(a) = self.min_accuracy {
+            if est.accuracy < a {
+                return Some(format!("predicted accuracy {:.4} < min {a:.4}", est.accuracy));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +173,23 @@ mod tests {
         assert!(!c.satisfied_by(&est(0.5, 200.0, 0.9)));
         assert!(!c.satisfied_by(&est(0.5, 50.0, 0.5)));
         assert!(RuntimeConstraints::none().satisfied_by(&est(1e9, 1e18, 0.0)));
+    }
+
+    #[test]
+    fn violation_names_the_breached_constraint() {
+        let c = RuntimeConstraints {
+            max_time_s: Some(1.0),
+            max_mem_bytes: Some(100e6),
+            min_accuracy: Some(0.8),
+        };
+        assert_eq!(c.violation(&est(0.5, 50e6, 0.9)), None);
+        assert!(c.violation(&est(2.0, 50e6, 0.9)).unwrap().contains("epoch time"));
+        assert!(c.violation(&est(0.5, 200e6, 0.9)).unwrap().contains("peak memory"));
+        assert!(c.violation(&est(0.5, 50e6, 0.5)).unwrap().contains("accuracy"));
+        assert_eq!(RuntimeConstraints::none().violation(&est(1e9, 1e18, 0.0)), None);
+        // Consistency with the boolean form.
+        for e in [est(2.0, 50e6, 0.9), est(0.5, 50e6, 0.9)] {
+            assert_eq!(c.satisfied_by(&e), c.violation(&e).is_none());
+        }
     }
 }

@@ -62,6 +62,12 @@ impl SimTime {
         self.0 * 1e3
     }
 
+    /// The duration in microseconds (the unit Chrome trace-event
+    /// timestamps use, see `gnnav_obs::journal`).
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
     /// The larger of two durations (models parallel composition, as in
     /// the `max` of the paper's Eq. 4).
     pub fn max(self, other: SimTime) -> SimTime {
@@ -115,6 +121,7 @@ mod tests {
     fn conversions_roundtrip() {
         assert!((SimTime::from_millis(2.0).as_secs() - 0.002).abs() < 1e-15);
         assert!((SimTime::from_micros(5.0).as_millis() - 0.005).abs() < 1e-12);
+        assert!((SimTime::from_millis(2.0).as_micros() - 2000.0).abs() < 1e-9);
     }
 
     #[test]

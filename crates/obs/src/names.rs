@@ -1,9 +1,62 @@
-//! Canonical metric names.
+//! Canonical metric, event, and track names.
 //!
 //! Centralized so instrumentation sites, the CLI exporter, and the
 //! schema tests agree on spelling. Naming scheme:
 //! `<component>.<subject>[.<unit-suffix>]`, with `_s` marking seconds
 //! (simulated unless the name says `wall`).
+//!
+//! # Catalogue
+//!
+//! Registry series (type / unit / emitting call site):
+//!
+//! | series | type | unit | emitted by |
+//! |---|---|---|---|
+//! | `backend.runs` | counter | runs | `RuntimeBackend::execute` |
+//! | `backend.batches` | counter | batches | `RuntimeBackend::execute` |
+//! | `backend.cache.hits` | counter | lookups | `RuntimeBackend::execute` |
+//! | `backend.cache.misses` | counter | lookups | `RuntimeBackend::execute` |
+//! | `backend.cache.evictions` | counter | rows | `RuntimeBackend::execute` |
+//! | `backend.phase.sample_s` | gauge | sim s/epoch | `RuntimeBackend::execute` (last run) |
+//! | `backend.phase.transfer_s` | gauge | sim s/epoch | `RuntimeBackend::execute` (last run) |
+//! | `backend.phase.replace_s` | gauge | sim s/epoch | `RuntimeBackend::execute` (last run) |
+//! | `backend.phase.compute_s` | gauge | sim s/epoch | `RuntimeBackend::execute` (last run) |
+//! | `backend.epoch_time_s` | gauge | sim s/epoch | `RuntimeBackend::execute` (last run) |
+//! | `backend.epoch.sim_s` | histogram | sim s | `RuntimeBackend::execute`, one obs/epoch |
+//! | `backend.epoch.hit_rate` | histogram | ratio | `RuntimeBackend::execute`, one obs/epoch |
+//! | `backend.peak_mem_bytes` | gauge | bytes | `RuntimeBackend::execute` (last run) |
+//! | `backend.wall.sample_s` | gauge | wall s | `RuntimeBackend::execute` (last run) |
+//! | `backend.wall.train_s` | gauge | wall s | `RuntimeBackend::execute` (last run) |
+//! | `backend.execute[.epoch]` | histogram | wall s | span in `RuntimeBackend::execute` |
+//! | `backend.loss.last` / `.mean` | gauge | loss | `RuntimeBackend::execute` (last run) |
+//! | `profiler.records` | counter | records | `Profiler::profile` |
+//! | `profiler.failed_configs` | counter | configs | `Profiler::profile` |
+//! | `profiler.records_per_s` | gauge | rec/wall s | `Profiler::profile` (last sweep) |
+//! | `profiler.thread_utilization` | gauge | ratio | `Profiler::profile` (last sweep) |
+//! | `profiler.threads` | gauge | threads | `Profiler::profile` (last sweep) |
+//! | `profiler.sweep` | histogram | wall s | span in `Profiler::profile` |
+//! | `profiler.sweep.config[.backend.execute[.epoch]]` | histogram | wall s | `span_under` on sweep workers |
+//! | `estimator.fits` / `.predictions` | counter | calls | `GrayBoxEstimator` |
+//! | `estimator.fit_wall_s` | gauge | wall s | `GrayBoxEstimator::fit` |
+//! | `estimator.mape.{time,memory,accuracy}` | gauge | ratio | `GrayBoxEstimator::fit` |
+//! | `explorer.runs` | counter | runs | `Explorer::explore` |
+//! | `explorer.candidates.evaluated` | counter | candidates | `DfsExplorer::run` |
+//! | `explorer.candidates.rejected` | counter | candidates | `DfsExplorer::run` |
+//! | `explorer.subtrees.pruned` | counter | subtrees | `DfsExplorer::run` |
+//! | `explorer.front.size` | gauge | candidates | `Explorer::explore` |
+//! | `explorer.decision.latency_s` | gauge | wall s | `Explorer::explore` |
+//! | `explorer.explore` | histogram | wall s | span in `Explorer::explore` |
+//!
+//! Journal events (name @ track / kind / emitting call site):
+//!
+//! | event | track | kind | emitted by |
+//! |---|---|---|---|
+//! | `epoch` | `backend` | span (wall + sim) | `RuntimeBackend::execute`, one/epoch |
+//! | `sample` / `transfer` / `replace` / `compute` | `phase.<name>` | span (sim only) | `RuntimeBackend::execute`, one/epoch |
+//! | `backend.epoch.hit_rate` | `backend` | counter sample | `RuntimeBackend::execute`, one/epoch |
+//! | `profile.config` | `profiler.worker-<i>` | span (wall) | `Profiler::profile`, one/config |
+//! | `candidate` | `explorer` | instant | `DfsExplorer::run`, one/evaluation |
+//! | `prune` | `explorer` | instant | `DfsExplorer::run`, one/pruned subtree |
+//! | `guideline` | `explorer` | instant | `Explorer::explore`, selected config |
 
 // --- runtime backend -------------------------------------------------
 
@@ -27,6 +80,12 @@ pub const PHASE_REPLACE: &str = "backend.phase.replace_s";
 pub const PHASE_COMPUTE: &str = "backend.phase.compute_s";
 /// Per-epoch simulated epoch time (gauge, last run).
 pub const EPOCH_TIME: &str = "backend.epoch_time_s";
+/// Simulated seconds per epoch (histogram, one observation per epoch).
+pub const EPOCH_SIM: &str = "backend.epoch.sim_s";
+/// Cache hit rate per epoch (histogram, one observation per epoch).
+pub const EPOCH_HIT_RATE: &str = "backend.epoch.hit_rate";
+/// Estimated peak device memory of the last run (gauge, bytes).
+pub const PEAK_MEM_BYTES: &str = "backend.peak_mem_bytes";
 /// Wall time spent in host-side sampling (gauge, last run).
 pub const WALL_SAMPLE: &str = "backend.wall.sample_s";
 /// Wall time spent in training steps (gauge, last run).
@@ -86,3 +145,27 @@ pub const EXPLORER_FRONT_SIZE: &str = "explorer.front.size";
 pub const EXPLORER_DECISION_LATENCY: &str = "explorer.decision.latency_s";
 /// Full exploration wall time (histogram, seconds).
 pub const EXPLORER_EXPLORE_WALL: &str = "explorer.explore";
+
+// --- journal tracks and events ---------------------------------------
+
+/// Journal track for per-epoch backend events.
+pub const TRACK_BACKEND: &str = "backend";
+/// Journal track prefix for per-phase simulated spans
+/// (`phase.sample`, `phase.transfer`, ...).
+pub const TRACK_PHASE_PREFIX: &str = "phase.";
+/// Journal track prefix for profiler worker threads
+/// (`profiler.worker-0`, ...).
+pub const TRACK_PROFILER_WORKER_PREFIX: &str = "profiler.worker-";
+/// Journal track for explorer decision events.
+pub const TRACK_EXPLORER: &str = "explorer";
+
+/// Per-epoch span event on [`TRACK_BACKEND`] (wall + sim clocks).
+pub const EVENT_EPOCH: &str = "epoch";
+/// Per-config span event on a profiler worker track.
+pub const EVENT_PROFILE_CONFIG: &str = "profile.config";
+/// Per-candidate audit instant on [`TRACK_EXPLORER`].
+pub const EVENT_CANDIDATE: &str = "candidate";
+/// Pruned-subtree audit instant on [`TRACK_EXPLORER`].
+pub const EVENT_PRUNE: &str = "prune";
+/// Selected-guideline audit instant on [`TRACK_EXPLORER`].
+pub const EVENT_GUIDELINE: &str = "guideline";
