@@ -40,6 +40,8 @@ OPTIONS:
     --explore-budget <N>           DFS leaf-evaluation budget
     --epochs <N>                   training epochs when applying guidelines
     --seed <N>                     pipeline seed (profiling + exploration)
+    --fault-plan <PATH>            inject deterministic faults from a JSON plan
+                                   (chaos testing; see EXPERIMENTS.md)
     --metrics-out <PATH>           write a metrics snapshot as JSON
     --trace-out <PATH>             write the event journal as Chrome trace JSON
                                    (open in Perfetto / chrome://tracing)
@@ -66,6 +68,7 @@ struct Args {
     explore_budget: Option<usize>,
     epochs: Option<usize>,
     seed: Option<u64>,
+    fault_plan: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     audit_out: Option<std::path::PathBuf>,
@@ -84,6 +87,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         explore_budget: None,
         epochs: None,
         seed: None,
+        fault_plan: None,
         metrics_out: None,
         trace_out: None,
         audit_out: None,
@@ -166,6 +170,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--seed" => {
                 args.seed = Some(value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--fault-plan" => {
+                args.fault_plan = Some(value("--fault-plan")?.into());
             }
             "--metrics-out" => {
                 args.metrics_out = Some(value("--metrics-out")?.into());
@@ -285,6 +292,19 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(s) = args.seed {
         options.seed = s;
     }
+    if let Some(path) = &args.fault_plan {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let plan = gnnavigator::faults::FaultPlan::from_json(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "fault plan loaded from {} (seed {}, {} spec(s))",
+            path.display(),
+            plan.seed,
+            plan.specs.len()
+        );
+        options.profile_exec.fault_plan = Some(plan.clone());
+        options.apply_exec.fault_plan = Some(plan);
+    }
     let mut nav = Navigator::new(dataset, args.platform, args.model).with_options(options);
     eprintln!("profiling design space + fitting gray-box estimator...");
     nav.prepare()?;
@@ -295,8 +315,26 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         "explored {} candidates ({} rejected by constraints, {} subtrees pruned)",
         result.stats.evaluated, result.stats.rejected, result.stats.pruned_subtrees
     );
+    if let Some(reason) = &result.fallback {
+        eprintln!("warning: {reason}");
+    }
 
     let guided = nav.apply(&result.guideline)?;
+    let rec = &guided.recovery;
+    if !rec.is_clean() {
+        eprintln!(
+            "recovery: {} fault(s) injected, {} retrie(s), {} degradation step(s), \
+             {} NaN step(s) skipped, {} LR halving(s)",
+            rec.faults_injected,
+            rec.retries,
+            rec.degradations.len(),
+            rec.nan_steps_skipped,
+            rec.lr_halvings
+        );
+        for step in &rec.degradations {
+            eprintln!("  degraded: {step:?}");
+        }
+    }
     let pyg = nav.run_template(Template::Pyg)?;
     println!("\n              {:>12} {:>10} {:>9}", "time/epoch", "memory", "accuracy");
     for (name, perf) in [("guideline", guided.perf), ("PyG", pyg.perf)] {

@@ -45,6 +45,8 @@ pub use gnnav_cache as cache;
 pub use gnnav_estimator as estimator;
 /// Design space exploration.
 pub use gnnav_explorer as explorer;
+/// Deterministic fault injection for chaos testing.
+pub use gnnav_faults as faults;
 /// Graph substrate: CSR graphs, generators, dataset stand-ins.
 pub use gnnav_graph as graph;
 /// Heterogeneous platform simulation.

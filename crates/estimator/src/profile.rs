@@ -7,11 +7,19 @@
 //! the gray-box model fits against.
 
 use crate::context::Context;
+use gnnav_faults::{FaultInjector, FaultKind};
 use gnnav_graph::{Dataset, DatasetId};
 use gnnav_obs::names as metric;
-use gnnav_runtime::{ExecutionOptions, RuntimeBackend, RuntimeError, TrainingConfig};
+use gnnav_runtime::{
+    ExecutionOptions, ExecutionReport, RuntimeBackend, RuntimeError, TrainingConfig,
+};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Upper bound on how long an injected straggler may actually sleep,
+/// so chaos sweeps stay fast regardless of the plan's magnitude.
+pub const STRAGGLER_SLEEP_CAP: Duration = Duration::from_millis(250);
 
 /// One profiled run: context plus every measured quantity.
 #[derive(Debug, Clone)]
@@ -99,6 +107,44 @@ impl FromIterator<ProfileRecord> for ProfileDb {
     }
 }
 
+/// One configuration that exhausted its retry budget during a sweep
+/// and was quarantined (excluded from the database).
+#[derive(Debug, Clone)]
+pub struct ConfigFailure {
+    /// Index of the failed configuration in the sweep's input slice.
+    pub config_index: usize,
+    /// Summary of the failed configuration.
+    pub config: String,
+    /// Rendered final error.
+    pub error: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// Whether the final attempt was classified as a timeout.
+    pub timed_out: bool,
+}
+
+/// Partial-sweep result: everything that profiled successfully plus
+/// the quarantined failures — one bad config no longer kills the run.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Records of every configuration that executed.
+    pub db: ProfileDb,
+    /// Configurations that exhausted their retries, by sweep order.
+    pub failures: Vec<ConfigFailure>,
+}
+
+impl SweepReport {
+    /// Indices of the quarantined configurations.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.failures.iter().map(|f| f.config_index).collect()
+    }
+
+    /// Whether every configuration produced a record.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 /// Executes configurations on the backend and records ground truth.
 #[derive(Debug, Clone)]
 pub struct Profiler {
@@ -106,13 +152,18 @@ pub struct Profiler {
     opts: ExecutionOptions,
     /// Number of worker threads for the sweep.
     threads: usize,
+    /// Bounded retries per failed configuration.
+    config_retries: u32,
+    /// Post-hoc per-config wall-time limit: an execution that comes
+    /// back slower than this is treated as failed and retried.
+    config_timeout: Option<Duration>,
 }
 
 impl Profiler {
     /// Creates a profiler running each configuration under `opts`.
     pub fn new(backend: RuntimeBackend, opts: ExecutionOptions) -> Self {
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-        Profiler { backend, opts, threads }
+        Profiler { backend, opts, threads, config_retries: 1, config_timeout: None }
     }
 
     /// Overrides the worker-thread count.
@@ -123,6 +174,20 @@ impl Profiler {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "at least one thread required");
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-config retry budget (default 1).
+    pub fn with_config_retries(mut self, retries: u32) -> Self {
+        self.config_retries = retries;
+        self
+    }
+
+    /// Sets a per-config wall-time limit. Execution is synchronous,
+    /// so the limit is enforced post-hoc: a config whose run exceeds
+    /// it is discarded, retried, and eventually quarantined.
+    pub fn with_config_timeout(mut self, timeout: Duration) -> Self {
+        self.config_timeout = Some(timeout);
         self
     }
 
@@ -141,6 +206,28 @@ impl Profiler {
         dataset: &Dataset,
         configs: &[TrainingConfig],
     ) -> Result<ProfileDb, RuntimeError> {
+        let report = self.profile_with_report(dataset, configs);
+        if report.db.is_empty() && !configs.is_empty() {
+            return Err(RuntimeError::InvalidConfig(
+                "every profiled configuration failed to execute".into(),
+            ));
+        }
+        Ok(report.db)
+    }
+
+    /// Like [`profile`](Self::profile), but never gives up on the
+    /// sweep: failed configurations are retried up to the configured
+    /// budget, quarantined on exhaustion, and reported alongside the
+    /// partial database. Worker-level faults (crashes, stragglers)
+    /// from the execution options' fault plan are injected here,
+    /// keyed by config index.
+    pub fn profile_with_report(
+        &self,
+        dataset: &Dataset,
+        configs: &[TrainingConfig],
+    ) -> SweepReport {
+        let injector =
+            self.opts.fault_plan.as_ref().filter(|p| !p.is_empty()).map(FaultInjector::new);
         let metrics = gnnav_obs::global();
         let sweep_span = metrics.span(metric::PROFILER_SWEEP_WALL);
         // Spans opened on the workers below would otherwise record at
@@ -154,23 +241,90 @@ impl Profiler {
         // downstream fits must be deterministic for a given seed.
         let results: Mutex<Vec<(usize, ProfileRecord)>> =
             Mutex::new(Vec::with_capacity(configs.len()));
+        let failed: Mutex<Vec<(usize, ConfigFailure)>> = Mutex::new(Vec::new());
         let busy: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let retries_total = AtomicU64::new(0);
+        let timeouts_total = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
         let workers = self.threads.min(configs.len().max(1));
         crossbeam::thread::scope(|scope| {
             for worker in 0..workers {
                 let sweep_path = &sweep_path;
-                let (results, busy, next) = (&results, &busy, &next);
+                let injector = &injector;
+                let (results, failed, busy) = (&results, &failed, &busy);
+                let (next, retries_total, timeouts_total) =
+                    (&next, &retries_total, &timeouts_total);
                 scope.spawn(move |_| {
                     let started = Instant::now();
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= configs.len() {
                             break;
                         }
+                        // One attempt: injected worker faults first,
+                        // then the real execution, then post-hoc
+                        // timeout classification. Err carries the
+                        // rendered cause and whether it was a timeout.
+                        let attempt_once =
+                            |attempt: u32| -> Result<ExecutionReport, (String, bool)> {
+                                if injector.as_ref().is_some_and(|inj| {
+                                    inj.inject(FaultKind::WorkerCrash, i as u64, attempt, None)
+                                        .is_some()
+                                }) {
+                                    return Err(("injected worker crash".into(), false));
+                                }
+                                if let Some(secs) = injector.as_ref().and_then(|inj| {
+                                    inj.inject(FaultKind::Straggler, i as u64, attempt, None)
+                                }) {
+                                    std::thread::sleep(
+                                        Duration::from_secs_f64(secs.max(0.0))
+                                            .min(STRAGGLER_SLEEP_CAP),
+                                    );
+                                }
+                                let t0 = Instant::now();
+                                let report = self
+                                    .backend
+                                    .execute(dataset, &configs[i], &self.opts)
+                                    .map_err(|e| (e.to_string(), false))?;
+                                if let Some(limit) = self.config_timeout {
+                                    let elapsed = t0.elapsed();
+                                    if elapsed > limit {
+                                        return Err((
+                                            format!(
+                                                "exceeded per-config timeout \
+                                                 ({elapsed:?} > {limit:?})"
+                                            ),
+                                            true,
+                                        ));
+                                    }
+                                }
+                                Ok(report)
+                            };
+
                         let config_span = metrics.span_under(sweep_path, "config");
                         let config_wall_us = journal.is_enabled().then(|| journal.now_us());
-                        let outcome = self.backend.execute(dataset, &configs[i], &self.opts);
+                        let mut attempt = 0u32;
+                        let outcome = loop {
+                            match attempt_once(attempt) {
+                                Ok(report) => break Ok(report),
+                                Err((error, timed_out)) => {
+                                    if timed_out {
+                                        timeouts_total.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    if attempt >= self.config_retries {
+                                        break Err(ConfigFailure {
+                                            config_index: i,
+                                            config: configs[i].summary(),
+                                            error,
+                                            attempts: attempt + 1,
+                                            timed_out,
+                                        });
+                                    }
+                                    retries_total.fetch_add(1, Ordering::Relaxed);
+                                    attempt += 1;
+                                }
+                            }
+                        };
                         if let Some(wall0) = config_wall_us {
                             journal.span_complete(
                                 metric::EVENT_PROFILE_CONFIG,
@@ -183,33 +337,40 @@ impl Profiler {
                                     ("config_index".into(), i.into()),
                                     ("config".into(), configs[i].summary().into()),
                                     ("ok".into(), outcome.is_ok().into()),
+                                    ("attempts".into(), (attempt as u64 + 1).into()),
                                 ],
                             );
                         }
                         drop(config_span);
-                        if let Ok(report) = outcome {
-                            let ctx =
-                                Context::new(dataset, self.backend.platform(), configs[i].clone());
-                            let p = report.perf;
-                            let n_iter = p.n_iter.max(1) as f64;
-                            let record = ProfileRecord {
-                                dataset_id: dataset.id(),
-                                context: ctx,
-                                epoch_time_s: p.epoch_time.as_secs(),
-                                mem_bytes: p.peak_mem_bytes as f64,
-                                accuracy: p.accuracy,
-                                hit_rate: p.hit_rate,
-                                avg_batch_nodes: p.avg_batch_nodes,
-                                avg_batch_edges: p.avg_batch_edges,
-                                phase_s: [
-                                    p.phases.sample.as_secs() / n_iter,
-                                    p.phases.transfer.as_secs() / n_iter,
-                                    p.phases.replace.as_secs() / n_iter,
-                                    p.phases.compute.as_secs() / n_iter,
-                                ],
-                                n_iter,
-                            };
-                            results.lock().push((i, record));
+                        match outcome {
+                            Ok(report) => {
+                                let ctx = Context::new(
+                                    dataset,
+                                    self.backend.platform(),
+                                    configs[i].clone(),
+                                );
+                                let p = report.perf;
+                                let n_iter = p.n_iter.max(1) as f64;
+                                let record = ProfileRecord {
+                                    dataset_id: dataset.id(),
+                                    context: ctx,
+                                    epoch_time_s: p.epoch_time.as_secs(),
+                                    mem_bytes: p.peak_mem_bytes as f64,
+                                    accuracy: p.accuracy,
+                                    hit_rate: p.hit_rate,
+                                    avg_batch_nodes: p.avg_batch_nodes,
+                                    avg_batch_edges: p.avg_batch_edges,
+                                    phase_s: [
+                                        p.phases.sample.as_secs() / n_iter,
+                                        p.phases.transfer.as_secs() / n_iter,
+                                        p.phases.replace.as_secs() / n_iter,
+                                        p.phases.compute.as_secs() / n_iter,
+                                    ],
+                                    n_iter,
+                                };
+                                results.lock().push((i, record));
+                            }
+                            Err(failure) => failed.lock().push((i, failure)),
                         }
                     }
                     busy.lock().push(started.elapsed());
@@ -220,11 +381,19 @@ impl Profiler {
         let mut indexed = results.into_inner();
         indexed.sort_by_key(|(i, _)| *i);
         let records: Vec<ProfileRecord> = indexed.into_iter().map(|(_, r)| r).collect();
+        let mut failures = failed.into_inner();
+        failures.sort_by_key(|(i, _)| *i);
+        let failures: Vec<ConfigFailure> = failures.into_iter().map(|(_, f)| f).collect();
 
         if metrics.is_enabled() {
             let wall = sweep_span.elapsed().as_secs_f64();
             metrics.add(metric::PROFILER_RECORDS, records.len() as u64);
-            metrics.add(metric::PROFILER_FAILED, (configs.len() - records.len()) as u64);
+            metrics.add(metric::PROFILER_FAILED, failures.len() as u64);
+            // Zero-valued adds still register the series, pinning the
+            // perf-gate baselines at zero on the no-fault path.
+            metrics.add(metric::PROFILER_RETRIES, retries_total.load(Ordering::Relaxed));
+            metrics.add(metric::PROFILER_QUARANTINED, failures.len() as u64);
+            metrics.add(metric::PROFILER_TIMEOUTS, timeouts_total.load(Ordering::Relaxed));
             metrics.gauge_set(metric::PROFILER_THREADS, workers as f64);
             if wall > 0.0 {
                 metrics.gauge_set(metric::PROFILER_RECORDS_PER_S, records.len() as f64 / wall);
@@ -236,12 +405,7 @@ impl Profiler {
             }
         }
 
-        if records.is_empty() && !configs.is_empty() {
-            return Err(RuntimeError::InvalidConfig(
-                "every profiled configuration failed to execute".into(),
-            ));
-        }
-        Ok(ProfileDb { records })
+        SweepReport { db: ProfileDb { records }, failures }
     }
 
     /// Profiles `configs` on `count` randomly generated power-law
@@ -405,5 +569,121 @@ mod tests {
     fn collection_traits() {
         let db: ProfileDb = Vec::new().into_iter().collect();
         assert!(db.is_empty());
+    }
+
+    use gnnav_faults::{FaultKind, FaultPlan, FaultSpec};
+
+    fn profiler_with_plan(plan: FaultPlan) -> Profiler {
+        let opts = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(1),
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts).with_threads(2)
+    }
+
+    #[test]
+    fn worker_crash_survived_by_retry() {
+        // Every config's first attempt crashes; the retry budget (1)
+        // absorbs it and the sweep completes in full.
+        let plan = FaultPlan::new(41)
+            .with_fault(FaultSpec::new(FaultKind::WorkerCrash).with_duration_attempts(1));
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(3);
+        let report = profiler_with_plan(plan).profile_with_report(&dataset, &cfgs);
+        assert!(report.is_complete(), "retries should absorb one-shot crashes");
+        assert_eq!(report.db.len(), cfgs.len());
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn persistent_worker_crash_quarantines_and_errors() {
+        // A crash that outlives the retry budget quarantines every
+        // config; `profile` then reports the systematic failure as a
+        // typed error, never a panic.
+        let plan = FaultPlan::new(41).with_fault(FaultSpec::new(FaultKind::WorkerCrash));
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(3);
+        let p = profiler_with_plan(plan);
+        let report = p.profile_with_report(&dataset, &cfgs);
+        assert!(report.db.is_empty());
+        assert_eq!(report.quarantined(), vec![0, 1, 2]);
+        for f in &report.failures {
+            assert_eq!(f.attempts, 2, "1 retry => 2 attempts");
+            assert!(f.error.contains("injected worker crash"));
+            assert!(!f.timed_out);
+        }
+        let err = p.profile(&dataset, &cfgs).expect_err("all failed");
+        assert!(err.to_string().contains("every profiled configuration failed"));
+    }
+
+    #[test]
+    fn windowed_crash_yields_partial_sweep() {
+        // Only config 0 crashes (window [0, 1)); the rest of the
+        // sweep still lands in the database, in index order.
+        let plan =
+            FaultPlan::new(41).with_fault(FaultSpec::new(FaultKind::WorkerCrash).with_window(0, 1));
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(4);
+        let report = profiler_with_plan(plan).profile_with_report(&dataset, &cfgs);
+        assert!(!report.is_complete());
+        assert_eq!(report.quarantined(), vec![0]);
+        assert_eq!(report.db.len(), 3);
+        // profile() still succeeds on a partial sweep.
+        let db = profiler_with_plan(
+            FaultPlan::new(41).with_fault(FaultSpec::new(FaultKind::WorkerCrash).with_window(0, 1)),
+        )
+        .profile(&dataset, &cfgs)
+        .expect("partial sweep is not a hard error");
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn straggler_sleep_is_capped_and_run_completes() {
+        let plan =
+            FaultPlan::new(41).with_fault(FaultSpec::new(FaultKind::Straggler).with_magnitude(1e9));
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(2);
+        let t0 = Instant::now();
+        let report = profiler_with_plan(plan).profile_with_report(&dataset, &cfgs);
+        assert!(report.is_complete(), "stragglers slow the sweep but never kill it");
+        // 2 configs x 250ms cap, plus real work; well under an
+        // uncapped 1e9-second sleep.
+        assert!(t0.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn zero_timeout_quarantines_everything_as_timed_out() {
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(2);
+        let report =
+            profiler().with_config_timeout(Duration::ZERO).profile_with_report(&dataset, &cfgs);
+        assert!(report.db.is_empty());
+        assert_eq!(report.failures.len(), cfgs.len());
+        for f in &report.failures {
+            assert!(f.timed_out);
+            assert!(f.error.contains("timeout"));
+        }
+    }
+
+    #[test]
+    fn faulted_sweeps_are_deterministic() {
+        let mk = || {
+            FaultPlan::new(99)
+                .with_fault(FaultSpec::new(FaultKind::WorkerCrash).with_probability(0.5))
+                .with_fault(FaultSpec::new(FaultKind::Straggler).with_probability(0.3))
+        };
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(5);
+        let a = profiler_with_plan(mk()).profile_with_report(&dataset, &cfgs);
+        let b = profiler_with_plan(mk()).profile_with_report(&dataset, &cfgs);
+        assert_eq!(a.quarantined(), b.quarantined());
+        assert_eq!(a.db.len(), b.db.len());
+        for (ra, rb) in a.db.records().iter().zip(b.db.records()) {
+            assert_eq!(ra.epoch_time_s, rb.epoch_time_s);
+            assert_eq!(ra.mem_bytes, rb.mem_bytes);
+        }
     }
 }

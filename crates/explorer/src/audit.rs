@@ -20,6 +20,10 @@ pub enum AuditAction {
     PrunedSubtree,
     /// Chosen as the final guideline by the decision maker.
     Selected,
+    /// Chosen as the guideline *despite* violating a constraint: no
+    /// candidate was feasible, so the explorer degraded to the
+    /// nearest-feasible candidate instead of failing.
+    Fallback,
 }
 
 impl AuditAction {
@@ -30,6 +34,7 @@ impl AuditAction {
             AuditAction::Rejected => "rejected",
             AuditAction::PrunedSubtree => "pruned_subtree",
             AuditAction::Selected => "selected",
+            AuditAction::Fallback => "fallback",
         }
     }
 }

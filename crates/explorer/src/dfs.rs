@@ -26,6 +26,22 @@ pub struct EvaluatedCandidate {
     pub estimate: PerfEstimate,
 }
 
+/// Everything one audited DFS run produced.
+#[derive(Debug, Clone)]
+pub struct DfsOutcome {
+    /// Constraint-satisfying evaluated candidates.
+    pub accepted: Vec<EvaluatedCandidate>,
+    /// Evaluated candidates with finite predictions that violate a
+    /// constraint — the material for the nearest-feasible fallback
+    /// when nothing is accepted. Non-finite predictions are counted
+    /// in [`DfsStats::rejected`] but never kept here.
+    pub rejected: Vec<EvaluatedCandidate>,
+    /// Traversal statistics.
+    pub stats: DfsStats,
+    /// One [`AuditRecord`] per decision.
+    pub audit: Vec<AuditRecord>,
+}
+
 /// Traversal statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DfsStats {
@@ -73,17 +89,16 @@ impl DfsExplorer {
         constraints: &RuntimeConstraints,
         seeds: &[TrainingConfig],
     ) -> (Vec<EvaluatedCandidate>, DfsStats) {
-        let (out, stats, _) =
-            self.run_audited(estimator, dataset, platform, model, constraints, seeds);
-        (out, stats)
+        let outcome = self.run_audited(estimator, dataset, platform, model, constraints, seeds);
+        (outcome.accepted, outcome.stats)
     }
 
-    /// Like [`DfsExplorer::run`], additionally returning one
-    /// [`AuditRecord`] per decision — every evaluated candidate
-    /// (accepted or rejected, with the violated constraint spelled
-    /// out) and every pruned subtree. When the global journal is
-    /// recording, each decision is also emitted as an instant event on
-    /// the `explorer` track.
+    /// Like [`DfsExplorer::run`], additionally returning the rejected
+    /// (but finitely predicted) candidates and one [`AuditRecord`] per
+    /// decision — every evaluated candidate (accepted or rejected,
+    /// with the violated constraint spelled out) and every pruned
+    /// subtree. When the global journal is recording, each decision is
+    /// also emitted as an instant event on the `explorer` track.
     pub fn run_audited(
         &self,
         estimator: &GrayBoxEstimator,
@@ -92,12 +107,14 @@ impl DfsExplorer {
         model: ModelKind,
         constraints: &RuntimeConstraints,
         seeds: &[TrainingConfig],
-    ) -> (Vec<EvaluatedCandidate>, DfsStats, Vec<AuditRecord>) {
+    ) -> DfsOutcome {
         let mut stats = DfsStats::default();
         let mut out: Vec<EvaluatedCandidate> = Vec::new();
         let mut audit: Vec<AuditRecord> = Vec::new();
-        let journal = gnnav_obs::global().journal();
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
         let seed_phase = std::cell::Cell::new(true);
+        let rejected_keep = std::cell::RefCell::new(Vec::<EvaluatedCandidate>::new());
         let mut evaluate = |config: TrainingConfig,
                             stats: &mut DfsStats,
                             out: &mut Vec<EvaluatedCandidate>,
@@ -105,7 +122,24 @@ impl DfsExplorer {
             let ctx = Context::new(dataset, platform, config.clone());
             let estimate = estimator.predict(&ctx);
             stats.evaluated += 1;
-            let violation = constraints.violation(&estimate);
+            // A degenerate estimator (NaN/inf prediction) must never
+            // crash or silently win the Pareto front: treat the
+            // candidate as rejected, with the defect spelled out.
+            let finite = estimate.time_s.is_finite()
+                && estimate.mem_bytes.is_finite()
+                && estimate.accuracy.is_finite();
+            let violation = if finite {
+                constraints.violation(&estimate)
+            } else {
+                if metrics.is_enabled() {
+                    metrics.add(metric::EXPLORER_NONFINITE, 1);
+                }
+                Some(format!(
+                    "estimator returned a non-finite prediction (time_s={}, mem_bytes={}, \
+                     accuracy={})",
+                    estimate.time_s, estimate.mem_bytes, estimate.accuracy
+                ))
+            };
             let accepted = violation.is_none();
             let reason =
                 violation.unwrap_or_else(|| "satisfies all runtime constraints".to_string());
@@ -135,6 +169,9 @@ impl DfsExplorer {
                 out.push(EvaluatedCandidate { config, estimate });
             } else {
                 stats.rejected += 1;
+                if finite {
+                    rejected_keep.borrow_mut().push(EvaluatedCandidate { config, estimate });
+                }
             }
         };
 
@@ -190,7 +227,7 @@ impl DfsExplorer {
             }
             spent += restart_evals;
         }
-        (out, stats, audit)
+        DfsOutcome { accepted: out, rejected: rejected_keep.into_inner(), stats, audit }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -428,7 +465,7 @@ mod tests {
             ..RuntimeConstraints::none()
         };
         let seeds = vec![gnnav_runtime::Template::Pyg.config(ModelKind::Sage)];
-        let (cands, stats, audit) = explorer.run_audited(
+        let outcome = explorer.run_audited(
             &est,
             &dataset,
             &Platform::default_rtx4090(),
@@ -436,7 +473,11 @@ mod tests {
             &constraints,
             &seeds,
         );
+        let DfsOutcome { accepted: cands, rejected: kept_rejected, stats, audit } = outcome;
         use crate::audit::AuditAction;
+        // Every rejection in this test is a finite constraint
+        // violation, so all of them are kept as fallback material.
+        assert_eq!(kept_rejected.len(), stats.rejected);
         let accepted = audit.iter().filter(|r| r.action == AuditAction::Accepted).count();
         let rejected = audit.iter().filter(|r| r.action == AuditAction::Rejected).count();
         let pruned = audit.iter().filter(|r| r.action == AuditAction::PrunedSubtree).count();

@@ -29,6 +29,10 @@ pub struct ExplorationResult {
     /// and pruned subtree, plus the selected guideline (dumped via
     /// `gnnavigate --audit-out`).
     pub audit: Vec<AuditRecord>,
+    /// `Some(reason)` when no candidate satisfied the constraints and
+    /// the guideline is the nearest-feasible candidate instead of a
+    /// constraint-satisfying one; `None` for a clean selection.
+    pub fallback: Option<String>,
 }
 
 /// The guideline explorer: DFS + estimator + decision maker.
@@ -92,10 +96,17 @@ impl<'a> Explorer<'a> {
     /// Explores and returns the guideline for `priority` under
     /// `constraints`, seeding the search with the baseline templates.
     ///
+    /// When no evaluated candidate satisfies the constraints the
+    /// explorer degrades gracefully: it falls back to the evaluated
+    /// candidate with the smallest total constraint excess, records
+    /// the decision in the audit trail, and reports it in
+    /// [`ExplorationResult::fallback`].
+    ///
     /// # Errors
     ///
-    /// Returns [`ExplorerError::NoFeasibleCandidate`] when no
-    /// evaluated candidate satisfies the constraints.
+    /// Returns [`ExplorerError::NoFeasibleCandidate`] only when there
+    /// is nothing to fall back to — no candidate was evaluated with a
+    /// finite prediction at all.
     pub fn explore(
         &self,
         dataset: &Dataset,
@@ -108,26 +119,61 @@ impl<'a> Explorer<'a> {
         let _explore_span = metrics.span(metric::EXPLORER_EXPLORE_WALL);
         let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
         let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
-        let (evaluated, stats, mut audit) =
+        let outcome =
             dfs.run_audited(self.estimator, dataset, platform, model, constraints, &seeds);
+        let (evaluated, rejected, stats) = (outcome.accepted, outcome.rejected, outcome.stats);
+        let mut audit = outcome.audit;
         let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();
         let front = pareto_front_indices(&points);
         let decide_started = metrics.is_enabled().then(Instant::now);
-        let guideline = decide(&evaluated, priority);
+        let decided = decide(&evaluated, priority);
         if let Some(started) = decide_started {
             metrics.add(metric::EXPLORER_RUNS, 1);
             metrics.add(metric::EXPLORER_EVALUATED, stats.evaluated as u64);
             metrics.add(metric::EXPLORER_REJECTED, stats.rejected as u64);
             metrics.add(metric::EXPLORER_PRUNED, stats.pruned_subtrees as u64);
+            // Zero-valued adds register the recovery counters so the
+            // perf-gate baselines pin them at zero on clean runs.
+            metrics.add(metric::EXPLORER_FALLBACKS, 0);
+            metrics.add(metric::EXPLORER_NONFINITE, 0);
             metrics.gauge_set(metric::EXPLORER_FRONT_SIZE, front.len() as f64);
             metrics.gauge_set(metric::EXPLORER_DECISION_LATENCY, started.elapsed().as_secs_f64());
         }
-        let guideline = guideline.ok_or(ExplorerError::NoFeasibleCandidate)?;
-        let reason = format!(
-            "minimizes the {}-weighted scalarization over a {}-point Pareto front",
-            priority.label(),
-            front.len()
-        );
+        let (guideline, action, reason, fallback) = match decided {
+            Some(g) => {
+                let reason = format!(
+                    "minimizes the {}-weighted scalarization over a {}-point Pareto front",
+                    priority.label(),
+                    front.len()
+                );
+                (g, AuditAction::Selected, reason, None)
+            }
+            None => {
+                // Graceful degradation: constraints are unsatisfiable
+                // within the budget, so hand back the least-infeasible
+                // candidate rather than nothing.
+                let best = rejected
+                    .iter()
+                    .min_by(|a, b| {
+                        constraints
+                            .excess(&a.estimate)
+                            .partial_cmp(&constraints.excess(&b.estimate))
+                            .expect("excess is never NaN")
+                    })
+                    .ok_or(ExplorerError::NoFeasibleCandidate)?;
+                let excess = constraints.excess(&best.estimate);
+                let reason = format!(
+                    "no evaluated candidate satisfies the runtime constraints; nearest-feasible \
+                     fallback (total constraint excess {excess:.4})"
+                );
+                if metrics.is_enabled() {
+                    metrics.add(metric::EXPLORER_FALLBACKS, 1);
+                }
+                let g =
+                    Guideline { config: best.config.clone(), estimate: best.estimate, priority };
+                (g, AuditAction::Fallback, reason.clone(), Some(reason))
+            }
+        };
         let journal = metrics.journal();
         if journal.is_enabled() {
             journal.instant(
@@ -138,17 +184,18 @@ impl<'a> Explorer<'a> {
                     ("config".into(), guideline.config.summary().into()),
                     ("priority".into(), priority.label().into()),
                     ("reason".into(), reason.as_str().into()),
+                    ("fallback".into(), fallback.is_some().into()),
                 ],
             );
         }
         audit.push(AuditRecord {
             config: guideline.config.summary(),
             estimate: Some(guideline.estimate),
-            action: AuditAction::Selected,
+            action,
             reason,
             seed_candidate: false,
         });
-        Ok(ExplorationResult { guideline, evaluated, front, stats, audit })
+        Ok(ExplorationResult { guideline, evaluated, front, stats, audit, fallback })
     }
 }
 
@@ -223,12 +270,12 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_constraints_error() {
+    fn infeasible_constraints_fall_back_to_nearest_candidate() {
         let (dataset, est) = setup();
         let explorer = Explorer::new(&est, 400);
         let impossible =
             RuntimeConstraints { max_time_s: Some(1e-12), ..RuntimeConstraints::none() };
-        let err = explorer
+        let result = explorer
             .explore(
                 &dataset,
                 &Platform::default_rtx4090(),
@@ -236,7 +283,41 @@ mod tests {
                 Priority::Balance,
                 &impossible,
             )
-            .unwrap_err();
-        assert!(matches!(err, ExplorerError::NoFeasibleCandidate));
+            .expect("unsatisfiable constraints degrade, they do not fail");
+        assert!(result.evaluated.is_empty(), "nothing satisfies 1 ps per epoch");
+        let reason = result.fallback.as_deref().expect("fallback recorded");
+        assert!(reason.contains("nearest-feasible"), "{reason}");
+        // The audit trail ends with the fallback decision.
+        let last = result.audit.last().expect("non-empty trail");
+        assert_eq!(last.action, AuditAction::Fallback);
+        assert_eq!(last.config, result.guideline.config.summary());
+        // The fallback pick is the fastest evaluated candidate: with
+        // only the time constraint violated, excess is monotone in
+        // predicted time.
+        let audit_times: Vec<f64> = result
+            .audit
+            .iter()
+            .filter(|r| r.action == AuditAction::Rejected)
+            .filter_map(|r| r.estimate.map(|e| e.time_s))
+            .collect();
+        let min_time = audit_times.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(result.guideline.estimate.time_s, min_time);
+    }
+
+    #[test]
+    fn feasible_exploration_reports_no_fallback() {
+        let (dataset, est) = setup();
+        let explorer = Explorer::new(&est, 400);
+        let result = explorer
+            .explore(
+                &dataset,
+                &Platform::default_rtx4090(),
+                ModelKind::Sage,
+                Priority::Balance,
+                &RuntimeConstraints::none(),
+            )
+            .expect("explore");
+        assert!(result.fallback.is_none());
+        assert_eq!(result.audit.last().map(|r| r.action), Some(AuditAction::Selected));
     }
 }

@@ -19,7 +19,7 @@ pub mod targets;
 
 pub use audit::{audit_to_json, AuditAction, AuditRecord};
 pub use decision::{decide, Guideline};
-pub use dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
+pub use dfs::{DfsExplorer, DfsOutcome, DfsStats, EvaluatedCandidate};
 pub use evolution::{EvolutionParams, EvolutionarySearch};
 pub use explorer::{ExplorationResult, Explorer};
 pub use pareto::{dominates, objectives, pareto_front_indices};

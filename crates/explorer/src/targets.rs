@@ -133,6 +133,40 @@ impl RuntimeConstraints {
         }
         None
     }
+
+    /// Total constraint excess of `est`: 0 when every constraint is
+    /// satisfied, otherwise the sum of each breached constraint's
+    /// relative overshoot. Non-finite predictions score infinity.
+    /// Ranks infeasible candidates for the explorer's nearest-feasible
+    /// fallback — smaller is closer to feasible.
+    pub fn excess(&self, est: &PerfEstimate) -> f64 {
+        if !(est.time_s.is_finite() && est.mem_bytes.is_finite() && est.accuracy.is_finite()) {
+            return f64::INFINITY;
+        }
+        // Relative overshoot; falls back to the absolute gap when the
+        // limit is 0 (a relative measure would divide by zero).
+        let over = |value: f64, limit: f64| {
+            let gap = value - limit;
+            if gap <= 0.0 {
+                0.0
+            } else if limit > 0.0 {
+                gap / limit
+            } else {
+                gap
+            }
+        };
+        let mut total = 0.0;
+        if let Some(t) = self.max_time_s {
+            total += over(est.time_s, t);
+        }
+        if let Some(m) = self.max_mem_bytes {
+            total += over(est.mem_bytes, m);
+        }
+        if let Some(a) = self.min_accuracy {
+            total += over(a, est.accuracy);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +225,26 @@ mod tests {
         for e in [est(2.0, 50e6, 0.9), est(0.5, 50e6, 0.9)] {
             assert_eq!(c.satisfied_by(&e), c.violation(&e).is_none());
         }
+    }
+
+    #[test]
+    fn excess_ranks_near_misses_below_far_misses() {
+        let c = RuntimeConstraints {
+            max_time_s: Some(1.0),
+            max_mem_bytes: Some(100e6),
+            min_accuracy: Some(0.8),
+        };
+        assert_eq!(c.excess(&est(0.5, 50e6, 0.9)), 0.0, "feasible means zero excess");
+        let near = c.excess(&est(1.1, 50e6, 0.9));
+        let far = c.excess(&est(5.0, 50e6, 0.9));
+        assert!(near > 0.0 && near < far);
+        // Violations on several axes accumulate.
+        let multi = c.excess(&est(1.1, 200e6, 0.5));
+        assert!(multi > near);
+        // Non-finite predictions are never "nearest".
+        assert_eq!(c.excess(&est(f64::NAN, 50e6, 0.9)), f64::INFINITY);
+        assert_eq!(c.excess(&est(0.5, f64::INFINITY, 0.9)), f64::INFINITY);
+        // Unconstrained: everything finite has zero excess.
+        assert_eq!(RuntimeConstraints::none().excess(&est(1e9, 1e18, 0.0)), 0.0);
     }
 }

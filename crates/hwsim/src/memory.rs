@@ -77,7 +77,14 @@ impl MemoryLedger {
     fn try_set(&mut self, apply: impl FnOnce(&mut Self)) -> Result<(), HwError> {
         let mut next = self.clone();
         apply(&mut next);
-        let total = next.model + next.cache + next.runtime;
+        // An overflowing sum cannot possibly fit (capacity is a
+        // usize), so it is reported as OOM, not a panic — fault
+        // injection deliberately produces absurd claims.
+        let total = next
+            .model
+            .checked_add(next.cache)
+            .and_then(|t| t.checked_add(next.runtime))
+            .unwrap_or(usize::MAX);
         if total > next.capacity {
             return Err(HwError::OutOfMemory { requested: total, capacity: next.capacity });
         }
@@ -94,7 +101,7 @@ impl MemoryLedger {
     /// Bytes currently free (capacity minus model, cache, runtime) —
     /// what a transmission strategy may claim for caching.
     pub fn free_bytes(&self) -> usize {
-        self.capacity - (self.model + self.cache + self.runtime)
+        self.capacity.saturating_sub(self.model + self.cache + self.runtime)
     }
 
     /// Current `Γ_model`.
@@ -155,6 +162,48 @@ mod tests {
         m.set_cache_bytes(80).expect("fits");
         m.set_cache_bytes(10).expect("shrink ok");
         m.begin_batch(80).expect("fits now");
+    }
+
+    #[test]
+    fn failed_claim_then_retry_sequence_is_clean() {
+        // A rejected claim must leave every component AND the peak
+        // exactly as they were, so a retry (possibly after freeing
+        // memory) starts from pristine state.
+        let mut m = MemoryLedger::new(100);
+        m.set_model_bytes(20).expect("fits");
+        m.set_cache_bytes(50).expect("fits");
+        let before = m.clone();
+        for _ in 0..3 {
+            assert!(m.begin_batch(40).is_err(), "claim over capacity");
+            assert_eq!(m, before, "failed claim must not mutate the ledger");
+        }
+        // Shrink the cache (the degradation ladder's first rung),
+        // then the same claim fits.
+        m.set_cache_bytes(30).expect("shrink ok");
+        m.begin_batch(40).expect("fits after shrink");
+        assert_eq!(m.peak_bytes(), 90);
+        m.end_batch();
+    }
+
+    #[test]
+    fn failed_cache_resize_rolls_back() {
+        let mut m = MemoryLedger::new(100);
+        m.set_cache_bytes(40).expect("fits");
+        m.begin_batch(30).expect("fits");
+        assert!(m.set_cache_bytes(80).is_err(), "would exceed capacity");
+        assert_eq!(m.cache_bytes(), 40, "prior cache size kept");
+        assert_eq!(m.runtime_bytes(), 30, "runtime untouched");
+        assert_eq!(m.peak_bytes(), 70, "peak untouched by the failure");
+    }
+
+    #[test]
+    fn absurd_claims_report_oom_instead_of_overflowing() {
+        let mut m = MemoryLedger::new(100);
+        m.set_model_bytes(50).expect("fits");
+        let err = m.begin_batch(usize::MAX).unwrap_err();
+        assert!(matches!(err, HwError::OutOfMemory { .. }));
+        assert_eq!(m.runtime_bytes(), 0);
+        assert_eq!(m.free_bytes(), 50);
     }
 
     #[test]

@@ -41,6 +41,12 @@ impl Adam {
         self.lr
     }
 
+    /// Replaces the learning rate mid-run (moment estimates are kept).
+    /// Used by recovery guards that anneal the LR after bad steps.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
     /// Applies one update step to `params` using their accumulated
     /// gradients, then leaves the gradients untouched (call
     /// `zero_grad` on the model afterwards).

@@ -45,6 +45,16 @@
 //! | `explorer.front.size` | gauge | candidates | `Explorer::explore` |
 //! | `explorer.decision.latency_s` | gauge | wall s | `Explorer::explore` |
 //! | `explorer.explore` | histogram | wall s | span in `Explorer::explore` |
+//! | `faults.injected` | counter | faults | `FaultInjector::inject` |
+//! | `faults.injected.<kind>` | counter | faults | `FaultInjector::inject` |
+//! | `backend.retries` | counter | retries | `RuntimeBackend::execute` |
+//! | `backend.degradations` | counter | ladder steps | `RuntimeBackend::execute` |
+//! | `backend.nan_loss_skips` | counter | steps | `RuntimeBackend::execute` |
+//! | `profiler.retries` | counter | retries | `Profiler::profile` |
+//! | `profiler.quarantined` | counter | configs | `Profiler::profile` |
+//! | `profiler.timeouts` | counter | configs | `Profiler::profile` |
+//! | `explorer.fallbacks` | counter | guidelines | `Explorer::explore` |
+//! | `explorer.predictions.nonfinite` | counter | candidates | `DfsExplorer::run` |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -57,6 +67,8 @@
 //! | `candidate` | `explorer` | instant | `DfsExplorer::run`, one/evaluation |
 //! | `prune` | `explorer` | instant | `DfsExplorer::run`, one/pruned subtree |
 //! | `guideline` | `explorer` | instant | `Explorer::explore`, selected config |
+//! | `fault` | `faults` | instant | `FaultInjector::inject`, one/injection |
+//! | `recovery` | `backend` | instant | `RuntimeBackend::execute`, one/recovery action |
 
 // --- runtime backend -------------------------------------------------
 
@@ -96,6 +108,12 @@ pub const EXECUTE_WALL: &str = "backend.execute";
 pub const LOSS_LAST: &str = "backend.loss.last";
 /// Mean training loss of the most recent run (gauge).
 pub const LOSS_MEAN: &str = "backend.loss.mean";
+/// Bounded retries of transient faults (sampling + memory claims).
+pub const BACKEND_RETRIES: &str = "backend.retries";
+/// Graceful-degradation ladder steps taken under persistent OOM.
+pub const BACKEND_DEGRADATIONS: &str = "backend.degradations";
+/// Training steps skipped by the NaN-loss guard.
+pub const BACKEND_NAN_SKIPS: &str = "backend.nan_loss_skips";
 
 // --- gray-box profiler ----------------------------------------------
 
@@ -111,6 +129,12 @@ pub const PROFILER_UTILIZATION: &str = "profiler.thread_utilization";
 pub const PROFILER_THREADS: &str = "profiler.threads";
 /// Full profiling-sweep wall time (histogram, seconds).
 pub const PROFILER_SWEEP_WALL: &str = "profiler.sweep";
+/// Per-config retries performed by sweep workers.
+pub const PROFILER_RETRIES: &str = "profiler.retries";
+/// Configurations quarantined after exhausting their retry budget.
+pub const PROFILER_QUARANTINED: &str = "profiler.quarantined";
+/// Config executions classified as timed out.
+pub const PROFILER_TIMEOUTS: &str = "profiler.timeouts";
 
 // --- gray-box estimator ---------------------------------------------
 
@@ -145,6 +169,17 @@ pub const EXPLORER_FRONT_SIZE: &str = "explorer.front.size";
 pub const EXPLORER_DECISION_LATENCY: &str = "explorer.decision.latency_s";
 /// Full exploration wall time (histogram, seconds).
 pub const EXPLORER_EXPLORE_WALL: &str = "explorer.explore";
+/// Explorations that fell back to a nearest-feasible guideline.
+pub const EXPLORER_FALLBACKS: &str = "explorer.fallbacks";
+/// Candidate predictions rejected for non-finite components.
+pub const EXPLORER_NONFINITE: &str = "explorer.predictions.nonfinite";
+
+// --- fault injection --------------------------------------------------
+
+/// Total faults injected by the active `FaultPlan`.
+pub const FAULTS_INJECTED: &str = "faults.injected";
+/// Per-kind injected-fault counter prefix (`faults.injected.<kind>`).
+pub const FAULTS_INJECTED_PREFIX: &str = "faults.injected.";
 
 // --- journal tracks and events ---------------------------------------
 
@@ -158,6 +193,8 @@ pub const TRACK_PHASE_PREFIX: &str = "phase.";
 pub const TRACK_PROFILER_WORKER_PREFIX: &str = "profiler.worker-";
 /// Journal track for explorer decision events.
 pub const TRACK_EXPLORER: &str = "explorer";
+/// Journal track for fault injections.
+pub const TRACK_FAULTS: &str = "faults";
 
 /// Per-epoch span event on [`TRACK_BACKEND`] (wall + sim clocks).
 pub const EVENT_EPOCH: &str = "epoch";
@@ -169,3 +206,7 @@ pub const EVENT_CANDIDATE: &str = "candidate";
 pub const EVENT_PRUNE: &str = "prune";
 /// Selected-guideline audit instant on [`TRACK_EXPLORER`].
 pub const EVENT_GUIDELINE: &str = "guideline";
+/// Per-injection instant on [`TRACK_FAULTS`].
+pub const EVENT_FAULT: &str = "fault";
+/// Per-recovery-action instant on [`TRACK_BACKEND`].
+pub const EVENT_RECOVERY: &str = "recovery";

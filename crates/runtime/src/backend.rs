@@ -10,7 +10,8 @@
 use crate::config::TrainingConfig;
 use crate::perf::{Perf, PhaseBreakdown};
 use crate::RuntimeError;
-use gnnav_cache::build_cache;
+use gnnav_cache::{build_cache, CacheStats};
+use gnnav_faults::{FaultInjector, FaultKind, FaultPlan};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::{CostModel, MemoryLedger, Platform, SimTime};
 use gnnav_nn::tensor::Matrix;
@@ -24,6 +25,15 @@ use std::time::{Duration, Instant};
 /// Probability (at `η = 1`) that a cold training target is replaced
 /// by a hot one during locality-aware target scheduling.
 pub const TARGET_SWAP_AT_FULL_ETA: f64 = 0.65;
+
+/// Largest micro-batch division the degradation ladder will try
+/// before falling through to fanout reduction.
+pub const MAX_MICRO_BATCH: usize = 16;
+
+/// A `LinkDegrade` fault with magnitude at or above this factor is a
+/// *stall* (the transfer never completes) and is retried with
+/// backoff; below it, the magnitude just multiplies transfer time.
+pub const LINK_STALL_FACTOR: f64 = 1e6;
 
 /// Options controlling one backend execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +50,11 @@ pub struct ExecutionOptions {
     pub seed: u64,
     /// Learning rate of the Adam optimizer.
     pub learning_rate: f32,
+    /// Deterministic fault schedule injected into this run; `None`
+    /// runs clean.
+    pub fault_plan: Option<FaultPlan>,
+    /// How the backend retries and degrades around faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ExecutionOptions {
@@ -50,6 +65,8 @@ impl Default for ExecutionOptions {
             train_batches_cap: None,
             seed: 0x6AA7,
             learning_rate: 0.01,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -58,6 +75,97 @@ impl ExecutionOptions {
     /// Fast timing-only options (no training, 1 epoch).
     pub fn timing_only() -> Self {
         ExecutionOptions { epochs: 1, train: false, ..ExecutionOptions::default() }
+    }
+}
+
+/// How [`RuntimeBackend::execute`] retries transient faults and
+/// degrades under persistent pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Bounded retries per fault site before escalating (to the
+    /// degradation ladder for memory claims, to a typed error for
+    /// sampling failures).
+    pub max_retries: u32,
+    /// Base backoff pause in simulated milliseconds; doubles on each
+    /// retry and is charged to epoch time.
+    pub backoff_base_ms: f64,
+    /// When on, a non-finite training loss is skipped (not recorded)
+    /// and the learning rate is halved instead of poisoning the
+    /// loss history.
+    pub nan_guard: bool,
+    /// How many LR halvings the NaN guard may spend before declaring
+    /// the run unrecoverable.
+    pub max_lr_halvings: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_retries: 3, backoff_base_ms: 1.0, nan_guard: true, max_lr_halvings: 8 }
+    }
+}
+
+/// One step of the graceful-degradation ladder, in escalation order:
+/// shrink the feature cache, split the batch into micro-batches,
+/// finally reduce sampling fanout.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DegradationStep {
+    /// Halved the cache to free Γ_cache for the batch claim.
+    ShrinkCache {
+        /// Entries before the shrink.
+        from_entries: usize,
+        /// Entries after the shrink.
+        to_entries: usize,
+    },
+    /// Split each batch's transient claim across this many
+    /// micro-steps (extra kernel launches are charged).
+    MicroBatch {
+        /// Current division factor.
+        factor: usize,
+    },
+    /// Halved the sampling fanouts (min 1) to shrink mini-batches.
+    ReduceFanout {
+        /// The fanouts now in effect.
+        fanouts: Vec<usize>,
+    },
+}
+
+impl DegradationStep {
+    /// Stable action label for journal events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationStep::ShrinkCache { .. } => "shrink_cache",
+            DegradationStep::MicroBatch { .. } => "micro_batch",
+            DegradationStep::ReduceFanout { .. } => "reduce_fanout",
+        }
+    }
+}
+
+/// What the run had to absorb and how it recovered — part of every
+/// [`ExecutionReport`]; all-zero on a clean run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryLog {
+    /// Faults the plan injected into this run.
+    pub faults_injected: u64,
+    /// Bounded retries performed (sampling + memory claims).
+    pub retries: u32,
+    /// Degradation-ladder steps taken, in order.
+    pub degradations: Vec<DegradationStep>,
+    /// Training steps skipped by the NaN guard.
+    pub nan_steps_skipped: u32,
+    /// Learning-rate halvings spent by the NaN guard.
+    pub lr_halvings: u32,
+    /// Simulated time charged to backoff pauses and ladder work.
+    pub recovery_sim: SimTime,
+}
+
+impl RecoveryLog {
+    /// True when the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        self.faults_injected == 0
+            && self.retries == 0
+            && self.degradations.is_empty()
+            && self.nan_steps_skipped == 0
     }
 }
 
@@ -70,6 +178,8 @@ pub struct ExecutionReport {
     pub loss_history: Vec<f32>,
     /// The configuration that produced this report.
     pub config: TrainingConfig,
+    /// Faults absorbed and recovery actions taken.
+    pub recovery: RecoveryLog,
 }
 
 /// The reconfigurable backend bound to one hardware platform.
@@ -125,6 +235,23 @@ impl RuntimeBackend {
         if opts.epochs == 0 {
             return Err(RuntimeError::InvalidConfig("epochs must be > 0".into()));
         }
+        if let Some(plan) = &opts.fault_plan {
+            plan.validate().map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+        }
+        let policy = &opts.recovery;
+        if !policy.backoff_base_ms.is_finite() || policy.backoff_base_ms < 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "recovery backoff_base_ms {} must be finite and >= 0",
+                policy.backoff_base_ms
+            )));
+        }
+        let injector = opts.fault_plan.as_ref().filter(|p| !p.is_empty()).map(FaultInjector::new);
+        // Exponential backoff, charged to simulated time (the shift is
+        // clamped so a large retry budget cannot overflow).
+        let backoff = |attempt: u32| {
+            SimTime::from_millis(policy.backoff_base_ms * (1u64 << attempt.min(20)) as f64)
+        };
+        let mut recovery = RecoveryLog::default();
         let metrics = gnnav_obs::global();
         let _execute_span = metrics.span(metric::EXECUTE_WALL);
         let observing = metrics.is_enabled();
@@ -154,9 +281,21 @@ impl RuntimeBackend {
         ledger.set_cache_bytes(entries * row_bytes)?;
         let mut cache = build_cache(config.cache_policy, entries, graph);
 
-        let sampler = config.build_sampler(graph)?;
+        // Degradation-ladder state: the effective config starts as a
+        // copy of the requested one and only diverges when persistent
+        // OOM forces a ladder step. `stats_carry` accumulates the
+        // stats of caches replaced by ShrinkCache so hit-rate
+        // accounting stays monotone across rebuilds.
+        let mut eff_config = config.clone();
+        let mut cache_entries = entries;
+        let mut micro_batch = 1usize;
+        let mut fanout_reduced = false;
+        let mut stats_carry = CacheStats::default();
+
+        let mut sampler = config.build_sampler(graph)?;
         let mut opt = Adam::new(opts.learning_rate);
         let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut train_steps: u64 = 0;
 
         // Locality-aware target scheduling (2PGraph): with bias η the
         // epoch's target list is skewed toward cache-resident ("hot")
@@ -204,7 +343,10 @@ impl RuntimeBackend {
             let epoch_wall_us = journaling.then(|| journal.now_us());
             let epoch_sim_start = epoch_time_total;
             let epoch_phases_start = phases;
-            let epoch_stats_start = cache.stats();
+            let epoch_stats_start = CacheStats {
+                lookups: stats_carry.lookups + cache.stats().lookups,
+                hits: stats_carry.hits + cache.stats().hits,
+            };
             let epoch_batches_start = total_batches;
 
             let mut epoch_targets = dataset.split().train.clone();
@@ -220,37 +362,204 @@ impl RuntimeBackend {
             let batches = batch_targets(&epoch_targets, config.batch_size, &mut rng);
             n_iter = batches.len();
             for (bi, targets) in batches.iter().enumerate() {
-                let sample_started = observing.then(Instant::now);
-                let mb = sampler.sample(graph, targets, &mut rng)?;
-                if let Some(t0) = sample_started {
-                    wall_sample += t0.elapsed();
-                }
+                let batch_site = total_batches as u64;
 
-                // Host: sampling.
-                let t_sample = cost.t_sample(mb.expansion(), mb.num_edges());
+                // The whole batch attempt — sampling through the
+                // transient memory claim — can be aborted and
+                // restarted by the degradation ladder, so phase times
+                // are only accumulated after the claim succeeds.
+                let (mb, t_sample, t_transfer, t_replace, t_compute) = 'batch: loop {
+                    // Host: sampling, with bounded retry of injected
+                    // sampler failures.
+                    let mut attempt = 0u32;
+                    let mb = loop {
+                        let failed = injector.as_ref().is_some_and(|inj| {
+                            inj.inject(
+                                FaultKind::SamplerFailure,
+                                batch_site,
+                                attempt,
+                                Some(epoch_time_total.as_micros()),
+                            )
+                            .is_some()
+                        });
+                        if !failed {
+                            let sample_started = observing.then(Instant::now);
+                            let mb = sampler.sample(graph, targets, &mut rng)?;
+                            if let Some(t0) = sample_started {
+                                wall_sample += t0.elapsed();
+                            }
+                            break mb;
+                        }
+                        if attempt >= policy.max_retries {
+                            return Err(RuntimeError::RetriesExhausted {
+                                what: "mini-batch sampling".into(),
+                                attempts: attempt + 1,
+                                last_error: "injected sampler failure".into(),
+                            });
+                        }
+                        let pause = backoff(attempt);
+                        epoch_time_total += pause;
+                        recovery.recovery_sim += pause;
+                        recovery.retries += 1;
+                        attempt += 1;
+                    };
+                    let t_sample = cost.t_sample(mb.expansion(), mb.num_edges());
 
-                // Device cache: split hits/misses, transfer misses.
-                let outcome = cache.lookup(&mb.nodes);
-                let miss_bytes = outcome.misses.len() * row_bytes;
-                let t_transfer = cost.t_transfer(miss_bytes);
+                    // Device cache: split hits/misses, transfer the
+                    // misses — through a possibly degraded link. A
+                    // stalled link (factor >= LINK_STALL_FACTOR) is
+                    // retried with backoff; a slow one just stretches
+                    // the transfer.
+                    let outcome = cache.lookup(&mb.nodes);
+                    let miss_bytes = outcome.misses.len() * row_bytes;
+                    let mut t_transfer = cost.t_transfer(miss_bytes);
+                    let mut attempt = 0u32;
+                    loop {
+                        match injector.as_ref().and_then(|inj| {
+                            inj.inject(
+                                FaultKind::LinkDegrade,
+                                batch_site,
+                                attempt,
+                                Some(epoch_time_total.as_micros()),
+                            )
+                        }) {
+                            Some(factor) if factor >= LINK_STALL_FACTOR => {
+                                if attempt >= policy.max_retries {
+                                    return Err(RuntimeError::RetriesExhausted {
+                                        what: "miss transfer (stalled link)".into(),
+                                        attempts: attempt + 1,
+                                        last_error: format!(
+                                            "link stalled (degradation factor {factor})"
+                                        ),
+                                    });
+                                }
+                                let pause = backoff(attempt);
+                                epoch_time_total += pause;
+                                recovery.recovery_sim += pause;
+                                recovery.retries += 1;
+                                attempt += 1;
+                            }
+                            Some(factor) => {
+                                t_transfer = t_transfer * factor.max(1.0);
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
 
-                // Cache update per policy (frozen dynamic caches stop
-                // replacing once full).
-                let may_update = config.cache_update || cache.len() < cache.capacity();
-                let replaced = if may_update { cache.update(&outcome.misses) } else { 0 };
-                evictions += replaced;
-                let t_replace = cost.t_replace(replaced * row_bytes, cache.len());
+                    // Cache update per policy (frozen dynamic caches
+                    // stop replacing once full).
+                    let may_update = config.cache_update || cache.len() < cache.capacity();
+                    let replaced = if may_update { cache.update(&outcome.misses) } else { 0 };
+                    evictions += replaced;
+                    let t_replace = cost.t_replace(replaced * row_bytes, cache.len());
 
-                // Device compute.
-                let flops = model.flops_per_batch(mb.num_nodes(), mb.num_edges());
-                let t_compute = cost.t_compute(flops, mb.num_nodes(), config.precision);
+                    // Device compute; micro-batching pays one extra
+                    // kernel launch per additional micro-step.
+                    let flops = model.flops_per_batch(mb.num_nodes(), mb.num_edges());
+                    let mut t_compute = cost.t_compute(flops, mb.num_nodes(), config.precision);
+                    if micro_batch > 1 {
+                        t_compute += SimTime::from_micros(
+                            self.platform.device.launch_overhead_us * (micro_batch - 1) as f64,
+                        );
+                    }
 
-                // Transient memory Γ_runtime.
-                ledger.begin_batch(
-                    model.activation_bytes(mb.num_nodes(), bytes_per_scalar)
-                        + mb.num_nodes() * row_bytes,
-                )?;
-                ledger.end_batch();
+                    // Transient memory Γ_runtime: bounded retry with
+                    // backoff, then the degradation ladder.
+                    let base_claim = model.activation_bytes(mb.num_nodes(), bytes_per_scalar)
+                        + mb.num_nodes() * row_bytes;
+                    let mut attempt = 0u32;
+                    let claim_err = loop {
+                        let claim = base_claim.div_ceil(micro_batch);
+                        let requested = match injector.as_ref().and_then(|inj| {
+                            inj.inject(
+                                FaultKind::TransientOom,
+                                batch_site,
+                                attempt,
+                                Some(epoch_time_total.as_micros()),
+                            )
+                        }) {
+                            // A spike multiplies the claim; the cast
+                            // saturates at usize::MAX for extreme
+                            // magnitudes.
+                            Some(spike) => (claim as f64 * spike.max(1.0)).ceil() as usize,
+                            None => claim,
+                        };
+                        match ledger.begin_batch(requested) {
+                            Ok(()) => break None,
+                            Err(_) if attempt < policy.max_retries => {
+                                let pause = backoff(attempt);
+                                epoch_time_total += pause;
+                                recovery.recovery_sim += pause;
+                                recovery.retries += 1;
+                                attempt += 1;
+                            }
+                            Err(e) => break Some(e),
+                        }
+                    };
+                    let oom = match claim_err {
+                        None => {
+                            ledger.end_batch();
+                            break 'batch (mb, t_sample, t_transfer, t_replace, t_compute);
+                        }
+                        Some(e) => e,
+                    };
+
+                    // Retries exhausted: walk the ladder one rung and
+                    // re-run the batch under the degraded setup. Each
+                    // rung strictly shrinks remaining headroom to
+                    // consume (cache halvings are finite, micro-batch
+                    // is capped, fanout reduction fires once), so this
+                    // loop terminates.
+                    let step = if cache_entries > 0 {
+                        let to_entries = cache_entries / 2;
+                        stats_carry.lookups += cache.stats().lookups;
+                        stats_carry.hits += cache.stats().hits;
+                        cache = build_cache(config.cache_policy, to_entries, graph);
+                        ledger.set_cache_bytes(to_entries * row_bytes)?;
+                        let rebuild = cost.t_replace(to_entries * row_bytes, to_entries.max(1));
+                        epoch_time_total += rebuild;
+                        recovery.recovery_sim += rebuild;
+                        let step = DegradationStep::ShrinkCache {
+                            from_entries: cache_entries,
+                            to_entries,
+                        };
+                        cache_entries = to_entries;
+                        step
+                    } else if micro_batch < MAX_MICRO_BATCH {
+                        micro_batch *= 2;
+                        let pause = SimTime::from_micros(self.platform.device.launch_overhead_us);
+                        epoch_time_total += pause;
+                        recovery.recovery_sim += pause;
+                        DegradationStep::MicroBatch { factor: micro_batch }
+                    } else if !fanout_reduced {
+                        fanout_reduced = true;
+                        for f in eff_config.fanouts.iter_mut() {
+                            *f = (*f / 2).max(1);
+                        }
+                        sampler = eff_config.build_sampler(graph)?;
+                        DegradationStep::ReduceFanout { fanouts: eff_config.fanouts.clone() }
+                    } else {
+                        return Err(RuntimeError::RetriesExhausted {
+                            what: "transient memory claim (degradation ladder exhausted)".into(),
+                            attempts: attempt + 1,
+                            last_error: oom.to_string(),
+                        });
+                    };
+                    if journaling {
+                        journal.instant(
+                            metric::EVENT_RECOVERY,
+                            metric::TRACK_BACKEND,
+                            Some(epoch_time_total.as_micros()),
+                            vec![
+                                ("action".into(), step.label().into()),
+                                ("batch".into(), batch_site.into()),
+                                ("detail".into(), format!("{step:?}").into()),
+                            ],
+                        );
+                    }
+                    recovery.degradations.push(step);
+                };
 
                 phases.sample += t_sample;
                 phases.transfer += t_transfer;
@@ -274,7 +583,9 @@ impl RuntimeBackend {
                     let train_started = observing.then(Instant::now);
                     let x = Matrix::from_vec(mb.num_nodes(), feats.dim(), feats.gather(&mb.nodes));
                     let labels = feats.gather_labels(&mb.nodes);
-                    let loss = train::train_step(
+                    let step_site = train_steps;
+                    train_steps += 1;
+                    let mut loss = train::train_step(
                         &mut model,
                         &mut opt,
                         &mb.subgraph,
@@ -282,7 +593,50 @@ impl RuntimeBackend {
                         &labels,
                         &mb.target_locals(),
                     );
-                    loss_history.push(loss);
+                    if injector
+                        .as_ref()
+                        .and_then(|inj| {
+                            inj.inject(
+                                FaultKind::NanLoss,
+                                step_site,
+                                0,
+                                Some(epoch_time_total.as_micros()),
+                            )
+                        })
+                        .is_some()
+                    {
+                        loss = f32::NAN;
+                    }
+                    if !loss.is_finite() && policy.nan_guard {
+                        // NaN guard: drop the poisoned step from the
+                        // history and anneal the LR; a bounded number
+                        // of halvings separates a recoverable blip
+                        // from a divergent run.
+                        recovery.nan_steps_skipped += 1;
+                        if recovery.lr_halvings >= policy.max_lr_halvings {
+                            return Err(RuntimeError::RetriesExhausted {
+                                what: "NaN-loss recovery (learning-rate floor reached)".into(),
+                                attempts: recovery.nan_steps_skipped,
+                                last_error: format!("non-finite loss at training step {step_site}"),
+                            });
+                        }
+                        opt.set_lr(opt.lr() * 0.5);
+                        recovery.lr_halvings += 1;
+                        if journaling {
+                            journal.instant(
+                                metric::EVENT_RECOVERY,
+                                metric::TRACK_BACKEND,
+                                Some(epoch_time_total.as_micros()),
+                                vec![
+                                    ("action".into(), "nan_guard".into()),
+                                    ("step".into(), step_site.into()),
+                                    ("lr".into(), (opt.lr() as f64).into()),
+                                ],
+                            );
+                        }
+                    } else {
+                        loss_history.push(loss);
+                    }
                     if let Some(t0) = train_started {
                         wall_train += t0.elapsed();
                     }
@@ -291,7 +645,10 @@ impl RuntimeBackend {
 
             if observing {
                 let epoch_sim_s = epoch_time_total.as_secs() - epoch_sim_start.as_secs();
-                let stats = cache.stats();
+                let stats = CacheStats {
+                    lookups: stats_carry.lookups + cache.stats().lookups,
+                    hits: stats_carry.hits + cache.stats().hits,
+                };
                 let epoch_lookups = stats.lookups - epoch_stats_start.lookups;
                 let epoch_hits = stats.hits - epoch_stats_start.hits;
                 let epoch_hit_rate =
@@ -366,11 +723,16 @@ impl RuntimeBackend {
 
         let epochs_f = opts.epochs as f64;
         let inv_epochs = 1.0 / epochs_f;
+        let total_stats = CacheStats {
+            lookups: stats_carry.lookups + cache.stats().lookups,
+            hits: stats_carry.hits + cache.stats().hits,
+        };
+        recovery.faults_injected = injector.as_ref().map_or(0, |inj| inj.total_injected());
         let perf = Perf {
             epoch_time: epoch_time_total * inv_epochs,
             peak_mem_bytes: ledger.peak_bytes(),
             accuracy,
-            hit_rate: cache.stats().hit_rate(),
+            hit_rate: total_stats.hit_rate(),
             avg_batch_nodes: total_nodes as f64 / total_batches.max(1) as f64,
             avg_batch_edges: total_edges as f64 / total_batches.max(1) as f64,
             n_iter,
@@ -383,12 +745,18 @@ impl RuntimeBackend {
         };
 
         if observing {
-            let stats = cache.stats();
+            let stats = total_stats;
             metrics.add(metric::BACKEND_RUNS, 1);
             metrics.add(metric::BACKEND_BATCHES, total_batches as u64);
             metrics.add(metric::CACHE_HITS, stats.hits as u64);
             metrics.add(metric::CACHE_MISSES, (stats.lookups - stats.hits) as u64);
             metrics.add(metric::CACHE_EVICTIONS, evictions as u64);
+            // Recovery counters are added even when zero so the
+            // perf-gate baselines pin them at zero on the clean path.
+            metrics.add(metric::FAULTS_INJECTED, 0);
+            metrics.add(metric::BACKEND_RETRIES, recovery.retries as u64);
+            metrics.add(metric::BACKEND_DEGRADATIONS, recovery.degradations.len() as u64);
+            metrics.add(metric::BACKEND_NAN_SKIPS, recovery.nan_steps_skipped as u64);
             metrics.gauge_set(metric::PHASE_SAMPLE, perf.phases.sample.as_secs());
             metrics.gauge_set(metric::PHASE_TRANSFER, perf.phases.transfer.as_secs());
             metrics.gauge_set(metric::PHASE_REPLACE, perf.phases.replace.as_secs());
@@ -403,7 +771,7 @@ impl RuntimeBackend {
                 metrics.gauge_set(metric::LOSS_MEAN, mean as f64);
             }
         }
-        Ok(ExecutionReport { perf, loss_history, config: config.clone() })
+        Ok(ExecutionReport { perf, loss_history, config: config.clone(), recovery })
     }
 }
 
@@ -552,6 +920,255 @@ mod tests {
         let opts = ExecutionOptions { epochs: 4, ..Default::default() };
         let r = backend.execute(&d, &small_config(), &opts).expect("run");
         assert!(r.perf.accuracy > 0.3, "accuracy {}", r.perf.accuracy);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use gnnav_faults::{FaultKind, FaultPlan, FaultSpec};
+    use gnnav_graph::DatasetId;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load")
+    }
+
+    fn small_config() -> TrainingConfig {
+        TrainingConfig {
+            batch_size: 64,
+            fanouts: vec![5, 5],
+            hidden_dim: 16,
+            ..TrainingConfig::default()
+        }
+    }
+
+    fn opts_with(plan: FaultPlan) -> ExecutionOptions {
+        ExecutionOptions {
+            epochs: 1,
+            train_batches_cap: Some(4),
+            fault_plan: Some(plan),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn transient_oom_survived_with_retries() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        // A huge spike on the first two batches that clears on the
+        // third attempt — within the default retry budget.
+        let plan = FaultPlan::new(11).with_fault(
+            FaultSpec::new(FaultKind::TransientOom)
+                .with_magnitude(1e12)
+                .with_window(0, 2)
+                .with_duration_attempts(2),
+        );
+        let r = backend.execute(&d, &small_config(), &opts_with(plan)).expect("survive");
+        assert_eq!(r.recovery.retries, 4, "2 faulty batches x 2 failed attempts");
+        assert!(r.recovery.faults_injected >= 4);
+        assert!(r.recovery.degradations.is_empty());
+        assert!(r.recovery.recovery_sim > SimTime::ZERO);
+        assert!(!r.recovery.is_clean());
+        assert!(r.perf.epoch_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn transient_oom_persistent_exhausts_ladder_with_typed_error() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        // Persistent astronomically-large spike: retries, every ladder
+        // rung, and fanout reduction all fail — the error must be
+        // typed, never a panic.
+        let plan = FaultPlan::new(12)
+            .with_fault(FaultSpec::new(FaultKind::TransientOom).with_magnitude(1e15));
+        let err = backend.execute(&d, &small_config(), &opts_with(plan)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::RetriesExhausted { .. }),
+            "expected RetriesExhausted, got {err}"
+        );
+        assert!(err.to_string().contains("degradation ladder exhausted"));
+    }
+
+    #[test]
+    fn degradation_ladder_absorbs_real_memory_pressure() {
+        use gnnav_hwsim::DeviceProfile;
+        let d = tiny_dataset();
+        let config = small_config();
+        let opts = ExecutionOptions { epochs: 1, train_batches_cap: Some(2), ..Default::default() };
+
+        // Measure the clean peak, then rerun on a device that cannot
+        // quite hold it: the ladder must shrink the cache instead of
+        // aborting.
+        let clean = RuntimeBackend::new(Platform::default_rtx4090())
+            .execute(&d, &config, &opts)
+            .expect("clean run");
+        let mut platform = Platform::default_rtx4090();
+        platform.device =
+            DeviceProfile { mem_capacity_bytes: clean.perf.peak_mem_bytes - 1, ..platform.device };
+        let r = RuntimeBackend::new(platform).execute(&d, &config, &opts).expect("degraded run");
+        assert!(
+            r.recovery
+                .degradations
+                .iter()
+                .any(|s| matches!(s, DegradationStep::ShrinkCache { .. })),
+            "expected a cache shrink, got {:?}",
+            r.recovery.degradations
+        );
+        assert_eq!(r.recovery.faults_injected, 0, "no injection involved");
+        assert!(r.perf.peak_mem_bytes < clean.perf.peak_mem_bytes);
+        // Degradation costs simulated time.
+        assert!(r.recovery.recovery_sim > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sampler_failure_survived_then_exhausted() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let transient = FaultPlan::new(13).with_fault(
+            FaultSpec::new(FaultKind::SamplerFailure).with_window(0, 3).with_duration_attempts(2),
+        );
+        let r = backend.execute(&d, &small_config(), &opts_with(transient)).expect("survive");
+        assert_eq!(r.recovery.retries, 6, "3 faulty batches x 2 failed attempts");
+
+        let persistent = FaultPlan::new(13).with_fault(FaultSpec::new(FaultKind::SamplerFailure));
+        let err = backend.execute(&d, &small_config(), &opts_with(persistent)).unwrap_err();
+        match err {
+            RuntimeError::RetriesExhausted { what, attempts, .. } => {
+                assert!(what.contains("sampling"), "what: {what}");
+                assert_eq!(attempts, 4, "initial attempt + 3 retries");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn link_degrade_stretches_transfer_and_stall_errors_out() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let opts = |plan| ExecutionOptions { train: false, ..opts_with(plan) };
+
+        let clean = backend
+            .execute(
+                &d,
+                &small_config(),
+                &ExecutionOptions { train: false, ..opts_with(FaultPlan::new(0)) },
+            )
+            .expect("clean");
+        let slow = FaultPlan::new(14)
+            .with_fault(FaultSpec::new(FaultKind::LinkDegrade).with_magnitude(50.0));
+        let r = backend.execute(&d, &small_config(), &opts(slow)).expect("degraded");
+        assert!(
+            r.perf.phases.transfer > clean.perf.phases.transfer * 10.0,
+            "50x link degradation must dominate transfer time ({} vs {})",
+            r.perf.phases.transfer,
+            clean.perf.phases.transfer
+        );
+
+        // A persistent stall exhausts its retries.
+        let stalled = FaultPlan::new(14)
+            .with_fault(FaultSpec::new(FaultKind::LinkDegrade).with_magnitude(LINK_STALL_FACTOR));
+        let err = backend.execute(&d, &small_config(), &opts(stalled)).unwrap_err();
+        assert!(err.to_string().contains("stalled link"), "got {err}");
+
+        // A transient stall (clears within the retry budget) survives.
+        let blip = FaultPlan::new(14).with_fault(
+            FaultSpec::new(FaultKind::LinkDegrade)
+                .with_magnitude(LINK_STALL_FACTOR)
+                .with_duration_attempts(1),
+        );
+        let r = backend.execute(&d, &small_config(), &opts(blip)).expect("blip survived");
+        assert!(r.recovery.retries > 0);
+    }
+
+    #[test]
+    fn nan_guard_skips_steps_and_halves_lr() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let plan =
+            FaultPlan::new(15).with_fault(FaultSpec::new(FaultKind::NanLoss).with_window(0, 3));
+        let clean =
+            backend.execute(&d, &small_config(), &opts_with(FaultPlan::new(15))).expect("clean");
+        let r = backend.execute(&d, &small_config(), &opts_with(plan)).expect("guarded");
+        assert_eq!(r.recovery.nan_steps_skipped, 3);
+        assert_eq!(r.recovery.lr_halvings, 3);
+        assert_eq!(r.loss_history.len() + 3, clean.loss_history.len());
+        assert!(r.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn nan_guard_exhaustion_is_typed_error() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let plan = FaultPlan::new(16).with_fault(FaultSpec::new(FaultKind::NanLoss));
+        let opts = ExecutionOptions {
+            recovery: RecoveryPolicy { max_lr_halvings: 1, ..Default::default() },
+            ..opts_with(plan)
+        };
+        let err = backend.execute(&d, &small_config(), &opts).unwrap_err();
+        match err {
+            RuntimeError::RetriesExhausted { what, .. } => {
+                assert!(what.contains("NaN"), "what: {what}")
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nan_guard_off_keeps_old_behavior() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let plan =
+            FaultPlan::new(17).with_fault(FaultSpec::new(FaultKind::NanLoss).with_window(0, 1));
+        let opts = ExecutionOptions {
+            recovery: RecoveryPolicy { nan_guard: false, ..Default::default() },
+            ..opts_with(plan)
+        };
+        let r = backend.execute(&d, &small_config(), &opts).expect("no guard, no error");
+        assert!(r.loss_history.iter().any(|l| l.is_nan()), "NaN recorded verbatim");
+        assert_eq!(r.recovery.nan_steps_skipped, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let plan = FaultPlan::new(18)
+            .with_fault(
+                FaultSpec::new(FaultKind::TransientOom)
+                    .with_probability(0.5)
+                    .with_magnitude(1e12)
+                    .with_duration_attempts(1),
+            )
+            .with_fault(FaultSpec::new(FaultKind::NanLoss).with_probability(0.5))
+            .with_fault(
+                FaultSpec::new(FaultKind::LinkDegrade).with_probability(0.5).with_magnitude(3.0),
+            );
+        let a = backend.execute(&d, &small_config(), &opts_with(plan.clone())).expect("a");
+        let b = backend.execute(&d, &small_config(), &opts_with(plan)).expect("b");
+        assert_eq!(a.perf, b.perf);
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.recovery, b.recovery);
+        assert!(!a.recovery.is_clean(), "plan at p=0.5 should have fired somewhere");
+    }
+
+    #[test]
+    fn invalid_plan_and_policy_rejected_as_config_errors() {
+        let d = tiny_dataset();
+        let backend = RuntimeBackend::new(Platform::default_rtx4090());
+        let bad_plan =
+            FaultPlan::new(0).with_fault(FaultSpec::new(FaultKind::NanLoss).with_probability(2.0));
+        assert!(matches!(
+            backend.execute(&d, &small_config(), &opts_with(bad_plan)),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        let bad_policy = ExecutionOptions {
+            recovery: RecoveryPolicy { backoff_base_ms: f64::NAN, ..Default::default() },
+            ..ExecutionOptions::timing_only()
+        };
+        assert!(matches!(
+            backend.execute(&d, &small_config(), &bad_policy),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
     }
 }
 

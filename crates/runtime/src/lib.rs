@@ -19,7 +19,9 @@ pub mod report;
 pub mod space;
 pub mod templates;
 
-pub use backend::{ExecutionOptions, ExecutionReport, RuntimeBackend};
+pub use backend::{
+    DegradationStep, ExecutionOptions, ExecutionReport, RecoveryLog, RecoveryPolicy, RuntimeBackend,
+};
 pub use config::{SamplerKind, TrainingConfig};
 pub use perf::{Perf, PhaseBreakdown};
 pub use report::{write_perf_csv, write_perf_jsonl, PERF_CSV_HEADER};
@@ -39,6 +41,17 @@ pub enum RuntimeError {
     Graph(gnnav_graph::GraphError),
     /// The hardware simulation rejected the run (out of memory).
     Hw(gnnav_hwsim::HwError),
+    /// A transient fault persisted past the bounded retry budget and
+    /// every graceful-degradation step; `what` names the failing
+    /// operation and `last_error` its final failure.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        what: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Rendered final error.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -47,6 +60,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid training configuration: {msg}"),
             RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
             RuntimeError::Hw(e) => write!(f, "hardware error: {e}"),
+            RuntimeError::RetriesExhausted { what, attempts, last_error } => write!(
+                f,
+                "retries exhausted after {attempts} attempt(s) during {what}: {last_error}"
+            ),
         }
     }
 }
@@ -56,7 +73,7 @@ impl Error for RuntimeError {
         match self {
             RuntimeError::Graph(e) => Some(e),
             RuntimeError::Hw(e) => Some(e),
-            RuntimeError::InvalidConfig(_) => None,
+            RuntimeError::InvalidConfig(_) | RuntimeError::RetriesExhausted { .. } => None,
         }
     }
 }

@@ -134,6 +134,9 @@ impl DesignSpace {
             8 => self.precisions.len(),
             9 => self.hidden_dims.len(),
             10 => self.dropouts.len(),
+            // Internal invariant, not user input: axis indices come
+            // from DFS loops bounded by num_axes(), so an
+            // out-of-range axis is a caller bug.
             other => panic!("axis {other} out of range (11 axes)"),
         }
     }
@@ -152,6 +155,7 @@ impl DesignSpace {
             8 => "precision",
             9 => "hidden_dim",
             10 => "dropout",
+            // Internal invariant, same bound as axis_len above.
             other => panic!("axis {other} out of range (11 axes)"),
         }
     }
@@ -165,6 +169,8 @@ impl DesignSpace {
     /// Panics if `indices` has the wrong length or an index is out of
     /// range.
     pub fn config_at(&self, indices: &[usize], model: ModelKind) -> Option<TrainingConfig> {
+        // Internal invariant: index vectors are produced by the
+        // explorer's own traversal, never parsed from user input.
         assert_eq!(indices.len(), self.num_axes(), "one index per axis");
         let policy = self.cache_policies[indices[5]];
         let ratio = self.cache_ratios[indices[4]];
