@@ -39,6 +39,43 @@ fn bench_train_step_per_model(c: &mut Criterion) {
     group.finish();
 }
 
+/// The speedup axis: the same matmul and full training step at pool
+/// widths 1/2/4/8. On a multi-core runner the wider variants should
+/// approach `min(width, cores)`x; results stay bitwise identical
+/// regardless (see `crates/nn/tests/parallel_identity.rs`).
+fn bench_thread_sweep(c: &mut Criterion) {
+    let n = 256usize;
+    let a = glorot_uniform(n, n, 1);
+    let b = glorot_uniform(n, n, 2);
+    let mut group = c.benchmark_group("matmul_threads");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            bench.iter(|| gnnav_par::with_thread_limit(t, || a.matmul(&b)));
+        });
+    }
+    group.finish();
+
+    let g = barabasi_albert(2000, 6, 3).expect("gen");
+    let x = glorot_uniform(g.num_nodes(), 64, 4);
+    let labels: Vec<u16> = (0..g.num_nodes()).map(|v| (v % 8) as u16).collect();
+    let targets: Vec<u32> = (0..256).collect();
+    let mut group = c.benchmark_group("train_step_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            let mut model = GnnModel::new(ModelKind::Gat, 64, 32, 8, 2, 5);
+            let mut opt = Adam::new(0.01);
+            bench.iter(|| {
+                gnnav_par::with_thread_limit(t, || {
+                    train::train_step(&mut model, &mut opt, &g, &x, &labels, &targets)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_forward_only(c: &mut Criterion) {
     let g = barabasi_albert(2000, 6, 7).expect("gen");
     let x = glorot_uniform(g.num_nodes(), 64, 8);
@@ -56,5 +93,11 @@ fn bench_forward_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_train_step_per_model, bench_forward_only);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_train_step_per_model,
+    bench_thread_sweep,
+    bench_forward_only
+);
 criterion_main!(benches);

@@ -20,15 +20,39 @@
 
 use gnnav_estimator::{GrayBoxEstimator, Profiler};
 use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
-use gnnav_graph::{Dataset, DatasetId};
+use gnnav_graph::{Dataset, DatasetId, FeatureSpec, Features, GraphBuilder};
 use gnnav_hwsim::Platform;
-use gnnav_nn::ModelKind;
+use gnnav_nn::{Adam, GnnModel, Matrix, ModelKind};
+use gnnav_obs::names as metric;
 use gnnav_obs::Snapshot;
 use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
 use std::path::Path;
 
 const SCALE: f64 = 0.02;
 const SEED: u64 = 0x7A51;
+
+/// Counters that must stay at zero on a clean (fault-free) run; a
+/// non-zero value means recovery machinery fired where none should
+/// have, which would silently shift every other series in the
+/// baseline.
+const PINNED_ZERO: [&str; 9] = [
+    metric::FAULTS_INJECTED,
+    metric::BACKEND_RETRIES,
+    metric::BACKEND_DEGRADATIONS,
+    metric::BACKEND_NAN_SKIPS,
+    metric::PROFILER_RETRIES,
+    metric::PROFILER_QUARANTINED,
+    metric::PROFILER_TIMEOUTS,
+    metric::EXPLORER_FALLBACKS,
+    metric::EXPLORER_NONFINITE,
+];
+
+fn assert_clean(name: &str, snapshot: &Snapshot) {
+    for key in PINNED_ZERO {
+        let v = snapshot.counters.get(key).copied().unwrap_or(0);
+        assert_eq!(v, 0, "{name}: fault/recovery counter {key} = {v} on a clean run");
+    }
+}
 
 fn deterministic(snapshot: Snapshot) -> Snapshot {
     let mut kept = snapshot.filtered(|name| {
@@ -78,7 +102,56 @@ fn explorer_baseline(dataset: &Dataset) -> Snapshot {
     deterministic(metrics.snapshot())
 }
 
+/// A fixed training workload over all three model kinds, recording the
+/// kernel-level counters (matmul calls/flops, pool regions/tasks) that
+/// `gnnavigate metrics-diff` gates as `BENCH_nn.json`.
+fn nn_baseline() -> Snapshot {
+    let metrics = gnnav_obs::global();
+    metrics.reset();
+    // Two deterministic communities, large enough that every kernel
+    // takes its blocked path at least once.
+    let n = 192usize;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        b.add_edge(v, (v + 1) % n as u32);
+        b.add_edge(v, (v + 7) % n as u32);
+    }
+    let g = b.symmetrize().build().expect("build");
+    let comm: Vec<u32> = (0..n as u32).map(|v| v % 4).collect();
+    let feats = Features::synthesize(&comm, &FeatureSpec::new(32, 4).with_noise(0.5), SEED);
+    let x = Matrix::from_vec(n, 32, feats.matrix().to_vec());
+    let labels = feats.labels().to_vec();
+    let targets: Vec<u32> = (0..n as u32).collect();
+
+    let ks0 = gnnav_nn::kernel_stats();
+    let ps0 = gnnav_par::stats();
+    for kind in ModelKind::ALL {
+        let mut model = GnnModel::new(kind, 32, 32, 4, 2, SEED);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..4 {
+            gnnav_nn::train::train_step(&mut model, &mut opt, &g, &x, &labels, &targets);
+        }
+    }
+    let ks = gnnav_nn::kernel_stats();
+    let ps = gnnav_par::stats();
+    metrics.add(metric::NN_MATMUL_CALLS, ks.matmul_calls - ks0.matmul_calls);
+    metrics.add(metric::NN_MATMUL_FLOPS, ks.matmul_flops - ks0.matmul_flops);
+    metrics.add(metric::NN_KERNEL_PAR_REGIONS, ps.regions - ps0.regions);
+    // Deterministic only because the pool is pinned to one thread: a
+    // region's task count equals its worker count.
+    metrics.add(metric::NN_KERNEL_PAR_TASKS, ps.tasks - ps0.tasks);
+    metrics.gauge_set(metric::PAR_POOL_THREADS, gnnav_par::effective_threads() as f64);
+    deterministic(metrics.snapshot())
+}
+
 fn main() {
+    // Pin the kernel pool to a single thread before the first
+    // gnnav-par call (the GNNAV_THREADS read is cached): pool-width
+    // dependent series (par task counts, the pool gauge) must not vary
+    // with the machine that regenerates a baseline. Kernel results
+    // themselves are bitwise identical at any width; this pins only
+    // the *counters*.
+    std::env::set_var("GNNAV_THREADS", "1");
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let out_dir = Path::new(&out_dir);
     gnnav_obs::global().enable(true);
@@ -87,7 +160,9 @@ fn main() {
     for (name, snapshot) in [
         ("BENCH_backend.json", backend_baseline(&dataset)),
         ("BENCH_explorer.json", explorer_baseline(&dataset)),
+        ("BENCH_nn.json", nn_baseline()),
     ] {
+        assert_clean(name, &snapshot);
         let path = out_dir.join(name);
         std::fs::write(&path, snapshot.to_json()).expect("write baseline");
         println!(

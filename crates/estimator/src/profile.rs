@@ -247,6 +247,12 @@ impl Profiler {
         let timeouts_total = AtomicU64::new(0);
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(configs.len().max(1));
+        // Register the sweep's workers with the kernel thread pool:
+        // while the claim is alive, nested gnnav-par regions (inside
+        // the backend's training kernels) see a budget divided by the
+        // worker count, so outer x inner never oversubscribes the
+        // machine.
+        let _pool_claim = gnnav_par::PoolClaim::register(workers);
         crossbeam::thread::scope(|scope| {
             for worker in 0..workers {
                 let sweep_path = &sweep_path;
@@ -638,6 +644,50 @@ mod tests {
         .profile(&dataset, &cfgs)
         .expect("partial sweep is not a hard error");
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn wide_sweep_claims_pool_and_bounds_oversubscription() {
+        // Regression: a 16-worker sweep must register a PoolClaim so
+        // the kernels' nested parallelism divides down — otherwise 16
+        // workers x a full per-region budget explodes the thread
+        // count. Stragglers (capped at 250ms) keep the sweep alive
+        // long enough for the observer to catch the claim.
+        let plan =
+            FaultPlan::new(77).with_fault(FaultSpec::new(FaultKind::Straggler).with_magnitude(1e9));
+        let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+        let cfgs = small_configs(16);
+        let opts = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(1),
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let profiler =
+            Profiler::new(RuntimeBackend::new(Platform::default_rtx4090()), opts).with_threads(16);
+        let sweep = std::thread::spawn(move || profiler.profile_with_report(&dataset, &cfgs));
+        let mut peak_claim = 0usize;
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_secs(30) {
+            peak_claim = peak_claim.max(gnnav_par::claimed_workers());
+            if peak_claim >= 16 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = sweep.join().expect("sweep thread");
+        assert!(report.is_complete());
+        assert!(peak_claim >= 16, "sweep never registered its 16 workers (peak {peak_claim})");
+        // Under a 16-worker claim each nested region's budget is
+        // hardware/16 (min 1), so outer x inner stays within 2x the
+        // larger of core count and worker count.
+        let hw = gnnav_par::hardware_threads();
+        let inner = (hw / 16).max(1);
+        assert!(16 * inner <= 2 * hw.max(16), "outer x inner budget {} too large", 16 * inner);
+        // (Claim release on drop is covered by gnnav-par's own tests;
+        // asserting a zero global count here would race with other
+        // tests' concurrent sweeps.)
     }
 
     #[test]

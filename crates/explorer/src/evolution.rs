@@ -155,8 +155,15 @@ impl EvolutionarySearch {
         );
 
         while evaluations < self.params.budget {
-            // Offspring: mutate 1-3 axes of a random survivor.
-            let mut offspring = Vec::with_capacity(self.params.offspring);
+            // Offspring: mutate 1-3 axes of a random survivor. Genomes
+            // are drawn serially (preserving the RNG stream), then the
+            // estimator predictions — the expensive part — run across
+            // the thread pool. `par_map_indexed` returns results in
+            // draw order and `predict` is pure, so the candidate
+            // stream is identical to the serial loop's at any thread
+            // count.
+            let mut drawn: Vec<(Vec<usize>, TrainingConfig)> =
+                Vec::with_capacity(self.params.offspring);
             for _ in 0..self.params.offspring {
                 if evaluations >= self.params.budget {
                     break;
@@ -167,12 +174,22 @@ impl EvolutionarySearch {
                     let axis = rng.gen_range(0..axes);
                     child[axis] = rng.gen_range(0..self.space.axis_len(axis));
                 }
-                if let Some(c) = evaluate(&child, &mut rng, &mut evaluations) {
-                    if constraints.satisfied_by(&c.estimate) {
-                        out.push(c.clone());
-                    }
-                    offspring.push((child, c));
+                if let Some(config) = self.space.config_at(&child, model) {
+                    evaluations += 1;
+                    drawn.push((child, config));
                 }
+            }
+            let estimates = gnnav_par::par_map_indexed(&drawn, 4, |_, (_, config)| {
+                let ctx = Context::new(dataset, platform, config.clone());
+                estimator.predict(&ctx)
+            });
+            let mut offspring = Vec::with_capacity(drawn.len());
+            for ((child, config), estimate) in drawn.into_iter().zip(estimates) {
+                let c = EvaluatedCandidate { config, estimate };
+                if constraints.satisfied_by(&c.estimate) {
+                    out.push(c.clone());
+                }
+                offspring.push((child, c));
             }
             // (μ + λ) selection by scalarized score.
             population.extend(offspring);
@@ -252,6 +269,37 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn evolution_output_identical_across_thread_counts() {
+        // Offspring predictions fan out across the pool; the candidate
+        // stream must not depend on how many threads served them.
+        let (dataset, est) = setup();
+        let run = |threads: usize| {
+            gnnav_par::with_thread_limit(threads, || {
+                let search = EvolutionarySearch::new(
+                    DesignSpace::standard(),
+                    EvolutionParams { budget: 60, ..Default::default() },
+                );
+                search
+                    .run(
+                        &est,
+                        &dataset,
+                        &Platform::default_rtx4090(),
+                        ModelKind::Sage,
+                        Priority::Balance,
+                        &RuntimeConstraints::none(),
+                        &[],
+                    )
+                    .iter()
+                    .map(|c| c.config.summary())
+                    .collect::<Vec<_>>()
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
     }
 
     #[test]

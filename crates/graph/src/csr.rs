@@ -1,6 +1,7 @@
 //! Immutable CSR (compressed sparse row) graph representation.
 
 use crate::GraphError;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a node inside a [`Graph`].
 ///
@@ -35,6 +36,116 @@ pub struct Graph {
     offsets: Vec<usize>,
     /// Flattened, per-node-sorted adjacency targets.
     targets: Vec<NodeId>,
+    /// Lazily derived kernel data (degree norms, transpose); excluded
+    /// from equality, shared by clones.
+    caches: KernelCache,
+}
+
+/// Lazily computed per-graph data consumed by the NN kernels. Both
+/// members are pure functions of the CSR arrays, so the cache is
+/// invisible to equality and cheap (`Arc`) to clone.
+#[derive(Default)]
+struct KernelCache {
+    gcn_norm: OnceLock<Arc<[f32]>>,
+    transpose: OnceLock<Arc<TransposeCsr>>,
+}
+
+impl Clone for KernelCache {
+    fn clone(&self) -> Self {
+        let out = KernelCache::default();
+        if let Some(n) = self.gcn_norm.get() {
+            let _ = out.gcn_norm.set(Arc::clone(n));
+        }
+        if let Some(t) = self.transpose.get() {
+            let _ = out.transpose.set(Arc::clone(t));
+        }
+        out
+    }
+}
+
+impl PartialEq for KernelCache {
+    fn eq(&self, _other: &Self) -> bool {
+        // Derived data: two graphs with equal CSR arrays always have
+        // equal caches once computed.
+        true
+    }
+}
+
+impl Eq for KernelCache {}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("gcn_norm", &self.gcn_norm.get().map(|n| n.len()))
+            .field("transpose", &self.transpose.get().is_some())
+            .finish()
+    }
+}
+
+/// The in-edge (transpose) view of a [`Graph`], with each in-edge
+/// carrying the position of its forward twin in the graph's `targets`
+/// array. Built once per graph, on demand, by counting sort — in-edge
+/// source lists come out sorted ascending, which is what lets the
+/// backward aggregation kernels run as deterministic per-row gathers
+/// instead of scatters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransposeCsr {
+    offsets: Vec<usize>,
+    sources: Vec<NodeId>,
+    /// `forward_edge[i]` is the index into the forward `targets` array
+    /// of the edge whose transpose entry is `sources[i]`.
+    forward_edge: Vec<usize>,
+}
+
+impl TransposeCsr {
+    fn build(g: &Graph) -> Self {
+        let n = g.num_nodes;
+        let mut counts = vec![0usize; n + 1];
+        for &u in &g.targets {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut sources = vec![0 as NodeId; g.targets.len()];
+        let mut forward_edge = vec![0usize; g.targets.len()];
+        let mut cursor = counts;
+        // v ascending keeps each in-edge list sorted by source.
+        for v in 0..n {
+            for e in g.offsets[v]..g.offsets[v + 1] {
+                let u = g.targets[e] as usize;
+                let slot = cursor[u];
+                cursor[u] += 1;
+                sources[slot] = v as NodeId;
+                forward_edge[slot] = e;
+            }
+        }
+        TransposeCsr { offsets, sources, forward_edge }
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sources of the in-edges of `u`, sorted ascending.
+    #[inline]
+    pub fn in_sources(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.sources[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Forward-edge indices aligned with [`TransposeCsr::in_sources`]:
+    /// entry `i` is the position in the graph's `targets()` array of
+    /// the edge `in_sources(u)[i] -> u`.
+    #[inline]
+    pub fn in_forward_edges(&self, u: NodeId) -> &[usize] {
+        let u = u as usize;
+        &self.forward_edge[self.offsets[u]..self.offsets[u + 1]]
+    }
 }
 
 impl Graph {
@@ -89,7 +200,7 @@ impl Graph {
                 }
             }
         }
-        Ok(Graph { num_nodes, offsets, targets })
+        Ok(Graph { num_nodes, offsets, targets, caches: KernelCache::default() })
     }
 
     /// Number of nodes.
@@ -210,8 +321,29 @@ impl Graph {
             targets.extend_from_slice(&row);
             offsets.push(targets.len());
         }
-        let g = Graph { num_nodes: nodes.len(), offsets, targets };
+        let g = Graph { num_nodes: nodes.len(), offsets, targets, caches: KernelCache::default() };
         Ok((g, nodes.to_vec()))
+    }
+
+    /// The symmetric-GCN inverse-sqrt degree normalization
+    /// `1 / sqrt(degree(v) + 1)` for every node, computed once per
+    /// graph and cached. The arithmetic matches what the GCN kernel
+    /// historically recomputed per call, so cached and uncached runs
+    /// are bitwise identical.
+    pub fn gcn_inv_sqrt(&self) -> &[f32] {
+        self.caches.gcn_norm.get_or_init(|| {
+            (0..self.num_nodes as NodeId)
+                .map(|v| 1.0 / ((self.degree(v) + 1) as f32).sqrt())
+                .collect::<Vec<f32>>()
+                .into()
+        })
+    }
+
+    /// The in-edge (transpose) view of this graph, built lazily and
+    /// cached. Backward aggregation kernels use it to turn per-edge
+    /// scatters into per-row gathers.
+    pub fn transpose_csr(&self) -> &TransposeCsr {
+        self.caches.transpose.get_or_init(|| Arc::new(TransposeCsr::build(self)))
     }
 
     /// Total bytes of the CSR arrays; used by the memory cost model.
@@ -323,5 +455,58 @@ mod tests {
     #[test]
     fn storage_bytes_positive() {
         assert!(path3().storage_bytes() > 0);
+    }
+
+    #[test]
+    fn gcn_inv_sqrt_matches_degrees() {
+        let g = path3();
+        let norm = g.gcn_inv_sqrt();
+        assert_eq!(norm.len(), 3);
+        for v in 0..3u32 {
+            let expect = 1.0 / ((g.degree(v) + 1) as f32).sqrt();
+            assert_eq!(norm[v as usize], expect);
+        }
+        // Cached: second call returns the same slice.
+        assert_eq!(norm.as_ptr(), g.gcn_inv_sqrt().as_ptr());
+    }
+
+    #[test]
+    fn transpose_inverts_every_edge() {
+        let g =
+            Graph::from_csr(4, vec![0, 2, 4, 7, 8], vec![1, 2, 0, 2, 0, 1, 3, 2]).expect("valid");
+        let t = g.transpose_csr();
+        let mut seen = 0usize;
+        for u in 0..4u32 {
+            let sources = t.in_sources(u);
+            assert_eq!(sources.len(), t.in_degree(u));
+            // Sorted ascending sources, forward indices round-trip.
+            assert!(sources.windows(2).all(|w| w[0] < w[1]));
+            for (&v, &e) in sources.iter().zip(t.in_forward_edges(u)) {
+                assert_eq!(g.targets()[e], u);
+                assert!((g.offsets()[v as usize]..g.offsets()[v as usize + 1]).contains(&e));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, g.num_edges());
+    }
+
+    #[test]
+    fn caches_survive_clone_and_ignore_equality() {
+        let g = path3();
+        let _ = g.gcn_inv_sqrt();
+        let clone = g.clone();
+        // Clone shares the computed cache (same Arc'd slice).
+        assert_eq!(clone.gcn_inv_sqrt().as_ptr(), g.gcn_inv_sqrt().as_ptr());
+        // Equality only looks at the CSR arrays.
+        let fresh = path3();
+        assert_eq!(fresh, g);
+    }
+
+    #[test]
+    fn transpose_of_empty_graph() {
+        let g = Graph::from_csr(0, vec![0], vec![]).expect("empty ok");
+        let t = g.transpose_csr();
+        assert_eq!(t.offsets.len(), 1);
+        assert!(t.sources.is_empty());
     }
 }

@@ -159,6 +159,22 @@ impl Features {
     pub fn gather_labels(&self, nodes: &[u32]) -> Vec<u16> {
         nodes.iter().map(|&v| self.labels[v as usize]).collect()
     }
+
+    /// Like [`Features::gather`], but reuses `out` (cleared first) so
+    /// steady-state batch loops allocate nothing.
+    pub fn gather_into(&self, nodes: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(nodes.len() * self.dim);
+        for &v in nodes {
+            out.extend_from_slice(self.row(v));
+        }
+    }
+
+    /// Like [`Features::gather_labels`], but reuses `out`.
+    pub fn gather_labels_into(&self, nodes: &[u32], out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(nodes.iter().map(|&v| self.labels[v as usize]));
+    }
 }
 
 /// Standard normal sample via Box–Muller.

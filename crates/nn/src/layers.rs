@@ -11,9 +11,26 @@
 //! - [`GatLayer`]: single-head additive attention (GAT).
 //!
 //! Layers cache whatever the backward pass needs; call order must be
-//! `forward` then `backward` on the same input graph.
+//! `forward` then `backward` on the same input graph. All temporaries
+//! cycle through the caller's [`ScratchArena`], so steady-state
+//! training allocates nothing per batch.
+//!
+//! # Parallelism and determinism
+//!
+//! The aggregation kernels are node-parallel: output rows are split
+//! into static per-node chunks, every chunk runs the identical serial
+//! inner loop, and per-element accumulation order never changes.
+//! Backward aggregations that are scatters in textbook form
+//! (`mean_aggregate_backward`, the GAT `dz`/`ds_l` terms) are
+//! re-expressed as per-row *gathers* over the graph's cached
+//! [`transpose`](gnnav_graph::Graph::transpose_csr): because in-edge
+//! source lists are sorted ascending, the gather visits contributions
+//! in exactly the order the serial scatter produced them, keeping
+//! results bitwise identical across any worker count. Reductions into
+//! shared parameter gradients stay serial to preserve their order.
 
 use crate::init::{glorot_uniform, uniform_vec};
+use crate::scratch::ScratchArena;
 use crate::tensor::Matrix;
 use gnnav_graph::Graph;
 
@@ -102,14 +119,15 @@ pub trait Layer: std::fmt::Debug + Send {
     fn out_dim(&self) -> usize;
     /// Forward pass over subgraph `g` with node features `x`
     /// (`g.num_nodes() x in_dim`); caches intermediates for backward.
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix;
+    /// Temporaries come from (and should be returned to) `scratch`.
+    fn forward(&mut self, g: &Graph, x: &Matrix, scratch: &mut ScratchArena) -> Matrix;
     /// Backward pass: consumes `grad_out`, accumulates parameter
     /// gradients, returns the gradient with respect to the input.
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
-    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix;
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix;
     /// Parameters in a stable order.
     fn params_mut(&mut self) -> Vec<ParamRef<'_>>;
     /// Total scalar parameter count (`|Φ|` contribution).
@@ -118,90 +136,175 @@ pub trait Layer: std::fmt::Debug + Send {
     fn zero_grad(&mut self);
 }
 
+/// Target FLOPs per worker chunk for the aggregation kernels.
+const AGG_GRAIN_FLOPS: usize = 32_768;
+
+/// Nodes per static chunk for an aggregation over `g` with feature
+/// width `d` — sized so a chunk is worth a worker, never a function of
+/// the thread count.
+fn agg_nodes_per_chunk(g: &Graph, d: usize) -> usize {
+    let n = g.num_nodes().max(1);
+    let per_node = 2 * (g.num_edges() / n + 1) * d.max(1);
+    (AGG_GRAIN_FLOPS / per_node.max(1)).max(1)
+}
+
+/// Carves `a` and `b` into per-run mutable windows covering
+/// `nodes_per_run` nodes each, where node `i`'s data spans
+/// `a_off(i)..a_off(i+1)` in `a` (resp. `b_off` in `b`). Returns
+/// `(first_node, a_window, b_window)` tasks for
+/// [`gnnav_par::par_for_tasks`].
+fn split_two_by_nodes<'a>(
+    nodes: usize,
+    nodes_per_run: usize,
+    a: &'a mut [f32],
+    a_off: impl Fn(usize) -> usize,
+    b: &'a mut [f32],
+    b_off: impl Fn(usize) -> usize,
+) -> Vec<(usize, &'a mut [f32], &'a mut [f32])> {
+    let mut tasks = Vec::new();
+    let mut a = a;
+    let mut b = b;
+    let mut v0 = 0usize;
+    while v0 < nodes {
+        let v1 = (v0 + nodes_per_run).min(nodes);
+        let (ha, ta) = a.split_at_mut(a_off(v1) - a_off(v0));
+        let (hb, tb) = b.split_at_mut(b_off(v1) - b_off(v0));
+        tasks.push((v0, ha, hb));
+        a = ta;
+        b = tb;
+        v0 = v1;
+    }
+    tasks
+}
+
 /// Symmetric-normalized GCN aggregation with self-loops:
 /// `out[v] = Σ_{u ∈ N(v) ∪ {v}} x[u] / sqrt((d_u + 1)(d_v + 1))`.
 ///
 /// The coefficient matrix is symmetric, so the same routine implements
 /// the backward (transpose) aggregation.
 pub fn gcn_aggregate(g: &Graph, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(g.num_nodes(), x.cols());
+    gcn_aggregate_into(g, x, &mut out);
+    out
+}
+
+/// [`gcn_aggregate`] into a caller-provided output (fully
+/// overwritten). Node-parallel; uses the graph's cached inverse-sqrt
+/// degree norms instead of recomputing them per call.
+///
+/// # Panics
+///
+/// Panics if `out` is not `g.num_nodes() x x.cols()` or `x` has the
+/// wrong number of rows.
+pub fn gcn_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     let n = g.num_nodes();
     let d = x.cols();
-    let mut out = Matrix::zeros(n, d);
-    let inv_sqrt: Vec<f32> =
-        (0..n as u32).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
-    for v in 0..n as u32 {
+    assert_eq!(x.rows(), n, "one feature row per node");
+    assert_eq!((out.rows(), out.cols()), (n, d), "gcn_aggregate out shape mismatch");
+    out.as_mut_slice().fill(0.0);
+    if n == 0 || d == 0 {
+        return;
+    }
+    let inv_sqrt = g.gcn_inv_sqrt();
+    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
+    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
+        let v = (off / d) as u32;
         let cv = inv_sqrt[v as usize];
-        // Self-loop term.
-        {
-            let coeff = cv * cv;
-            let src = x.row(v as usize).to_vec();
-            let dst = out.row_mut(v as usize);
-            for (o, s) in dst.iter_mut().zip(&src) {
-                *o += coeff * s;
-            }
+        // Self-loop term first, then neighbors ascending — the same
+        // per-element accumulation order as the serial kernel.
+        let coeff = cv * cv;
+        for (o, &s) in dst.iter_mut().zip(x.row(v as usize)) {
+            *o += coeff * s;
         }
         for &u in g.neighbors(v) {
             let coeff = cv * inv_sqrt[u as usize];
-            let src = x.row(u as usize);
-            // Split borrow: rows are disjoint unless u == v, which the
-            // self-loop already covered (neighbors exclude self-loops
-            // in our builders; if present, the += below still works
-            // through the temporary copy).
-            let src: Vec<f32> = src.to_vec();
-            let dst = out.row_mut(v as usize);
-            for (o, s) in dst.iter_mut().zip(&src) {
+            for (o, &s) in dst.iter_mut().zip(x.row(u as usize)) {
                 *o += coeff * s;
             }
         }
-    }
-    out
+    });
 }
 
 /// Mean aggregation: `out[v] = mean_{u ∈ N(v)} x[u]` (zero for
 /// isolated nodes).
 pub fn mean_aggregate(g: &Graph, x: &Matrix) -> Matrix {
-    let n = g.num_nodes();
-    let d = x.cols();
-    let mut out = Matrix::zeros(n, d);
-    for v in 0..n as u32 {
-        let neigh = g.neighbors(v);
-        if neigh.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / neigh.len() as f32;
-        let mut acc = vec![0.0f32; d];
-        for &u in neigh {
-            for (a, &s) in acc.iter_mut().zip(x.row(u as usize)) {
-                *a += s;
-            }
-        }
-        for (o, a) in out.row_mut(v as usize).iter_mut().zip(&acc) {
-            *o = a * inv;
-        }
-    }
+    let mut out = Matrix::zeros(g.num_nodes(), x.cols());
+    mean_aggregate_into(g, x, &mut out);
     out
 }
 
-/// Transpose of [`mean_aggregate`]: scatters `grad_out[v] / deg(v)`
-/// back to each neighbor `u` of `v`.
-pub fn mean_aggregate_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+/// [`mean_aggregate`] into a caller-provided output (fully
+/// overwritten), node-parallel.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mean_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     let n = g.num_nodes();
-    let d = grad_out.cols();
-    let mut out = Matrix::zeros(n, d);
-    for v in 0..n as u32 {
+    let d = x.cols();
+    assert_eq!(x.rows(), n, "one feature row per node");
+    assert_eq!((out.rows(), out.cols()), (n, d), "mean_aggregate out shape mismatch");
+    out.as_mut_slice().fill(0.0);
+    if n == 0 || d == 0 {
+        return;
+    }
+    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
+    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
+        let v = (off / d) as u32;
         let neigh = g.neighbors(v);
         if neigh.is_empty() {
-            continue;
+            return;
         }
         let inv = 1.0 / neigh.len() as f32;
-        let grad: Vec<f32> = grad_out.row(v as usize).iter().map(|&x| x * inv).collect();
         for &u in neigh {
-            for (o, &gv) in out.row_mut(u as usize).iter_mut().zip(&grad) {
-                *o += gv;
+            for (o, &s) in dst.iter_mut().zip(x.row(u as usize)) {
+                *o += s;
             }
         }
-    }
+        for o in dst.iter_mut() {
+            *o *= inv;
+        }
+    });
+}
+
+/// Transpose of [`mean_aggregate`]: node `u` receives
+/// `grad_out[v] / deg(v)` from every `v` it neighbors.
+pub fn mean_aggregate_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(g.num_nodes(), grad_out.cols());
+    mean_aggregate_backward_into(g, grad_out, &mut out);
     out
+}
+
+/// [`mean_aggregate_backward`] into a caller-provided output (fully
+/// overwritten). The textbook scatter is rewritten as a per-row
+/// gather over the cached transpose CSR: in-edge sources arrive
+/// sorted ascending, which is the order the serial scatter added
+/// them, so the result is bitwise identical — and each output row is
+/// owned by one worker.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mean_aggregate_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matrix) {
+    let n = g.num_nodes();
+    let d = grad_out.cols();
+    assert_eq!(grad_out.rows(), n, "one gradient row per node");
+    assert_eq!((out.rows(), out.cols()), (n, d), "mean_aggregate_backward out shape mismatch");
+    out.as_mut_slice().fill(0.0);
+    if n == 0 || d == 0 {
+        return;
+    }
+    let t = g.transpose_csr();
+    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
+    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
+        let u = (off / d) as u32;
+        for &v in t.in_sources(u) {
+            let inv = 1.0 / g.degree(v) as f32;
+            for (o, &gv) in dst.iter_mut().zip(grad_out.row(v as usize)) {
+                *o += gv * inv;
+            }
+        }
+    });
 }
 
 /// GCN layer: `out = GcnAgg(g, x) · W + b`.
@@ -227,26 +330,39 @@ impl Layer for GcnLayer {
         self.lin.w.cols()
     }
 
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let ax = gcn_aggregate(g, x);
-        let mut out = ax.matmul(&self.lin.w);
+    fn forward(&mut self, g: &Graph, x: &Matrix, scratch: &mut ScratchArena) -> Matrix {
+        let n = g.num_nodes();
+        let mut ax = match self.cache_ax.take() {
+            Some(prev) => scratch.reshape_zeroed(prev, n, x.cols()),
+            None => scratch.take(n, x.cols()),
+        };
+        gcn_aggregate_into(g, x, &mut ax);
+        let mut out = scratch.take(n, self.out_dim());
+        ax.matmul_into(&self.lin.w, &mut out);
         out.add_row_broadcast(&self.lin.b);
         self.cache_ax = Some(ax);
         out
     }
 
-    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix {
         let ax = self.cache_ax.as_ref().expect("forward before backward");
-        self.lin.gw.add_assign(&ax.matmul_at_b(grad_out));
+        let mut gw = scratch.take(self.lin.w.rows(), self.lin.w.cols());
+        ax.matmul_at_b_into(grad_out, &mut gw);
+        self.lin.gw.add_assign(&gw);
+        scratch.recycle(gw);
         for r in 0..grad_out.rows() {
             for (gb, &gv) in self.lin.gb.iter_mut().zip(grad_out.row(r)) {
                 *gb += gv;
             }
         }
-        let d_ax = grad_out.matmul_a_bt(&self.lin.w);
+        let mut d_ax = scratch.take(grad_out.rows(), self.in_dim());
+        grad_out.matmul_a_bt_into(&self.lin.w, &mut d_ax);
         // Symmetric coefficients: the transpose aggregation is the
         // forward aggregation.
-        gcn_aggregate(g, &d_ax)
+        let mut gx = scratch.take(g.num_nodes(), self.in_dim());
+        gcn_aggregate_into(g, &d_ax, &mut gx);
+        scratch.recycle(d_ax);
+        gx
     }
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
@@ -293,29 +409,48 @@ impl Layer for SageLayer {
         self.lin_self.w.cols()
     }
 
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let mean = mean_aggregate(g, x);
-        let mut out = x.matmul(&self.lin_self.w);
-        out.add_assign(&mean.matmul(&self.lin_neigh.w));
+    fn forward(&mut self, g: &Graph, x: &Matrix, scratch: &mut ScratchArena) -> Matrix {
+        let n = g.num_nodes();
+        let mut mean = match self.cache_mean.take() {
+            Some(prev) => scratch.reshape_zeroed(prev, n, x.cols()),
+            None => scratch.take(n, x.cols()),
+        };
+        mean_aggregate_into(g, x, &mut mean);
+        let mut out = scratch.take(n, self.out_dim());
+        x.matmul_into(&self.lin_self.w, &mut out);
+        let mut neigh = scratch.take(n, self.out_dim());
+        mean.matmul_into(&self.lin_neigh.w, &mut neigh);
+        out.add_assign(&neigh);
+        scratch.recycle(neigh);
         out.add_row_broadcast(&self.lin_self.b);
-        self.cache_x = Some(x.clone());
+        scratch.cache_copy(&mut self.cache_x, x);
         self.cache_mean = Some(mean);
         out
     }
 
-    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix {
         let x = self.cache_x.as_ref().expect("forward before backward");
         let mean = self.cache_mean.as_ref().expect("forward before backward");
-        self.lin_self.gw.add_assign(&x.matmul_at_b(grad_out));
-        self.lin_neigh.gw.add_assign(&mean.matmul_at_b(grad_out));
+        let mut gw = scratch.take(self.lin_self.w.rows(), self.lin_self.w.cols());
+        x.matmul_at_b_into(grad_out, &mut gw);
+        self.lin_self.gw.add_assign(&gw);
+        mean.matmul_at_b_into(grad_out, &mut gw);
+        self.lin_neigh.gw.add_assign(&gw);
+        scratch.recycle(gw);
         for r in 0..grad_out.rows() {
             for (gb, &gv) in self.lin_self.gb.iter_mut().zip(grad_out.row(r)) {
                 *gb += gv;
             }
         }
-        let mut grad_x = grad_out.matmul_a_bt(&self.lin_self.w);
-        let d_mean = grad_out.matmul_a_bt(&self.lin_neigh.w);
-        grad_x.add_assign(&mean_aggregate_backward(g, &d_mean));
+        let mut grad_x = scratch.take(grad_out.rows(), self.in_dim());
+        grad_out.matmul_a_bt_into(&self.lin_self.w, &mut grad_x);
+        let mut d_mean = scratch.take(grad_out.rows(), self.in_dim());
+        grad_out.matmul_a_bt_into(&self.lin_neigh.w, &mut d_mean);
+        let mut bwd = scratch.take(g.num_nodes(), self.in_dim());
+        mean_aggregate_backward_into(g, &d_mean, &mut bwd);
+        grad_x.add_assign(&bwd);
+        scratch.recycle(bwd);
+        scratch.recycle(d_mean);
         grad_x
     }
 
@@ -398,17 +533,34 @@ impl Layer for GatLayer {
         self.lin.w.cols()
     }
 
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+    fn forward(&mut self, g: &Graph, x: &Matrix, scratch: &mut ScratchArena) -> Matrix {
         let n = g.num_nodes();
         let d = self.out_dim();
-        let z = x.matmul(&self.lin.w);
+        // Reuse the previous cache's storage wholesale.
+        let (mut z, mut alpha, mut pre, mut alpha_off, mut cached_x) = match self.cache.take() {
+            Some(GatCache { x, z, alpha, pre, alpha_off }) => {
+                (scratch.reshape_zeroed(z, n, d), alpha, pre, alpha_off, Some(x))
+            }
+            None => (scratch.take(n, d), Vec::new(), Vec::new(), Vec::new(), None),
+        };
+        x.matmul_into(&self.lin.w, &mut z);
         let dot = |row: &[f32], v: &[f32]| -> f32 { row.iter().zip(v).map(|(a, b)| a * b).sum() };
-        let s_l: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_l.v)).collect();
-        let s_r: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.att_r.v)).collect();
+        let mut s_l = scratch.take_raw(n);
+        let mut s_r = scratch.take_raw(n);
+        {
+            let att_l = &self.att_l.v;
+            let att_r = &self.att_r.v;
+            let z = &z;
+            let grain = agg_nodes_per_chunk(g, d);
+            gnnav_par::par_chunks(&mut s_l, 1, grain, |v, slot| slot[0] = dot(z.row(v), att_l));
+            gnnav_par::par_chunks(&mut s_r, 1, grain, |v, slot| slot[0] = dot(z.row(v), att_r));
+        }
 
-        let mut alpha_off = Vec::with_capacity(n + 1);
+        alpha_off.clear();
+        alpha_off.reserve(n + 1);
         alpha_off.push(0usize);
-        let mut pre: Vec<f32> = Vec::with_capacity(g.num_edges() + n);
+        pre.clear();
+        pre.reserve(g.num_edges() + n);
         for v in 0..n as u32 {
             for &u in g.neighbors(v) {
                 pre.push(leakish_input(s_l[u as usize], s_r[v as usize]));
@@ -416,52 +568,79 @@ impl Layer for GatLayer {
             pre.push(leakish_input(s_l[v as usize], s_r[v as usize])); // self
             alpha_off.push(pre.len());
         }
-        let mut alpha = vec![0.0f32; pre.len()];
-        let mut out = Matrix::zeros(n, d);
-        for v in 0..n as u32 {
-            let (start, end) = (alpha_off[v as usize], alpha_off[v as usize + 1]);
-            let mut max = f32::NEG_INFINITY;
-            for &p in &pre[start..end] {
-                max = max.max(leaky(p));
-            }
-            let mut sum = 0.0f32;
-            for i in start..end {
-                let e = (leaky(pre[i]) - max).exp();
-                alpha[i] = e;
-                sum += e;
-            }
-            for a in &mut alpha[start..end] {
-                *a /= sum;
-            }
-            // out[v] = Σ α z[u] over neighbors then self.
-            let mut acc = vec![0.0f32; d];
-            for (i, &u) in g.neighbors(v).iter().enumerate() {
-                let a = alpha[start + i];
-                for (o, &zz) in acc.iter_mut().zip(z.row(u as usize)) {
-                    *o += a * zz;
+        alpha.clear();
+        alpha.resize(pre.len(), 0.0);
+
+        let mut out = scratch.take(n, d);
+        {
+            let bias = &self.lin.b;
+            let z = &z;
+            let pre = &pre;
+            let alpha_off = &alpha_off;
+            let tasks = split_two_by_nodes(
+                n,
+                agg_nodes_per_chunk(g, d),
+                out.as_mut_slice(),
+                |i| i * d,
+                &mut alpha,
+                |i| alpha_off[i],
+            );
+            gnnav_par::par_for_tasks(tasks, 1, |(v0, out_run, alpha_run)| {
+                let mut cursor = 0usize;
+                for (lv, out_row) in out_run.chunks_mut(d).enumerate() {
+                    let v = v0 + lv;
+                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                    let count = end - start;
+                    let aslice = &mut alpha_run[cursor..cursor + count];
+                    cursor += count;
+                    let mut max = f32::NEG_INFINITY;
+                    for &p in &pre[start..end] {
+                        max = max.max(leaky(p));
+                    }
+                    let mut sum = 0.0f32;
+                    for (a, i) in aslice.iter_mut().zip(start..end) {
+                        let e = (leaky(pre[i]) - max).exp();
+                        *a = e;
+                        sum += e;
+                    }
+                    for a in aslice.iter_mut() {
+                        *a /= sum;
+                    }
+                    // out[v] = Σ α z[u] over neighbors then self.
+                    for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
+                        let a = aslice[i];
+                        for (o, &zz) in out_row.iter_mut().zip(z.row(u as usize)) {
+                            *o += a * zz;
+                        }
+                    }
+                    let a_self = aslice[count - 1];
+                    for (o, &zz) in out_row.iter_mut().zip(z.row(v)) {
+                        *o += a_self * zz;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(bias) {
+                        *o += b;
+                    }
                 }
-            }
-            let a_self = alpha[end - 1];
-            for (o, &zz) in acc.iter_mut().zip(z.row(v as usize)) {
-                *o += a_self * zz;
-            }
-            for ((o, a), &b) in out.row_mut(v as usize).iter_mut().zip(acc).zip(&self.lin.b) {
-                *o = a + b;
-            }
+            });
         }
-        self.cache = Some(GatCache { x: x.clone(), z, alpha, pre, alpha_off });
+        scratch.recycle_raw(s_l);
+        scratch.recycle_raw(s_r);
+        scratch.cache_copy(&mut cached_x, x);
+        self.cache =
+            Some(GatCache { x: cached_x.expect("cache_copy fills"), z, alpha, pre, alpha_off });
         out
     }
 
-    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix {
         let cache = self.cache.as_ref().expect("forward before backward");
         let n = g.num_nodes();
         let d = self.out_dim();
         let GatCache { x, z, alpha, pre, alpha_off } = cache;
 
-        let mut dz = Matrix::zeros(n, d);
-        let mut ds_l = vec![0.0f32; n];
-        let mut ds_r = vec![0.0f32; n];
+        let mut dz = scratch.take(n, d);
+        let mut ds_l = scratch.take_raw(n);
+        let mut ds_r = scratch.take_raw(n);
+        let mut dpre = scratch.take_raw(alpha.len());
 
         // Bias gradient.
         for r in 0..n {
@@ -470,40 +649,95 @@ impl Layer for GatLayer {
             }
         }
 
-        for v in 0..n as u32 {
-            let (start, end) = (alpha_off[v as usize], alpha_off[v as usize + 1]);
-            let go = grad_out.row(v as usize);
-            // Members of the softmax set: neighbors then self.
-            let count = end - start;
-            let mut d_alpha = vec![0.0f32; count];
-            for (i, &u) in g.neighbors(v).iter().enumerate() {
-                let zu = z.row(u as usize);
-                d_alpha[i] = go.iter().zip(zu).map(|(a, b)| a * b).sum();
-                let a = alpha[start + i];
-                for (o, &gv) in dz.row_mut(u as usize).iter_mut().zip(go) {
-                    *o += a * gv;
+        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
+
+        // Softmax backward, node-parallel over destinations `v`:
+        // d_alpha -> de -> dpre (disjoint spans of `dpre`), plus the
+        // per-destination score gradient ds_r[v].
+        {
+            let tasks = split_two_by_nodes(
+                n,
+                agg_nodes_per_chunk(g, d),
+                &mut dpre,
+                |i| alpha_off[i],
+                &mut ds_r,
+                |i| i,
+            );
+            gnnav_par::par_for_tasks(tasks, 1, |(v0, dpre_run, dsr_run)| {
+                let mut cursor = 0usize;
+                for (lv, dsr) in dsr_run.iter_mut().enumerate() {
+                    let v = v0 + lv;
+                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                    let count = end - start;
+                    let go = grad_out.row(v);
+                    let dslice = &mut dpre_run[cursor..cursor + count];
+                    cursor += count;
+                    for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
+                        dslice[i] = dot(go, z.row(u as usize));
+                    }
+                    dslice[count - 1] = dot(go, z.row(v));
+                    let sdot: f32 = (0..count).map(|i| alpha[start + i] * dslice[i]).sum();
+                    let mut acc = 0.0f32;
+                    for (i, dp) in dslice.iter_mut().enumerate() {
+                        let de = alpha[start + i] * (*dp - sdot);
+                        let dpv = de * leaky_grad(pre[start + i]);
+                        *dp = dpv;
+                        acc += dpv;
+                    }
+                    *dsr = acc;
                 }
-            }
-            {
-                let zv = z.row(v as usize);
-                d_alpha[count - 1] = go.iter().zip(zv).map(|(a, b)| a * b).sum();
-                let a = alpha[end - 1];
-                for (o, &gv) in dz.row_mut(v as usize).iter_mut().zip(go) {
-                    *o += a * gv;
-                }
-            }
-            // Softmax backward.
-            let dot: f32 = (0..count).map(|i| alpha[start + i] * d_alpha[i]).sum();
-            for i in 0..count {
-                let de = alpha[start + i] * (d_alpha[i] - dot);
-                let dpre = de * leaky_grad(pre[start + i]);
-                let u = if i + 1 == count { v } else { g.neighbors(v)[i] };
-                ds_l[u as usize] += dpre;
-                ds_r[v as usize] += dpre;
-            }
+            });
         }
 
-        // s_l[u] = z[u]·a_l and s_r[u] = z[u]·a_r.
+        // dz and ds_l, node-parallel over sources `u`: the serial
+        // kernel scattered `α·go_v` and `dpre` from each destination
+        // v; gathering over the transpose's ascending in-sources (with
+        // the self term merged at v == u) reproduces the exact
+        // per-element add order.
+        {
+            let t = g.transpose_csr();
+            let tasks = split_two_by_nodes(
+                n,
+                agg_nodes_per_chunk(g, d),
+                dz.as_mut_slice(),
+                |i| i * d,
+                &mut ds_l,
+                |i| i,
+            );
+            gnnav_par::par_for_tasks(tasks, 1, |(u0, dz_run, dsl_run)| {
+                for (lu, dsl) in dsl_run.iter_mut().enumerate() {
+                    let u = u0 + lu;
+                    let dz_row = &mut dz_run[lu * d..(lu + 1) * d];
+                    let sources = t.in_sources(u as u32);
+                    let edges = t.in_forward_edges(u as u32);
+                    // The serial scatter touched u once per destination
+                    // block, v ascending, with u's own self term at
+                    // v == u *after* any in-edge from v == u.
+                    let cut = sources.partition_point(|&v| v <= u as u32);
+                    let mut acc = 0.0f32;
+                    let mut take = |alpha_idx: usize, src: usize| {
+                        let a = alpha[alpha_idx];
+                        for (o, &gv) in dz_row.iter_mut().zip(grad_out.row(src)) {
+                            *o += a * gv;
+                        }
+                        acc += dpre[alpha_idx];
+                    };
+                    for i in 0..cut {
+                        // alpha index of forward edge e from source v:
+                        // alpha_off[v] + (e - offsets[v]) == e + v.
+                        take(edges[i] + sources[i] as usize, sources[i] as usize);
+                    }
+                    take(alpha_off[u + 1] - 1, u);
+                    for i in cut..sources.len() {
+                        take(edges[i] + sources[i] as usize, sources[i] as usize);
+                    }
+                    *dsl = acc;
+                }
+            });
+        }
+
+        // s_l[u] = z[u]·a_l and s_r[u] = z[u]·a_r. The attention
+        // parameter gradients are ordered reductions over u — serial.
         for u in 0..n {
             let zu = z.row(u);
             for ((ga, &zz), (gb, _)) in
@@ -518,8 +752,17 @@ impl Layer for GatLayer {
             }
         }
 
-        self.lin.gw.add_assign(&x.matmul_at_b(&dz));
-        dz.matmul_a_bt(&self.lin.w)
+        let mut gw = scratch.take(self.lin.w.rows(), self.lin.w.cols());
+        x.matmul_at_b_into(&dz, &mut gw);
+        self.lin.gw.add_assign(&gw);
+        scratch.recycle(gw);
+        let mut gx = scratch.take(n, self.in_dim());
+        dz.matmul_a_bt_into(&self.lin.w, &mut gx);
+        scratch.recycle(dz);
+        scratch.recycle_raw(ds_l);
+        scratch.recycle_raw(ds_r);
+        scratch.recycle_raw(dpre);
+        gx
     }
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
@@ -547,6 +790,98 @@ impl Layer for GatLayer {
 #[inline]
 fn leakish_input(sl: f32, sr: f32) -> f32 {
     sl + sr
+}
+
+/// Multi-head GAT layer: `H` independent [`GatLayer`] heads whose
+/// outputs are *averaged* (the aggregation the GAT paper uses on its
+/// output layer; averaging keeps the layer's output width equal to
+/// `out_dim`, so heads compose transparently in a [`crate::GnnModel`]
+/// stack).
+#[derive(Debug)]
+pub struct MultiHeadGatLayer {
+    heads: Vec<GatLayer>,
+}
+
+impl MultiHeadGatLayer {
+    /// Creates a layer with `num_heads` attention heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads == 0`.
+    pub fn new(in_dim: usize, out_dim: usize, num_heads: usize, seed: u64) -> Self {
+        assert!(num_heads > 0, "at least one head required");
+        let heads = (0..num_heads)
+            .map(|h| GatLayer::new(in_dim, out_dim, seed.wrapping_add(31 * h as u64)))
+            .collect();
+        MultiHeadGatLayer { heads }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+impl Layer for MultiHeadGatLayer {
+    fn in_dim(&self) -> usize {
+        self.heads[0].in_dim()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.heads[0].out_dim()
+    }
+
+    fn forward(&mut self, g: &Graph, x: &Matrix, scratch: &mut ScratchArena) -> Matrix {
+        let inv = 1.0 / self.heads.len() as f32;
+        let mut acc: Option<Matrix> = None;
+        for head in &mut self.heads {
+            let out = head.forward(g, x, scratch);
+            match &mut acc {
+                None => acc = Some(out),
+                Some(a) => {
+                    a.add_assign(&out);
+                    scratch.recycle(out);
+                }
+            }
+        }
+        let mut out = acc.expect("at least one head");
+        out.scale(inv);
+        out
+    }
+
+    fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix {
+        let inv = 1.0 / self.heads.len() as f32;
+        let mut scaled = scratch.take(grad_out.rows(), grad_out.cols());
+        scaled.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        scaled.scale(inv);
+        let mut acc: Option<Matrix> = None;
+        for head in &mut self.heads {
+            let gx = head.backward(g, &scaled, scratch);
+            match &mut acc {
+                None => acc = Some(gx),
+                Some(a) => {
+                    a.add_assign(&gx);
+                    scratch.recycle(gx);
+                }
+            }
+        }
+        scratch.recycle(scaled);
+        acc.expect("at least one head")
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        self.heads.iter_mut().flat_map(|h| h.params_mut()).collect()
+    }
+
+    fn param_count(&self) -> usize {
+        self.heads.iter().map(|h| h.param_count()).sum()
+    }
+
+    fn zero_grad(&mut self) {
+        for head in &mut self.heads {
+            head.zero_grad();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -621,22 +956,23 @@ mod tests {
         let g = tiny_graph();
         let x = tiny_x(7);
         let r = glorot_uniform(4, layer.out_dim(), 8);
+        let mut scratch = ScratchArena::new();
 
-        let out = layer.forward(&g, &x);
+        let out = layer.forward(&g, &x, &mut scratch);
         let _loss0: f32 = out.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
         layer.zero_grad();
-        let grad_x = layer.backward(&g, &r);
+        let grad_x = layer.backward(&g, &r, &mut scratch);
 
         let eps = 1e-2f32;
         // Check d L / d x at a few positions.
         for &(rr, cc) in &[(0usize, 0usize), (2, 1), (3, 2)] {
             let mut xp = x.clone();
             xp.set(rr, cc, xp.get(rr, cc) + eps);
-            let op = layer.forward(&g, &xp);
+            let op = layer.forward(&g, &xp, &mut scratch);
             let lp: f32 = op.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
             let mut xm = x.clone();
             xm.set(rr, cc, xm.get(rr, cc) - eps);
-            let om = layer.forward(&g, &xm);
+            let om = layer.forward(&g, &xm, &mut scratch);
             let lm: f32 = om.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
             let fd = (lp - lm) / (2.0 * eps);
             let an = grad_x.get(rr, cc);
@@ -670,19 +1006,30 @@ mod tests {
         let x = tiny_x(20);
         let r = glorot_uniform(4, 2, 21);
         let mut layer = GatLayer::new(3, 2, 22);
-        layer.forward(&g, &x);
+        let mut scratch = ScratchArena::new();
+        layer.forward(&g, &x, &mut scratch);
         layer.zero_grad();
-        layer.backward(&g, &r);
+        layer.backward(&g, &r, &mut scratch);
         let analytic = layer.lin.gw.get(1, 0);
 
         let eps = 1e-2f32;
         let orig = layer.lin.w.get(1, 0);
         layer.lin.w.set(1, 0, orig + eps);
-        let lp: f32 =
-            layer.forward(&g, &x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
+        let lp: f32 = layer
+            .forward(&g, &x, &mut scratch)
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         layer.lin.w.set(1, 0, orig - eps);
-        let lm: f32 =
-            layer.forward(&g, &x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum();
+        let lm: f32 = layer
+            .forward(&g, &x, &mut scratch)
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let fd = (lp - lm) / (2.0 * eps);
         assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "fd {fd} vs analytic {analytic}");
     }
@@ -700,7 +1047,7 @@ mod tests {
     fn backward_requires_forward() {
         let g = tiny_graph();
         let mut l = GcnLayer::new(3, 2, 1);
-        let _ = l.backward(&g, &Matrix::zeros(4, 2));
+        let _ = l.backward(&g, &Matrix::zeros(4, 2), &mut ScratchArena::new());
     }
 
     #[test]
@@ -708,7 +1055,7 @@ mod tests {
         let g = tiny_graph();
         let x = tiny_x(30);
         let mut l = GatLayer::new(3, 2, 31);
-        l.forward(&g, &x);
+        l.forward(&g, &x, &mut ScratchArena::new());
         let cache = l.cache.as_ref().expect("cached");
         for v in 0..4 {
             let (s, e) = (cache.alpha_off[v], cache.alpha_off[v + 1]);
@@ -716,88 +1063,37 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-5, "node {v} alpha sum {sum}");
         }
     }
-}
 
-/// Multi-head GAT layer: `H` independent [`GatLayer`] heads whose
-/// outputs are *averaged* (the aggregation the GAT paper uses on its
-/// output layer; averaging keeps the layer's output width equal to
-/// `out_dim`, so heads compose transparently in a [`crate::GnnModel`]
-/// stack).
-#[derive(Debug)]
-pub struct MultiHeadGatLayer {
-    heads: Vec<GatLayer>,
-}
-
-impl MultiHeadGatLayer {
-    /// Creates a layer with `num_heads` attention heads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_heads == 0`.
-    pub fn new(in_dim: usize, out_dim: usize, num_heads: usize, seed: u64) -> Self {
-        assert!(num_heads > 0, "at least one head required");
-        let heads = (0..num_heads)
-            .map(|h| GatLayer::new(in_dim, out_dim, seed.wrapping_add(31 * h as u64)))
-            .collect();
-        MultiHeadGatLayer { heads }
-    }
-
-    /// Number of attention heads.
-    pub fn num_heads(&self) -> usize {
-        self.heads.len()
-    }
-}
-
-impl Layer for MultiHeadGatLayer {
-    fn in_dim(&self) -> usize {
-        self.heads[0].in_dim()
-    }
-
-    fn out_dim(&self) -> usize {
-        self.heads[0].out_dim()
-    }
-
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let inv = 1.0 / self.heads.len() as f32;
-        let mut acc: Option<Matrix> = None;
-        for head in &mut self.heads {
-            let out = head.forward(g, x);
-            match &mut acc {
-                None => acc = Some(out),
-                Some(a) => a.add_assign(&out),
+    #[test]
+    fn repeated_forwards_stop_allocating() {
+        // Steady-state zero allocation: after the first batch warms
+        // the arena, identical batches must not touch the allocator.
+        let g = tiny_graph();
+        let x = tiny_x(33);
+        let r = glorot_uniform(4, 2, 34);
+        let mut scratch = ScratchArena::new();
+        for kind in ["gcn", "sage", "gat"] {
+            let mut layer: Box<dyn Layer> = match kind {
+                "gcn" => Box::new(GcnLayer::new(3, 2, 40)),
+                "sage" => Box::new(SageLayer::new(3, 2, 41)),
+                _ => Box::new(GatLayer::new(3, 2, 42)),
+            };
+            for _ in 0..2 {
+                let out = layer.forward(&g, &x, &mut scratch);
+                layer.zero_grad();
+                let gx = layer.backward(&g, &r, &mut scratch);
+                scratch.recycle(out);
+                scratch.recycle(gx);
             }
-        }
-        let mut out = acc.expect("at least one head");
-        out.scale(inv);
-        out
-    }
-
-    fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
-        let inv = 1.0 / self.heads.len() as f32;
-        let mut scaled = grad_out.clone();
-        scaled.scale(inv);
-        let mut acc: Option<Matrix> = None;
-        for head in &mut self.heads {
-            let gx = head.backward(g, &scaled);
-            match &mut acc {
-                None => acc = Some(gx),
-                Some(a) => a.add_assign(&gx),
+            let warm = scratch.fresh_allocs();
+            for _ in 0..3 {
+                let out = layer.forward(&g, &x, &mut scratch);
+                layer.zero_grad();
+                let gx = layer.backward(&g, &r, &mut scratch);
+                scratch.recycle(out);
+                scratch.recycle(gx);
             }
-        }
-        acc.expect("at least one head")
-    }
-
-    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
-        self.heads.iter_mut().flat_map(|h| h.params_mut()).collect()
-    }
-
-    fn param_count(&self) -> usize {
-        self.heads.iter().map(|h| h.param_count()).sum()
-    }
-
-    fn zero_grad(&mut self) {
-        for head in &mut self.heads {
-            head.zero_grad();
+            assert_eq!(scratch.fresh_allocs(), warm, "{kind} allocated in steady state");
         }
     }
 }
@@ -818,10 +1114,11 @@ mod multi_head_tests {
     fn single_head_matches_plain_gat() {
         let g = tiny_graph();
         let x = glorot_uniform(4, 3, 7);
+        let mut scratch = ScratchArena::new();
         let mut multi = MultiHeadGatLayer::new(3, 2, 1, 40);
         let mut single = GatLayer::new(3, 2, 40);
-        let a = multi.forward(&g, &x);
-        let b = single.forward(&g, &x);
+        let a = multi.forward(&g, &x, &mut scratch);
+        let b = single.forward(&g, &x, &mut scratch);
         for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((p - q).abs() < 1e-6);
         }
@@ -842,22 +1139,30 @@ mod multi_head_tests {
         let g = tiny_graph();
         let x = glorot_uniform(4, 3, 8);
         let r = glorot_uniform(4, 2, 9);
+        let mut scratch = ScratchArena::new();
         let mut layer = MultiHeadGatLayer::new(3, 2, 3, 60);
-        layer.forward(&g, &x);
+        layer.forward(&g, &x, &mut scratch);
         layer.zero_grad();
-        let grad_x = layer.backward(&g, &r);
+        let grad_x = layer.backward(&g, &r, &mut scratch);
 
         let eps = 1e-2f32;
         for &(rr, cc) in &[(0usize, 0usize), (3, 2)] {
-            let loss = |layer: &mut MultiHeadGatLayer, x: &Matrix| -> f32 {
-                layer.forward(&g, x).as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
-            };
+            let loss =
+                |layer: &mut MultiHeadGatLayer, scratch: &mut ScratchArena, x: &Matrix| -> f32 {
+                    layer
+                        .forward(&g, x, scratch)
+                        .as_slice()
+                        .iter()
+                        .zip(r.as_slice())
+                        .map(|(a, b)| a * b)
+                        .sum()
+                };
             let mut xp = x.clone();
             xp.set(rr, cc, xp.get(rr, cc) + eps);
-            let lp = loss(&mut layer, &xp);
+            let lp = loss(&mut layer, &mut scratch, &xp);
             let mut xm = x.clone();
             xm.set(rr, cc, xm.get(rr, cc) - eps);
-            let lm = loss(&mut layer, &xm);
+            let lm = loss(&mut layer, &mut scratch, &xm);
             let fd = (lp - lm) / (2.0 * eps);
             let an = grad_x.get(rr, cc);
             assert!(

@@ -39,9 +39,11 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod scratch;
 pub mod tensor;
 pub mod train;
 
 pub use model::{GnnModel, ModelKind};
 pub use optim::{Adam, Sgd};
-pub use tensor::Matrix;
+pub use scratch::ScratchArena;
+pub use tensor::{kernel_stats, KernelStats, Matrix};

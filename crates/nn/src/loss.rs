@@ -17,9 +17,33 @@ pub fn softmax_cross_entropy(
     labels: &[u16],
     target_rows: &[u32],
 ) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(logits, labels, target_rows, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a
+/// caller-provided matrix (fully overwritten; typically borrowed from
+/// the model's scratch arena). Allocation-free.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`softmax_cross_entropy`], or if
+/// `grad` does not match the logits' shape.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[u16],
+    target_rows: &[u32],
+    grad: &mut Matrix,
+) -> f32 {
     assert!(!target_rows.is_empty(), "need at least one target row");
     let classes = logits.cols();
-    let mut grad = Matrix::zeros(logits.rows(), classes);
+    assert_eq!(
+        (grad.rows(), grad.cols()),
+        (logits.rows(), classes),
+        "softmax_cross_entropy grad shape mismatch"
+    );
+    grad.as_mut_slice().fill(0.0);
     let inv_n = 1.0 / target_rows.len() as f32;
     let mut loss = 0.0f32;
     for &r in target_rows {
@@ -29,19 +53,18 @@ pub fn softmax_cross_entropy(
         assert!(label < classes, "label {label} out of range ({classes} classes)");
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-        for &e in &exps {
-            sum += e;
+        for &x in row {
+            sum += (x - max).exp();
         }
         let log_sum = sum.ln() + max;
         loss += log_sum - row[label];
         let grow = grad.row_mut(r);
         for (c, g) in grow.iter_mut().enumerate() {
-            let p = exps[c] / sum;
+            let p = (row[c] - max).exp() / sum;
             *g = (p - if c == label { 1.0 } else { 0.0 }) * inv_n;
         }
     }
-    (loss * inv_n, grad)
+    loss * inv_n
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! GNN model: a stack of layers with ReLU between them.
 
 use crate::layers::{GatLayer, GcnLayer, Layer, MultiHeadGatLayer, ParamRef, SageLayer};
+use crate::scratch::ScratchArena;
 use crate::tensor::Matrix;
 use gnnav_graph::Graph;
 use rand::rngs::StdRng;
@@ -59,6 +60,7 @@ pub struct GnnModel {
     dropout: f32,
     train_mode: bool,
     dropout_rng: StdRng,
+    scratch: ScratchArena,
     in_dim: usize,
     hidden_dim: usize,
     out_dim: usize,
@@ -100,6 +102,7 @@ impl GnnModel {
             dropout: 0.0,
             train_mode: true,
             dropout_rng: StdRng::seed_from_u64(seed ^ 0xD0D0),
+            scratch: ScratchArena::new(),
             in_dim,
             hidden_dim,
             out_dim,
@@ -156,6 +159,7 @@ impl GnnModel {
             dropout: 0.0,
             train_mode: true,
             dropout_rng: StdRng::seed_from_u64(seed ^ 0xD0D0),
+            scratch: ScratchArena::new(),
             in_dim,
             hidden_dim,
             out_dim,
@@ -201,39 +205,41 @@ impl GnnModel {
     /// Panics if `x` has the wrong number of columns.
     pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim, "feature dim mismatch");
-        self.relu_masks.clear();
-        self.dropout_masks.clear();
-        let mut h = x.clone();
         let last = self.layers.len() - 1;
+        // Mask buffers persist across batches; only their contents are
+        // rewritten, so steady-state forward passes don't allocate.
+        self.relu_masks.resize_with(last, Vec::new);
+        self.dropout_masks.resize_with(last, Vec::new);
+        let mut h: Option<Matrix> = None;
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            h = layer.forward(g, &h);
+            let mut out = layer.forward(g, h.as_ref().unwrap_or(x), &mut self.scratch);
+            if let Some(prev) = h.take() {
+                self.scratch.recycle(prev);
+            }
             if i != last {
-                self.relu_masks.push(h.relu_inplace());
+                out.relu_inplace_with(&mut self.relu_masks[i]);
+                let mask = &mut self.dropout_masks[i];
+                mask.clear();
                 if self.dropout > 0.0 && self.train_mode {
                     // Inverted dropout: kept units scaled so the
                     // expectation is unchanged at eval time.
                     let scale = 1.0 / (1.0 - self.dropout);
-                    let mask: Vec<f32> =
-                        h.as_slice()
-                            .iter()
-                            .map(|_| {
-                                if self.dropout_rng.gen::<f32>() < self.dropout {
-                                    0.0
-                                } else {
-                                    scale
-                                }
-                            })
-                            .collect();
-                    for (v, &m) in h.as_mut_slice().iter_mut().zip(&mask) {
+                    mask.reserve(out.as_slice().len());
+                    for _ in 0..out.as_slice().len() {
+                        mask.push(if self.dropout_rng.gen::<f32>() < self.dropout {
+                            0.0
+                        } else {
+                            scale
+                        });
+                    }
+                    for (v, &m) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
                         *v *= m;
                     }
-                    self.dropout_masks.push(mask);
-                } else {
-                    self.dropout_masks.push(Vec::new());
                 }
             }
+            h = Some(out);
         }
-        h
+        h.expect("at least one layer")
     }
 
     /// Backward pass from the logit gradient; accumulates parameter
@@ -243,19 +249,27 @@ impl GnnModel {
     ///
     /// Panics if called before [`GnnModel::forward`].
     pub fn backward(&mut self, g: &Graph, grad_logits: &Matrix) {
-        let mut grad = grad_logits.clone();
         let last = self.layers.len() - 1;
+        let mut grad: Option<Matrix> = None;
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             if i != last {
+                let gm = grad.as_mut().expect("downstream layer produced a gradient");
                 let mask = &self.dropout_masks[i];
                 if !mask.is_empty() {
-                    for (gv, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+                    for (gv, &m) in gm.as_mut_slice().iter_mut().zip(mask) {
                         *gv *= m;
                     }
                 }
-                grad.relu_backward_inplace(&self.relu_masks[i]);
+                gm.relu_backward_inplace(&self.relu_masks[i]);
             }
-            grad = layer.backward(g, &grad);
+            let gin = layer.backward(g, grad.as_ref().unwrap_or(grad_logits), &mut self.scratch);
+            if let Some(prev) = grad.take() {
+                self.scratch.recycle(prev);
+            }
+            grad = Some(gin);
+        }
+        if let Some(last_grad) = grad {
+            self.scratch.recycle(last_grad);
         }
     }
 
@@ -269,6 +283,19 @@ impl GnnModel {
     /// All parameters in a stable order, for the optimizer.
     pub fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// The model's scratch arena. Matrices returned by
+    /// [`GnnModel::forward`] borrow pooled storage; hand them (and any
+    /// loss-gradient buffers) back here when done so the next batch
+    /// reuses them.
+    pub fn scratch_mut(&mut self) -> &mut ScratchArena {
+        &mut self.scratch
+    }
+
+    /// Returns a matrix to the model's scratch pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.scratch.recycle(m);
     }
 
     /// Estimated forward+backward FLOPs for one mini-batch with
@@ -420,6 +447,36 @@ mod tests {
         let m = GnnModel::new(ModelKind::Gcn, 10, 20, 5, 2, 1);
         // Layer 1: 10*20 + 20; layer 2: 20*5 + 5.
         assert_eq!(m.param_count(), 10 * 20 + 20 + 20 * 5 + 5);
+    }
+
+    #[test]
+    fn steady_state_training_does_not_allocate() {
+        // After one warm-up batch per shape, forward+backward on
+        // identical batches must not grow the arena.
+        let g = ring(6);
+        let x = glorot_uniform(6, 8, 1);
+        let r = glorot_uniform(6, 3, 2);
+        for kind in ModelKind::ALL {
+            let mut m = GnnModel::new(kind, 8, 16, 3, 2, 5);
+            for _ in 0..2 {
+                let out = m.forward(&g, &x);
+                m.zero_grad();
+                m.backward(&g, &r);
+                m.recycle(out);
+            }
+            let warm = m.scratch_mut().fresh_allocs();
+            for _ in 0..3 {
+                let out = m.forward(&g, &x);
+                m.zero_grad();
+                m.backward(&g, &r);
+                m.recycle(out);
+            }
+            assert_eq!(
+                m.scratch_mut().fresh_allocs(),
+                warm,
+                "{kind} allocated during steady-state batches"
+            );
+        }
     }
 
     #[test]

@@ -4,8 +4,61 @@
 //! variants, elementwise maps, and row reductions — nothing more. The
 //! matmul uses an i-k-j loop order over contiguous rows so the
 //! compiler can autovectorize the inner accumulation.
+//!
+//! # Parallelism and determinism
+//!
+//! The three matmul kernels are cache-blocked over output-column tiles
+//! and row-parallel over `gnnav_par`: output rows are split into
+//! static chunks and each chunk runs the identical serial inner loop.
+//! Because every output element is always accumulated in the same
+//! order (`k` ascending, with the same zero-skip tests), results are
+//! **bitwise identical** for any worker count — the thread pool only
+//! changes wall time, never a single bit of output.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Output-column tile width (f32 elements) for the blocked matmuls:
+/// one tile of the output row plus a tile of a `B` row stay resident
+/// in L1 while the kernel streams over `k`.
+const COL_TILE: usize = 128;
+
+/// Minimum FLOPs a worker must have before the kernels fan out.
+const PAR_GRAIN_FLOPS: u64 = 65_536;
+
+static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
+static MATMUL_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide dense-kernel counters; see [`kernel_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Matmul-family kernel invocations.
+    pub matmul_calls: u64,
+    /// Multiply-add FLOPs issued by the matmul family (`2 * m * k * n`
+    /// per call, counting skipped zero terms — the classical bound).
+    pub matmul_flops: u64,
+}
+
+/// Snapshot of the dense-kernel counters. Deltas around a workload
+/// give its compute volume; divided by wall time, its GFLOP/s.
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        matmul_calls: MATMUL_CALLS.load(Ordering::Relaxed),
+        matmul_flops: MATMUL_FLOPS.load(Ordering::Relaxed),
+    }
+}
+
+#[inline]
+fn record_matmul(m: usize, k: usize, n: usize) {
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    MATMUL_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
+}
+
+/// Rows per worker needed to amortize a spawn, given per-row FLOPs.
+#[inline]
+fn grain_rows(flops_per_row: u64) -> usize {
+    (PAR_GRAIN_FLOPS / flops_per_row.max(1)).max(1) as usize
+}
 
 /// A dense row-major `rows x cols` matrix of `f32`.
 ///
@@ -140,23 +193,54 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dim mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// `self * other`, written into `out` (fully overwritten). The
+    /// allocation-free form of [`Matrix::matmul`]; row-parallel and
+    /// column-tiled, bitwise identical to the serial i-k-j kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `out` has the wrong
+    /// shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dim mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul out shape mismatch");
+        record_matmul(self.rows, self.cols, other.cols);
+        let n = other.cols;
+        let k_dim = self.cols;
+        out.data.fill(0.0);
+        if n == 0 || self.rows == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let grain = grain_rows(2 * k_dim as u64 * n as u64);
+        gnnav_par::par_chunks(&mut out.data, n, grain, |off, out_row| {
+            let i = off / n;
+            let a_row = &a[i * k_dim..(i + 1) * k_dim];
+            // Per output element the accumulation order is k ascending
+            // with the same zero skips as the untiled loop: column
+            // tiling only reorders work *across* elements.
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + COL_TILE).min(n);
+                let out_tile = &mut out_row[j0..j1];
+                for (k, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_tile = &b[k * n + j0..k * n + j1];
+                    for (o, &bv) in out_tile.iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
+                }
+                j0 = j1;
+            }
+        });
     }
 
     /// `self^T * other` without materializing the transpose.
@@ -165,23 +249,55 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_at_b dim mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_at_b_into(other, &mut out);
         out
+    }
+
+    /// `self^T * other`, written into `out` (fully overwritten).
+    ///
+    /// Parallel over *output* rows (columns of `self`): each output
+    /// row gathers down its column of `self` with `r` ascending —
+    /// exactly the per-element order (and zero skips) of the serial
+    /// scatter kernel, so results are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows` or `out` has the wrong
+    /// shape.
+    pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_at_b dim mismatch");
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols), "matmul_at_b out shape mismatch");
+        record_matmul(self.cols, self.rows, other.cols);
+        let n = other.cols;
+        let k_dim = self.cols;
+        let rows = self.rows;
+        out.data.fill(0.0);
+        if n == 0 || k_dim == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let grain = grain_rows(2 * rows as u64 * n as u64);
+        gnnav_par::par_chunks(&mut out.data, n, grain, |off, out_row| {
+            let k = off / n;
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + COL_TILE).min(n);
+                let out_tile = &mut out_row[j0..j1];
+                for r in 0..rows {
+                    let av = a[r * k_dim + k];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_tile = &b[r * n + j0..r * n + j1];
+                    for (o, &bv) in out_tile.iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
+                }
+                j0 = j1;
+            }
+        });
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -190,20 +306,43 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_a_bt dim mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        self.matmul_a_bt_into(other, &mut out);
         out
+    }
+
+    /// `self * other^T`, written into `out` (fully overwritten).
+    /// Row-parallel; each element is one dot product computed in the
+    /// serial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or `out` has the wrong
+    /// shape.
+    pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_a_bt dim mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.rows), "matmul_a_bt out shape mismatch");
+        record_matmul(self.rows, self.cols, other.rows);
+        let m = other.rows;
+        let k_dim = self.cols;
+        if m == 0 || self.rows == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let grain = grain_rows(2 * k_dim as u64 * m as u64);
+        gnnav_par::par_chunks(&mut out.data, m, grain, |off, out_row| {
+            let i = off / m;
+            let a_row = &a[i * k_dim..(i + 1) * k_dim];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k_dim..(j + 1) * k_dim];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        });
     }
 
     /// Materialized transpose.
@@ -259,7 +398,17 @@ impl Matrix {
 
     /// ReLU forward in place; returns the activation mask for backward.
     pub fn relu_inplace(&mut self) -> Vec<bool> {
-        let mut mask = Vec::with_capacity(self.data.len());
+        let mut mask = Vec::new();
+        self.relu_inplace_with(&mut mask);
+        mask
+    }
+
+    /// ReLU forward in place, writing the activation mask into `mask`
+    /// (cleared first). Reuses `mask`'s capacity so the training hot
+    /// path does not allocate.
+    pub fn relu_inplace_with(&mut self, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.reserve(self.data.len());
         for x in &mut self.data {
             let active = *x > 0.0;
             mask.push(active);
@@ -267,7 +416,6 @@ impl Matrix {
                 *x = 0.0;
             }
         }
-        mask
     }
 
     /// ReLU backward: zeroes gradient entries where `mask` is false.
@@ -390,5 +538,60 @@ mod tests {
     #[should_panic(expected = "buffer size mismatch")]
     fn from_vec_checks_size() {
         let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::from_rows(&[&[9.9, 9.9], &[9.9, 9.9]]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_at_b_into(&b, &mut out);
+        assert_eq!(out, a.matmul_at_b(&b));
+        a.matmul_a_bt_into(&b, &mut out);
+        assert_eq!(out, a.matmul_a_bt(&b));
+    }
+
+    #[test]
+    fn wide_matmul_exercises_column_tiles() {
+        // cols > COL_TILE so the tiled path takes more than one tile.
+        let k = 3;
+        let n = super::COL_TILE + 37;
+        let a = Matrix::from_vec(2, k, (0..2 * k).map(|i| (i as f32) * 0.5 - 1.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| ((i % 17) as f32) * 0.25).collect());
+        let c = a.matmul(&b);
+        // Reference: naive triple loop.
+        for i in 0..2 {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                assert_eq!(c.get(i, j), acc, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_stats_count_flops() {
+        let before = kernel_stats();
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(5, 6);
+        let _ = a.matmul(&b);
+        let after = kernel_stats();
+        assert!(after.matmul_calls > before.matmul_calls);
+        assert!(after.matmul_flops >= before.matmul_flops + 2 * 4 * 5 * 6);
+    }
+
+    #[test]
+    fn relu_inplace_with_reuses_mask() {
+        let mut m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        let mut mask = Vec::with_capacity(16);
+        m.relu_inplace_with(&mut mask);
+        assert_eq!(mask, vec![false, true]);
+        let mut m2 = Matrix::from_rows(&[&[3.0, -4.0]]);
+        m2.relu_inplace_with(&mut mask);
+        assert_eq!(mask, vec![true, false]);
     }
 }

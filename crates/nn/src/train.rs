@@ -6,7 +6,7 @@
 //! `gnnav-runtime`, which calls into here once a mini-batch's data is
 //! "on device".
 
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_into;
 use crate::metrics::accuracy;
 use crate::model::GnnModel;
 use crate::optim::Adam;
@@ -38,10 +38,13 @@ pub fn train_step(
     assert_eq!(labels.len(), g.num_nodes(), "one label per node");
     model.set_train_mode(true);
     let logits = model.forward(g, x);
-    let (loss, grad) = softmax_cross_entropy(&logits, labels, target_rows);
+    let mut grad = model.scratch_mut().take(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(&logits, labels, target_rows, &mut grad);
     model.zero_grad();
     model.backward(g, &grad);
     opt.step(&mut model.params_mut());
+    model.recycle(grad);
+    model.recycle(logits);
     loss
 }
 
@@ -53,7 +56,9 @@ pub fn evaluate(model: &mut GnnModel, g: &Graph, x: &Matrix, labels: &[u16], row
     model.set_train_mode(false);
     let logits = model.forward(g, x);
     model.set_train_mode(true);
-    accuracy(&logits, labels, rows)
+    let acc = accuracy(&logits, labels, rows);
+    model.recycle(logits);
+    acc
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Bitwise identity of the parallel kernels across thread counts.
+//!
+//! Every parallel kernel in the NN substrate partitions *output*
+//! elements over workers while keeping the per-element accumulation
+//! order identical to the serial loop. That makes results bitwise
+//! reproducible regardless of pool width — the property the
+//! determinism suite and `(seed, plan)` fault replay depend on. These
+//! tests pin it down: each kernel is run under
+//! [`gnnav_par::with_thread_limit`] at widths 1/2/4/8 and the outputs
+//! are compared bit-for-bit against the single-threaded reference.
+//!
+//! Thread limits above the core count still exercise real worker
+//! threads (the limit overrides the hardware budget), so this suite is
+//! meaningful even on single-core CI runners.
+
+use gnnav_graph::{Graph, GraphBuilder};
+use gnnav_nn::layers::{gcn_aggregate, mean_aggregate, mean_aggregate_backward};
+use gnnav_nn::tensor::Matrix;
+use gnnav_nn::{Adam, GnnModel, ModelKind};
+use proptest::prelude::*;
+
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+fn assert_bits_eq(label: &str, a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows(), "{} rows", label);
+    prop_assert_eq!(a.cols(), b.cols(), "{} cols", label);
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        prop_assert!(
+            x.to_bits() == y.to_bits(),
+            "{}: element {} differs bitwise: {:?} vs {:?}",
+            label,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+/// Builds a symmetric graph from a raw (possibly duplicated) edge
+/// list; self-loops are dropped.
+fn build_graph(n: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    // A ring keeps every node connected so degrees are never zero.
+    for v in 0..n as u32 {
+        b.add_edge(v, (v + 1) % n as u32);
+    }
+    for &(u, v) in edges {
+        let (u, v) = (u % n, v % n);
+        if u != v {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    b.symmetrize().build().expect("build")
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matmul_variants_identical_across_widths(
+        a in matrix(9, 7),
+        b in matrix(7, 5),
+        c in matrix(9, 5),
+    ) {
+        let reference = gnnav_par::with_thread_limit(1, || {
+            (a.matmul(&b), a.matmul_at_b(&c), b.matmul_a_bt(&c))
+        });
+        for w in WIDTHS {
+            let (ab, atb, abt) = gnnav_par::with_thread_limit(w, || {
+                (a.matmul(&b), a.matmul_at_b(&c), b.matmul_a_bt(&c))
+            });
+            assert_bits_eq("matmul", &reference.0, &ab)?;
+            assert_bits_eq("matmul_at_b", &reference.1, &atb)?;
+            assert_bits_eq("matmul_a_bt", &reference.2, &abt)?;
+        }
+    }
+
+    #[test]
+    fn aggregations_identical_across_widths(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+        vals in proptest::collection::vec(-3.0f32..3.0, 12 * 6),
+    ) {
+        let g = build_graph(n, &edges);
+        let x = Matrix::from_vec(n, 6, vals[..n * 6].to_vec());
+        let reference = gnnav_par::with_thread_limit(1, || {
+            (gcn_aggregate(&g, &x), mean_aggregate(&g, &x), mean_aggregate_backward(&g, &x))
+        });
+        for w in WIDTHS {
+            let (gc, me, mb) = gnnav_par::with_thread_limit(w, || {
+                (gcn_aggregate(&g, &x), mean_aggregate(&g, &x), mean_aggregate_backward(&g, &x))
+            });
+            assert_bits_eq("gcn_aggregate", &reference.0, &gc)?;
+            assert_bits_eq("mean_aggregate", &reference.1, &me)?;
+            assert_bits_eq("mean_aggregate_backward", &reference.2, &mb)?;
+        }
+    }
+
+    #[test]
+    fn model_forward_and_training_identical_across_widths(
+        kind_idx in 0usize..3,
+        seed in 0u64..20,
+        n in 4usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+    ) {
+        let kind = ModelKind::ALL[kind_idx];
+        let g = build_graph(n, &edges);
+        let x = gnnav_nn::init::glorot_uniform(n, 5, seed);
+        let labels: Vec<u16> = (0..n as u16).map(|v| v % 3).collect();
+        let targets: Vec<u32> = (0..n as u32).collect();
+
+        // Forward + three full training steps (forward, loss,
+        // backward, Adam) under each width: any single bit of
+        // divergence in a gradient would compound into the weights and
+        // show up in the final logits.
+        let run = |w: usize| {
+            gnnav_par::with_thread_limit(w, || {
+                let mut m = GnnModel::new(kind, 5, 8, 3, 2, seed);
+                let first = m.forward(&g, &x);
+                let mut opt = Adam::new(0.01);
+                let mut losses = Vec::new();
+                for _ in 0..3 {
+                    losses.push(gnnav_nn::train::train_step(
+                        &mut m, &mut opt, &g, &x, &labels, &targets,
+                    ));
+                }
+                m.set_train_mode(false);
+                (first, losses, m.forward(&g, &x))
+            })
+        };
+        let reference = run(1);
+        for w in WIDTHS {
+            let (first, losses, last) = run(w);
+            assert_bits_eq("forward", &reference.0, &first)?;
+            for (i, (a, b)) in reference.1.iter().zip(&losses).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "loss {} differs at width {}: {:?} vs {:?}",
+                    i,
+                    w,
+                    a,
+                    b
+                );
+            }
+            assert_bits_eq("post-training forward", &reference.2, &last)?;
+        }
+    }
+}

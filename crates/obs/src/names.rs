@@ -55,6 +55,12 @@
 //! | `profiler.timeouts` | counter | configs | `Profiler::profile` |
 //! | `explorer.fallbacks` | counter | guidelines | `Explorer::explore` |
 //! | `explorer.predictions.nonfinite` | counter | candidates | `DfsExplorer::run` |
+//! | `nn.matmul.calls` | counter | kernel calls | `RuntimeBackend::execute` |
+//! | `nn.matmul.flops` | counter | flops | `RuntimeBackend::execute` |
+//! | `nn.matmul_gflops_wall` | gauge | GFLOP/wall s | `RuntimeBackend::execute` (last run) |
+//! | `nn.kernel.par_tasks` | counter | chunks | `RuntimeBackend::execute` |
+//! | `nn.kernel.par_regions` | counter | regions | `RuntimeBackend::execute` |
+//! | `par.pool_threads` | gauge | threads | `RuntimeBackend::execute` (last run) |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -69,6 +75,7 @@
 //! | `guideline` | `explorer` | instant | `Explorer::explore`, selected config |
 //! | `fault` | `faults` | instant | `FaultInjector::inject`, one/injection |
 //! | `recovery` | `backend` | instant | `RuntimeBackend::execute`, one/recovery action |
+//! | `kernels` | `backend` | instant | `RuntimeBackend::execute`, one/run |
 
 // --- runtime backend -------------------------------------------------
 
@@ -174,6 +181,22 @@ pub const EXPLORER_FALLBACKS: &str = "explorer.fallbacks";
 /// Candidate predictions rejected for non-finite components.
 pub const EXPLORER_NONFINITE: &str = "explorer.predictions.nonfinite";
 
+// --- nn kernels and thread pool ---------------------------------------
+
+/// Dense matmul-family kernel invocations (all three variants).
+pub const NN_MATMUL_CALLS: &str = "nn.matmul.calls";
+/// Floating-point operations performed by the matmul kernels.
+pub const NN_MATMUL_FLOPS: &str = "nn.matmul.flops";
+/// Matmul throughput of the last run in GFLOP per wall second (gauge;
+/// the `wall` suffix keeps it out of deterministic baselines).
+pub const NN_MATMUL_GFLOPS: &str = "nn.matmul_gflops_wall";
+/// Chunks dispatched by the gnnav-par pool inside nn kernels.
+pub const NN_KERNEL_PAR_TASKS: &str = "nn.kernel.par_tasks";
+/// Parallel regions entered by the gnnav-par pool inside nn kernels.
+pub const NN_KERNEL_PAR_REGIONS: &str = "nn.kernel.par_regions";
+/// Effective gnnav-par worker budget of the last run (gauge).
+pub const PAR_POOL_THREADS: &str = "par.pool_threads";
+
 // --- fault injection --------------------------------------------------
 
 /// Total faults injected by the active `FaultPlan`.
@@ -210,3 +233,6 @@ pub const EVENT_GUIDELINE: &str = "guideline";
 pub const EVENT_FAULT: &str = "fault";
 /// Per-recovery-action instant on [`TRACK_BACKEND`].
 pub const EVENT_RECOVERY: &str = "recovery";
+/// Per-run kernel-stats instant on [`TRACK_BACKEND`] (matmul calls,
+/// flops, parallel chunks).
+pub const EVENT_KERNELS: &str = "kernels";

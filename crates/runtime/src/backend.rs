@@ -318,6 +318,14 @@ impl RuntimeBackend {
             Vec::new()
         };
 
+        // Reusable host-side gather buffers: the batch loop refills
+        // these (and the model's internal scratch arena) instead of
+        // allocating, so steady-state training stays off the heap.
+        let mut x_buf: Vec<f32> = Vec::new();
+        let mut label_buf: Vec<u16> = Vec::new();
+        let kernel_stats_start = gnnav_nn::kernel_stats();
+        let par_stats_start = gnnav_par::stats();
+
         let mut phases = PhaseBreakdown::default();
         let mut epoch_time_total = SimTime::ZERO;
         let mut total_nodes = 0usize;
@@ -581,8 +589,10 @@ impl RuntimeBackend {
                 let train_this = opts.train && opts.train_batches_cap.is_none_or(|cap| bi < cap);
                 if train_this {
                     let train_started = observing.then(Instant::now);
-                    let x = Matrix::from_vec(mb.num_nodes(), feats.dim(), feats.gather(&mb.nodes));
-                    let labels = feats.gather_labels(&mb.nodes);
+                    feats.gather_into(&mb.nodes, &mut x_buf);
+                    let x =
+                        Matrix::from_vec(mb.num_nodes(), feats.dim(), std::mem::take(&mut x_buf));
+                    feats.gather_labels_into(&mb.nodes, &mut label_buf);
                     let step_site = train_steps;
                     train_steps += 1;
                     let mut loss = train::train_step(
@@ -590,9 +600,10 @@ impl RuntimeBackend {
                         &mut opt,
                         &mb.subgraph,
                         &x,
-                        &labels,
+                        &label_buf,
                         &mb.target_locals(),
                     );
+                    x_buf = x.into_vec();
                     if injector
                         .as_ref()
                         .and_then(|inj| {
@@ -769,6 +780,38 @@ impl RuntimeBackend {
                 let mean = loss_history.iter().sum::<f32>() / loss_history.len() as f32;
                 metrics.gauge_set(metric::LOSS_LAST, last as f64);
                 metrics.gauge_set(metric::LOSS_MEAN, mean as f64);
+            }
+            // Kernel-level counters: deltas of the process-global nn /
+            // gnnav-par stats across this execution (concurrent
+            // executions may interleave into each other's deltas; the
+            // perf baselines run serially, where the deltas are exact).
+            let kernel_stats = gnnav_nn::kernel_stats();
+            let par_stats = gnnav_par::stats();
+            let matmul_calls = kernel_stats.matmul_calls - kernel_stats_start.matmul_calls;
+            let matmul_flops = kernel_stats.matmul_flops - kernel_stats_start.matmul_flops;
+            let par_tasks = par_stats.tasks - par_stats_start.tasks;
+            let par_regions = par_stats.regions - par_stats_start.regions;
+            metrics.add(metric::NN_MATMUL_CALLS, matmul_calls);
+            metrics.add(metric::NN_MATMUL_FLOPS, matmul_flops);
+            metrics.add(metric::NN_KERNEL_PAR_TASKS, par_tasks);
+            metrics.add(metric::NN_KERNEL_PAR_REGIONS, par_regions);
+            metrics.gauge_set(metric::PAR_POOL_THREADS, gnnav_par::effective_threads() as f64);
+            let train_wall = wall_train.as_secs_f64();
+            if train_wall > 0.0 {
+                metrics.gauge_set(metric::NN_MATMUL_GFLOPS, matmul_flops as f64 / train_wall / 1e9);
+            }
+            if journaling {
+                journal.instant(
+                    metric::EVENT_KERNELS,
+                    metric::TRACK_BACKEND,
+                    Some(epoch_time_total.as_micros()),
+                    vec![
+                        ("matmul_calls".into(), matmul_calls.into()),
+                        ("matmul_flops".into(), matmul_flops.into()),
+                        ("par_tasks".into(), par_tasks.into()),
+                        ("par_regions".into(), par_regions.into()),
+                    ],
+                );
             }
         }
         Ok(ExecutionReport { perf, loss_history, config: config.clone(), recovery })

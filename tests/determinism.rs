@@ -30,6 +30,30 @@ fn backend_execution_is_reproducible() {
 }
 
 #[test]
+fn backend_execution_identical_across_thread_counts() {
+    // The compute kernels fan out across the gnnav-par pool; reports
+    // must stay bitwise identical no matter how wide it runs. (The
+    // thread limit is thread-local and `execute` runs inline, so it
+    // governs every kernel in the run; limits above the core count
+    // still spawn real workers.)
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let config = TrainingConfig { batch_size: 64, hidden_dim: 16, ..Default::default() };
+    let opts = ExecutionOptions { epochs: 1, train_batches_cap: Some(2), ..Default::default() };
+    let run = |threads: usize| {
+        gnnav_par::with_thread_limit(threads, || backend.execute(&dataset, &config, &opts))
+            .expect("run")
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 8] {
+        let wide = run(threads);
+        assert_eq!(serial.perf.epoch_time, wide.perf.epoch_time, "{threads} threads");
+        assert_eq!(serial.perf.accuracy, wide.perf.accuracy, "{threads} threads");
+        assert_eq!(serial.loss_history, wide.loss_history, "{threads} threads");
+    }
+}
+
+#[test]
 fn guideline_generation_is_reproducible() {
     let make = || {
         let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
