@@ -1,0 +1,542 @@
+//! The adaptive execution loop: run, watch, re-explore, switch.
+
+use crate::drift::{DriftConfig, DriftDetector, EpochSignal};
+use crate::AdaptError;
+use gnnav_estimator::{Context, GrayBoxEstimator, PerfEstimate, ProfileDb, ProfileRecord};
+use gnnav_explorer::{
+    decide, AuditAction, AuditRecord, EvaluatedCandidate, ExplorationResult, Explorer, Priority,
+    RuntimeConstraints,
+};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_obs::names as metric;
+use gnnav_runtime::{
+    EpochStats, ExecutionOptions, ExecutionReport, ExecutionSession, TrainingConfig,
+};
+use std::time::Instant;
+
+/// Knobs of the adaptive loop (drift detection plus re-exploration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptOptions {
+    /// Drift-detector configuration.
+    pub drift: DriftConfig,
+    /// Hard cap on mid-training guideline switches.
+    pub max_switches: u32,
+    /// How strongly each observed epoch pulls the warm-start refit:
+    /// observed records are replicated until they carry roughly
+    /// `observed_weight : 1` mass against the original profile sweep.
+    pub observed_weight: usize,
+    /// Leaf-evaluation budget of each incremental re-exploration
+    /// (small: the search is seeded from the previous Pareto front).
+    pub explore_budget: usize,
+    /// Traversal seed of the re-exploration DFS.
+    pub explore_seed: u64,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            drift: DriftConfig::default(),
+            max_switches: 3,
+            observed_weight: 4,
+            explore_budget: 120,
+            explore_seed: 0xDF5,
+        }
+    }
+}
+
+impl AdaptOptions {
+    fn validate(&self) -> Result<(), AdaptError> {
+        let d = &self.drift;
+        if !(d.threshold.is_finite() && d.threshold > 0.0) {
+            return Err(AdaptError::InvalidOptions(format!(
+                "drift threshold {} must be finite and > 0",
+                d.threshold
+            )));
+        }
+        if !(d.alpha.is_finite() && d.alpha > 0.0 && d.alpha <= 1.0) {
+            return Err(AdaptError::InvalidOptions(format!(
+                "drift alpha {} must be in (0, 1]",
+                d.alpha
+            )));
+        }
+        if self.observed_weight == 0 {
+            return Err(AdaptError::InvalidOptions("observed_weight must be >= 1".into()));
+        }
+        if self.explore_budget == 0 {
+            return Err(AdaptError::InvalidOptions("explore_budget must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One executed mid-training guideline switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchPlan {
+    /// Zero-based epoch after which the switch took effect.
+    pub epoch: usize,
+    /// The configuration being abandoned.
+    pub from: TrainingConfig,
+    /// The configuration adopted.
+    pub to: TrainingConfig,
+    /// Cache-migration cost charged to simulated time, in seconds.
+    pub migration_sim_s: f64,
+    /// The refreshed estimator's prediction for the new guideline.
+    pub predicted: PerfEstimate,
+    /// The drift EWMA that triggered the re-exploration.
+    pub drift_ewma: f64,
+    /// Wall-clock cost of the re-exploration (refit + search), in
+    /// milliseconds. Advisory only — never charged to simulated time.
+    pub reexplore_wall_ms: f64,
+}
+
+/// What one adaptive run produced.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// The final execution report (perf averaged over all epochs,
+    /// regardless of which guideline ran them).
+    pub report: ExecutionReport,
+    /// Every switch performed, in order.
+    pub switches: Vec<SwitchPlan>,
+    /// Per-epoch smoothed drift scores (EWMA), one per epoch run.
+    pub drift_scores: Vec<f64>,
+    /// Re-explorations performed (each may or may not have switched).
+    pub reexplorations: u32,
+    /// Audit records appended by the adaptive layer (one
+    /// [`AuditAction::Switched`] entry per switch).
+    pub audit: Vec<AuditRecord>,
+}
+
+/// Drives training epoch by epoch, watching for estimator drift and
+/// re-exploring incrementally when it is sustained.
+///
+/// The loop is deterministic: identical dataset, guideline, options,
+/// and fault plan reproduce the same switches bit for bit, and a run
+/// that never triggers executes exactly the static code path (the
+/// underlying [`ExecutionSession`] is the same one
+/// `RuntimeBackend::execute` uses).
+///
+/// # Example
+///
+/// ```no_run
+/// use gnnav_adapt::{AdaptOptions, AdaptiveRunner};
+/// use gnnav_estimator::{GrayBoxEstimator, Profiler};
+/// use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
+/// use gnnav_graph::{Dataset, DatasetId};
+/// use gnnav_hwsim::Platform;
+/// use gnnav_nn::ModelKind;
+/// use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05)?;
+/// let platform = Platform::default_rtx4090();
+/// let profiler = Profiler::new(
+///     RuntimeBackend::new(platform.clone()),
+///     ExecutionOptions::timing_only(),
+/// );
+/// let configs = DesignSpace::reduced().sample(12, ModelKind::Sage, 5);
+/// let db = profiler.profile(&dataset, &configs)?;
+/// let mut estimator = GrayBoxEstimator::new();
+/// estimator.fit(&db)?;
+/// let exploration = Explorer::new(&estimator, 200).explore(
+///     &dataset, &platform, ModelKind::Sage,
+///     Priority::Balance, &RuntimeConstraints::none())?;
+///
+/// let runner = AdaptiveRunner::new(platform, AdaptOptions::default());
+/// let outcome = runner.run(&dataset, &exploration, &db,
+///                          &ExecutionOptions::default(),
+///                          &RuntimeConstraints::none())?;
+/// println!("switches: {}", outcome.switches.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveRunner {
+    platform: Platform,
+    opts: AdaptOptions,
+}
+
+impl AdaptiveRunner {
+    /// Creates a runner bound to one simulated platform.
+    pub fn new(platform: Platform, opts: AdaptOptions) -> Self {
+        AdaptiveRunner { platform, opts }
+    }
+
+    /// The adaptive options in force.
+    pub fn options(&self) -> &AdaptOptions {
+        &self.opts
+    }
+
+    /// Runs `exec_opts.epochs` epochs of the explored guideline,
+    /// adapting when drift is sustained.
+    ///
+    /// `exploration` supplies the initial guideline, its prediction
+    /// (the drift baseline), and the Pareto front that seeds each
+    /// re-exploration; `profile_db` is the sweep the estimator was
+    /// fitted on, extended in place (on a copy) with observed epochs at
+    /// refit time; `constraints` are re-evaluated against the
+    /// *remaining* time budget before each re-exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptError::Runtime`] when an epoch or switch fails,
+    /// [`AdaptError::Estimator`] / [`AdaptError::Explorer`] when a
+    /// refit or re-exploration fails, [`AdaptError::InvalidOptions`]
+    /// for inconsistent adaptive options.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        exploration: &ExplorationResult,
+        profile_db: &ProfileDb,
+        exec_opts: &ExecutionOptions,
+        constraints: &RuntimeConstraints,
+    ) -> Result<AdaptiveReport, AdaptError> {
+        self.opts.validate()?;
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        if metrics.is_enabled() {
+            // Register the switch counter at zero so clean adaptive
+            // runs still expose the series.
+            metrics.add(metric::ADAPT_SWITCHES, 0);
+        }
+
+        let priority = exploration.guideline.priority;
+        let mut session = ExecutionSession::new(
+            self.platform.clone(),
+            dataset,
+            &exploration.guideline.config,
+            exec_opts,
+        )?;
+        let mut predicted = exploration.guideline.estimate;
+        let mut seeds = front_configs(exploration, session.config());
+        let mut detector = DriftDetector::new(self.opts.drift.clone());
+        let mut observed: Vec<ProfileRecord> = Vec::with_capacity(exec_opts.epochs);
+        let mut switches: Vec<SwitchPlan> = Vec::new();
+        let mut drift_scores = Vec::with_capacity(exec_opts.epochs);
+        let mut audit: Vec<AuditRecord> = Vec::new();
+        let mut reexplorations = 0u32;
+        let mut seen_degradations = 0usize;
+
+        for epoch in 0..exec_opts.epochs {
+            let stats = session.run_epoch()?;
+            observed.push(observed_record(dataset, &self.platform, session.config(), &stats));
+
+            let verdict = detector.observe(
+                &EpochSignal {
+                    time_s: predicted.time_s,
+                    hit_rate: predicted.hit_rate,
+                    mem_bytes: predicted.mem_bytes,
+                },
+                &EpochSignal {
+                    time_s: stats.sim_s,
+                    hit_rate: stats.hit_rate,
+                    mem_bytes: stats.peak_mem_bytes as f64,
+                },
+            );
+            drift_scores.push(verdict.ewma);
+            if metrics.is_enabled() {
+                metrics.gauge_set(metric::ADAPT_DRIFT_SCORE, verdict.ewma);
+            }
+            if journal.is_enabled() {
+                journal.instant(
+                    metric::EVENT_DRIFT,
+                    metric::TRACK_ADAPT,
+                    Some(session.sim_time_total().as_secs() * 1e6),
+                    vec![
+                        ("epoch".into(), (epoch as u64).into()),
+                        ("score".into(), verdict.score.into()),
+                        ("ewma".into(), verdict.ewma.into()),
+                        ("triggered".into(), verdict.triggered.into()),
+                    ],
+                );
+            }
+
+            // A recovery-ladder degradation means the config we are
+            // executing is no longer the config we planned — re-explore
+            // even if the drift band has not caught up yet.
+            let degradations = session.recovery().degradations.len();
+            let degraded = degradations > seen_degradations;
+            seen_degradations = degradations;
+
+            let remaining = exec_opts.epochs - (epoch + 1);
+            if (verdict.triggered || degraded)
+                && remaining > 0
+                && (switches.len() as u32) < self.opts.max_switches
+            {
+                reexplorations += 1;
+                let switched = self.reexplore(
+                    dataset,
+                    &mut session,
+                    profile_db,
+                    &observed,
+                    &mut seeds,
+                    priority,
+                    constraints,
+                    exec_opts.epochs,
+                    remaining,
+                    epoch,
+                    verdict.ewma,
+                    &mut audit,
+                )?;
+                if let Some(plan) = switched {
+                    predicted = plan.predicted;
+                    switches.push(plan);
+                }
+                // Whether we switched (new baseline) or stayed (the
+                // refreshed search endorsed the current config), the
+                // drift band restarts: a cooldown against thrashing.
+                detector.reset();
+            }
+        }
+
+        let report = session.finish()?;
+        Ok(AdaptiveReport { report, switches, drift_scores, reexplorations, audit })
+    }
+
+    /// One incremental re-exploration: warm-start refit on observed
+    /// epochs, seeded DFS under the remaining budget, compatibility
+    /// filter, switch if the decision differs from the running config.
+    #[allow(clippy::too_many_arguments)]
+    fn reexplore(
+        &self,
+        dataset: &Dataset,
+        session: &mut ExecutionSession<'_>,
+        profile_db: &ProfileDb,
+        observed: &[ProfileRecord],
+        seeds: &mut Vec<TrainingConfig>,
+        priority: Priority,
+        constraints: &RuntimeConstraints,
+        total_epochs: usize,
+        remaining_epochs: usize,
+        epoch: usize,
+        drift_ewma: f64,
+        audit: &mut Vec<AuditRecord>,
+    ) -> Result<Option<SwitchPlan>, AdaptError> {
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        let started = Instant::now();
+
+        // Warm-start refit: replicate the observed epochs until they
+        // carry ~observed_weight:1 mass against the original sweep, so
+        // the ridge coefficients are pulled toward what the hardware is
+        // actually doing without discarding the sweep's coverage.
+        let mut db = profile_db.clone();
+        let weight = (self.opts.observed_weight * db.len().div_ceil(observed.len().max(1))).max(1);
+        db.merge_weighted(observed, weight);
+        let mut estimator = GrayBoxEstimator::new();
+        estimator.fit(&db)?;
+
+        // The time constraint applies to the epochs still ahead: spend
+        // of the epochs already run shrinks the per-epoch allowance.
+        let tightened = remaining_budget(
+            constraints,
+            total_epochs,
+            remaining_epochs,
+            session.sim_time_total().as_secs(),
+        );
+
+        let explorer =
+            Explorer::new(&estimator, self.opts.explore_budget).with_seed(self.opts.explore_seed);
+        let result = explorer.explore_from(
+            dataset,
+            &self.platform,
+            session.config().model,
+            priority,
+            &tightened,
+            seeds,
+        )?;
+
+        // Mid-training we can only adopt configs that preserve the
+        // model weights (same architecture/precision); re-decide over
+        // the compatible survivors rather than trusting the global pick.
+        let compatible: Vec<EvaluatedCandidate> =
+            result.evaluated.iter().filter(|c| session.compatible(&c.config)).cloned().collect();
+        let reexplore_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        if metrics.is_enabled() {
+            metrics.gauge_set(metric::ADAPT_REEXPLORE_MS, reexplore_wall_ms);
+        }
+
+        let pick = match decide(&compatible, priority) {
+            Some(g) if g.config != *session.config() => g,
+            _ => {
+                *seeds = front_configs(&result, session.config());
+                return Ok(None);
+            }
+        };
+
+        let from = session.config().clone();
+        let migration = session.switch_config(&pick.config)?;
+        *seeds = front_configs(&result, session.config());
+
+        let reason = format!(
+            "drift EWMA {drift_ewma:.3} after epoch {epoch}; re-explored {} candidates \
+             ({} weight-compatible) under the remaining budget",
+            result.evaluated.len(),
+            compatible.len(),
+        );
+        audit.push(AuditRecord {
+            config: pick.config.summary(),
+            estimate: Some(pick.estimate),
+            action: AuditAction::Switched,
+            reason,
+            seed_candidate: false,
+        });
+        if metrics.is_enabled() {
+            metrics.add(metric::ADAPT_SWITCHES, 1);
+        }
+        if journal.is_enabled() {
+            journal.instant(
+                metric::EVENT_SWITCH,
+                metric::TRACK_ADAPT,
+                Some(session.sim_time_total().as_secs() * 1e6),
+                vec![
+                    ("epoch".into(), (epoch as u64).into()),
+                    ("from".into(), from.summary().into()),
+                    ("to".into(), pick.config.summary().into()),
+                    ("migration_s".into(), migration.as_secs().into()),
+                ],
+            );
+        }
+
+        Ok(Some(SwitchPlan {
+            epoch,
+            from,
+            to: pick.config,
+            migration_sim_s: migration.as_secs(),
+            predicted: pick.estimate,
+            drift_ewma,
+            reexplore_wall_ms,
+        }))
+    }
+}
+
+/// The Pareto-front configurations of `result`, with `current`
+/// prepended — the seed set of the next re-exploration.
+fn front_configs(result: &ExplorationResult, current: &TrainingConfig) -> Vec<TrainingConfig> {
+    let mut seeds = vec![current.clone()];
+    for &i in &result.front {
+        let c = &result.evaluated[i].config;
+        if c != current {
+            seeds.push(c.clone());
+        }
+    }
+    seeds
+}
+
+/// Converts one observed epoch into a profile record in the profiler's
+/// units (phase times per iteration; accuracy 0 so the accuracy fit,
+/// which filters on `accuracy > 0`, ignores it).
+fn observed_record(
+    dataset: &Dataset,
+    platform: &Platform,
+    config: &TrainingConfig,
+    stats: &EpochStats,
+) -> ProfileRecord {
+    let n_iter = stats.n_iter.max(1) as f64;
+    let batches = stats.batches.max(1) as f64;
+    ProfileRecord {
+        dataset_id: dataset.id(),
+        context: Context::new(dataset, platform, config.clone()),
+        epoch_time_s: stats.sim_s,
+        mem_bytes: stats.peak_mem_bytes as f64,
+        accuracy: 0.0,
+        hit_rate: stats.hit_rate,
+        avg_batch_nodes: stats.nodes as f64 / batches,
+        avg_batch_edges: stats.edges as f64 / batches,
+        phase_s: [
+            stats.phase_s[0] / n_iter,
+            stats.phase_s[1] / n_iter,
+            stats.phase_s[2] / n_iter,
+            stats.phase_s[3] / n_iter,
+        ],
+        n_iter,
+    }
+}
+
+/// Splits the remaining time budget evenly over the remaining epochs:
+/// per-epoch allowance `min(max_t, (total − spent) / remaining)`,
+/// floored at zero so an overspent run asks for the fastest feasible
+/// config instead of a negative-time one.
+fn remaining_budget(
+    constraints: &RuntimeConstraints,
+    total_epochs: usize,
+    remaining_epochs: usize,
+    sim_spent_s: f64,
+) -> RuntimeConstraints {
+    let mut tightened = *constraints;
+    if let Some(max_t) = constraints.max_time_s {
+        let total = max_t * total_epochs as f64;
+        let left = (total - sim_spent_s).max(0.0);
+        tightened.max_time_s = Some((left / remaining_epochs.max(1) as f64).min(max_t));
+    }
+    tightened
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_validate() {
+        assert!(AdaptOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        let mut o = AdaptOptions::default();
+        o.drift.threshold = f64::NAN;
+        assert!(matches!(o.validate(), Err(AdaptError::InvalidOptions(_))));
+        let mut o = AdaptOptions::default();
+        o.drift.alpha = 0.0;
+        assert!(o.validate().is_err());
+        let o = AdaptOptions { observed_weight: 0, ..Default::default() };
+        assert!(o.validate().is_err());
+        let o = AdaptOptions { explore_budget: 0, ..Default::default() };
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn remaining_budget_tightens_with_spend() {
+        let c = RuntimeConstraints { max_time_s: Some(2.0), ..RuntimeConstraints::none() };
+        // 10 epochs * 2 s = 20 s total; 12 s spent after 4 epochs
+        // leaves 8 s over 6 epochs.
+        let t = remaining_budget(&c, 10, 6, 12.0);
+        assert!((t.max_time_s.unwrap() - 8.0 / 6.0).abs() < 1e-12);
+        // Underspend never loosens beyond the original per-epoch cap.
+        let t = remaining_budget(&c, 10, 6, 1.0);
+        assert_eq!(t.max_time_s, Some(2.0));
+        // Overspend floors at zero rather than going negative.
+        let t = remaining_budget(&c, 10, 2, 25.0);
+        assert_eq!(t.max_time_s, Some(0.0));
+        // No constraint stays no constraint.
+        let t = remaining_budget(&RuntimeConstraints::none(), 10, 5, 12.0);
+        assert_eq!(t.max_time_s, None);
+    }
+
+    #[test]
+    fn observed_record_uses_per_iteration_phases() {
+        let dataset =
+            gnnav_graph::Dataset::load_scaled(gnnav_graph::DatasetId::Reddit2, 0.01).expect("load");
+        let stats = EpochStats {
+            epoch: 0,
+            sim_s: 4.0,
+            hit_rate: 0.5,
+            peak_mem_bytes: 1_000_000,
+            batches: 4,
+            nodes: 400,
+            edges: 4000,
+            phase_s: [1.0, 1.0, 1.0, 1.0],
+            n_iter: 4,
+        };
+        let r = observed_record(
+            &dataset,
+            &Platform::default_rtx4090(),
+            &TrainingConfig::default(),
+            &stats,
+        );
+        assert_eq!(r.phase_s, [0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(r.n_iter, 4.0);
+        assert_eq!(r.avg_batch_nodes, 100.0);
+        assert_eq!(r.accuracy, 0.0, "observed records must not pollute the accuracy fit");
+    }
+}

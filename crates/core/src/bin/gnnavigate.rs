@@ -42,6 +42,11 @@ OPTIONS:
     --seed <N>                     pipeline seed (profiling + exploration)
     --fault-plan <PATH>            inject deterministic faults from a JSON plan
                                    (chaos testing; see EXPERIMENTS.md)
+    --adapt                        apply the guideline adaptively: watch drift
+                                   against the estimate, re-explore, and switch
+                                   guidelines mid-training
+    --drift-threshold <FLOAT>      EWMA drift level that triggers adaptive
+                                   re-exploration           [default: 0.75]
     --metrics-out <PATH>           write a metrics snapshot as JSON
     --trace-out <PATH>             write the event journal as Chrome trace JSON
                                    (open in Perfetto / chrome://tracing)
@@ -69,6 +74,8 @@ struct Args {
     epochs: Option<usize>,
     seed: Option<u64>,
     fault_plan: Option<std::path::PathBuf>,
+    adapt: bool,
+    drift_threshold: Option<f64>,
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     audit_out: Option<std::path::PathBuf>,
@@ -88,6 +95,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         epochs: None,
         seed: None,
         fault_plan: None,
+        adapt: false,
+        drift_threshold: None,
         metrics_out: None,
         trace_out: None,
         audit_out: None,
@@ -173,6 +182,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--fault-plan" => {
                 args.fault_plan = Some(value("--fault-plan")?.into());
+            }
+            "--adapt" => args.adapt = true,
+            "--drift-threshold" => {
+                let t: f64 = value("--drift-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --drift-threshold: {e}"))?;
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(format!("--drift-threshold {t} must be finite and > 0"));
+                }
+                args.drift_threshold = Some(t);
             }
             "--metrics-out" => {
                 args.metrics_out = Some(value("--metrics-out")?.into());
@@ -319,7 +338,45 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("warning: {reason}");
     }
 
-    let guided = nav.apply(&result.guideline)?;
+    let mut adapt_audit = Vec::new();
+    let guided = if args.adapt {
+        let mut adapt = gnnavigator::adapt::AdaptOptions::default();
+        if let Some(t) = args.drift_threshold {
+            adapt.drift.threshold = t;
+        }
+        let outcome = nav.apply_adaptive(&result, &args.constraints, adapt)?;
+        if outcome.switches.is_empty() {
+            if outcome.reexplorations == 0 {
+                eprintln!(
+                    "adaptive: no drift past the threshold over {} epoch(s); guideline kept",
+                    outcome.drift_scores.len()
+                );
+            } else {
+                eprintln!(
+                    "adaptive: drift triggered {} re-exploration(s) over {} epoch(s), \
+                     but no candidate beat the current guideline; guideline kept",
+                    outcome.reexplorations,
+                    outcome.drift_scores.len()
+                );
+            }
+        } else {
+            for s in &outcome.switches {
+                println!(
+                    "adaptive switch after epoch {}: {} -> {} \
+                     (drift EWMA {:.3}, migration {:.3}s sim)",
+                    s.epoch,
+                    s.from.summary(),
+                    s.to.summary(),
+                    s.drift_ewma,
+                    s.migration_sim_s
+                );
+            }
+        }
+        adapt_audit = outcome.audit;
+        outcome.report
+    } else {
+        nav.apply(&result.guideline)?
+    };
     let rec = &guided.recovery;
     if !rec.is_clean() {
         eprintln!(
@@ -375,8 +432,10 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("chrome trace written to {} (open in https://ui.perfetto.dev)", path.display());
     }
     if let Some(path) = &args.audit_out {
-        std::fs::write(path, gnnavigator::explorer::audit_to_json(&result.audit))?;
-        eprintln!("decision audit ({} records) written to {}", result.audit.len(), path.display());
+        let mut audit = result.audit.clone();
+        audit.extend(adapt_audit);
+        std::fs::write(path, gnnavigator::explorer::audit_to_json(&audit))?;
+        eprintln!("decision audit ({} records) written to {}", audit.len(), path.display());
     }
     Ok(())
 }

@@ -37,8 +37,13 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod navigator;
 
+/// Online guideline adaptation: drift detection + mid-training
+/// switches.
+pub use gnnav_adapt as adapt;
 /// Device feature-cache policies.
 pub use gnnav_cache as cache;
 /// Gray-box performance estimator.
@@ -81,6 +86,8 @@ pub enum NavigatorError {
     Estimator(gnnav_estimator::EstimatorError),
     /// Guideline exploration failed.
     Explorer(gnnav_explorer::ExplorerError),
+    /// Adaptive execution failed.
+    Adapt(gnnav_adapt::AdaptError),
     /// A pipeline step failed with a contextual message.
     Pipeline(String),
 }
@@ -94,6 +101,7 @@ impl fmt::Display for NavigatorError {
             NavigatorError::Runtime(e) => write!(f, "runtime error: {e}"),
             NavigatorError::Estimator(e) => write!(f, "estimator error: {e}"),
             NavigatorError::Explorer(e) => write!(f, "explorer error: {e}"),
+            NavigatorError::Adapt(e) => write!(f, "adaptive execution error: {e}"),
             NavigatorError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
@@ -105,6 +113,7 @@ impl Error for NavigatorError {
             NavigatorError::Runtime(e) => Some(e),
             NavigatorError::Estimator(e) => Some(e),
             NavigatorError::Explorer(e) => Some(e),
+            NavigatorError::Adapt(e) => Some(e),
             _ => None,
         }
     }
@@ -125,6 +134,12 @@ impl From<gnnav_estimator::EstimatorError> for NavigatorError {
 impl From<gnnav_explorer::ExplorerError> for NavigatorError {
     fn from(e: gnnav_explorer::ExplorerError) -> Self {
         NavigatorError::Explorer(e)
+    }
+}
+
+impl From<gnnav_adapt::AdaptError> for NavigatorError {
+    fn from(e: gnnav_adapt::AdaptError) -> Self {
+        NavigatorError::Adapt(e)
     }
 }
 

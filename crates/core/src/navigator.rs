@@ -11,6 +11,7 @@
 //!    measured `Perf{T, Γ, Acc}`.
 
 use crate::NavigatorError;
+use gnnav_adapt::{AdaptOptions, AdaptiveReport, AdaptiveRunner};
 use gnnav_estimator::{GrayBoxEstimator, ProfileDb, Profiler};
 use gnnav_explorer::{ExplorationResult, Explorer, Guideline, Priority, RuntimeConstraints};
 use gnnav_graph::Dataset;
@@ -208,6 +209,39 @@ impl Navigator {
     /// Propagates backend failures.
     pub fn apply(&self, guideline: &Guideline) -> Result<ExecutionReport, NavigatorError> {
         Ok(self.backend.execute(&self.dataset, &guideline.config, &self.options.apply_exec)?)
+    }
+
+    /// Applies a guideline adaptively (Step 4 extended): trains epoch
+    /// by epoch, watches observed time / hit rate / memory against the
+    /// exploration's prediction, and on sustained drift re-explores
+    /// incrementally and switches the guideline mid-training.
+    ///
+    /// Without drift the run is byte-identical to [`Navigator::apply`]
+    /// on the same guideline: the adaptive loop drives the exact same
+    /// execution session, epoch for epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NavigatorError::NotPrepared`] before
+    /// [`Navigator::prepare`]; otherwise propagates backend, refit,
+    /// and re-exploration failures.
+    pub fn apply_adaptive(
+        &self,
+        exploration: &ExplorationResult,
+        constraints: &RuntimeConstraints,
+        adapt: AdaptOptions,
+    ) -> Result<AdaptiveReport, NavigatorError> {
+        if self.estimator.is_none() {
+            return Err(NavigatorError::NotPrepared);
+        }
+        let runner = AdaptiveRunner::new(self.platform.clone(), adapt);
+        Ok(runner.run(
+            &self.dataset,
+            exploration,
+            &self.profile_db,
+            &self.options.apply_exec,
+            constraints,
+        )?)
     }
 
     /// Runs a baseline template under the same execution options, for

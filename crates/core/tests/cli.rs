@@ -243,6 +243,132 @@ fn metrics_diff_rejects_bad_invocations() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/a.json"));
 }
 
+/// Every `--flag` token in `text` (letters and dashes after the `--`,
+/// at least one letter — markdown table rules like `|---|` and long
+/// dashes don't count).
+fn extract_flags(text: &str) -> std::collections::BTreeSet<String> {
+    let mut flags = std::collections::BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        if &bytes[i..i + 2] == b"--" {
+            let start = i + 2;
+            let mut end = start;
+            while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-') {
+                end += 1;
+            }
+            if end > start && bytes[start..end].iter().any(u8::is_ascii_lowercase) {
+                flags.insert(format!("--{}", &text[start..end]));
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn help_text() -> String {
+    let out = gnnavigate().arg("--help").output().expect("run gnnavigate --help");
+    assert!(out.status.success(), "--help must exit 0");
+    String::from_utf8(out.stdout).expect("utf-8 help")
+}
+
+/// A value that parses for each value-taking flag; empty for
+/// booleans. Flags missing from this table fail the parse-audit test,
+/// which is the point: adding a flag means documenting how to
+/// exercise it.
+fn sample_args(flag: &str) -> Option<Vec<&'static str>> {
+    Some(match flag {
+        "--dataset" => vec!["RD2"],
+        "--model" => vec!["sage"],
+        "--priority" => vec!["bal"],
+        "--platform" => vec!["rtx4090"],
+        "--scale" => vec!["0.05"],
+        "--max-time-ms" => vec!["100"],
+        "--max-mem-mb" => vec!["100"],
+        "--min-acc" => vec!["50"],
+        "--profile-samples" => vec!["4"],
+        "--explore-budget" => vec!["10"],
+        "--epochs" => vec!["1"],
+        "--seed" => vec!["1"],
+        "--fault-plan" => vec!["plan.json"],
+        "--adapt" => vec![],
+        "--drift-threshold" => vec!["0.5"],
+        "--metrics-out" => vec!["metrics.json"],
+        "--trace-out" => vec!["trace.json"],
+        "--audit-out" => vec!["audit.json"],
+        "--verbose" => vec![],
+        "--help" => vec![],
+        _ => return None,
+    })
+}
+
+#[test]
+fn every_help_flag_parses() {
+    // Each flag is parsed in sequence before `--help` short-circuits,
+    // so `<flag> [value] --help` exiting 0 proves the flag parses.
+    for flag in extract_flags(&help_text()) {
+        if flag == "--help" {
+            continue;
+        }
+        let (mut cmd, args) = if flag == "--threshold" {
+            // metrics-diff's own flag lives behind the subcommand.
+            let mut c = gnnavigate();
+            c.arg("metrics-diff");
+            (c, vec!["5"])
+        } else {
+            let args = sample_args(&flag)
+                .unwrap_or_else(|| panic!("{flag} appears in --help but has no sample value"));
+            (gnnavigate(), args)
+        };
+        let out = cmd.arg(&flag).args(args).arg("--help").output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{flag} failed to parse: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn readme_flag_table_matches_help() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("read README.md");
+    let section = readme
+        .split("## Command line")
+        .nth(1)
+        .expect("README must keep its `## Command line` section")
+        .split("\n## ")
+        .next()
+        .expect("non-empty section");
+    // Only the table rows count as documentation; the invocation
+    // snippet above the table mentions cargo's own flags.
+    let table: String =
+        section.lines().filter(|l| l.starts_with('|')).collect::<Vec<_>>().join("\n");
+    let documented = extract_flags(&table);
+    let in_help = extract_flags(&help_text());
+    let missing_from_help: Vec<_> = documented.difference(&in_help).collect();
+    assert!(
+        missing_from_help.is_empty(),
+        "README documents flags --help does not know: {missing_from_help:?}"
+    );
+    let undocumented: Vec<_> =
+        in_help.iter().filter(|f| !documented.contains(*f) && **f != "--help").collect();
+    assert!(
+        undocumented.is_empty(),
+        "--help knows flags the README flag table omits: {undocumented:?}"
+    );
+}
+
+#[test]
+fn bad_drift_threshold_is_rejected() {
+    for bad in ["0", "-1", "nan", "apple"] {
+        let out = gnnavigate().args(["--drift-threshold", bad]).output().expect("spawn");
+        assert!(!out.status.success(), "--drift-threshold {bad} must be rejected");
+    }
+}
+
 #[test]
 fn metrics_disabled_by_default() {
     // Without --metrics-out/--verbose, no metrics table appears.

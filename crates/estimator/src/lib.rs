@@ -18,6 +18,8 @@
 //! - [`GrayBoxEstimator`] — the assembled model with
 //!   leave-one-dataset-out validation (Tab. 2).
 
+#![warn(missing_docs)]
+
 pub mod accuracy;
 pub mod batch_size;
 pub mod context;

@@ -93,6 +93,19 @@ impl ProfileDb {
     pub fn merge(&mut self, other: ProfileDb) {
         self.records.extend(other.records);
     }
+
+    /// Merges `records` into this database with an integral fit
+    /// weight: each record is inserted `weight` times, so a ridge or
+    /// forest fit over the result sees it `weight`-fold. Used by the
+    /// adaptive layer's warm-start refit, where a handful of observed
+    /// epochs must pull coefficients against a much larger sweep
+    /// database. `weight == 0` is a no-op.
+    pub fn merge_weighted(&mut self, records: &[ProfileRecord], weight: usize) {
+        self.records.reserve(records.len() * weight);
+        for _ in 0..weight {
+            self.records.extend(records.iter().cloned());
+        }
+    }
 }
 
 impl Extend<ProfileRecord> for ProfileDb {

@@ -24,6 +24,10 @@ pub enum AuditAction {
     /// candidate was feasible, so the explorer degraded to the
     /// nearest-feasible candidate instead of failing.
     Fallback,
+    /// Adopted mid-training by the adaptive layer: the drift detector
+    /// triggered a re-exploration and this candidate replaced the
+    /// running guideline.
+    Switched,
 }
 
 impl AuditAction {
@@ -35,6 +39,7 @@ impl AuditAction {
             AuditAction::PrunedSubtree => "pruned_subtree",
             AuditAction::Selected => "selected",
             AuditAction::Fallback => "fallback",
+            AuditAction::Switched => "switched",
         }
     }
 }

@@ -39,25 +39,32 @@ pub struct ExplorationResult {
 ///
 /// # Example
 ///
-/// ```no_run
+/// Profile a few configurations on a tiny synthetic slice, fit the
+/// gray-box estimator, and explore (runs in a doctest):
+///
+/// ```
 /// use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
-/// use gnnav_estimator::GrayBoxEstimator;
+/// use gnnav_estimator::{GrayBoxEstimator, Profiler};
 /// use gnnav_graph::{Dataset, DatasetId};
 /// use gnnav_hwsim::Platform;
 /// use gnnav_nn::ModelKind;
+/// use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// # let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.05)?;
-/// # let estimator: GrayBoxEstimator = unimplemented!();
-/// let explorer = Explorer::new(&estimator, 2000);
-/// let result = explorer.explore(
-///     &dataset,
-///     &Platform::default_rtx4090(),
-///     ModelKind::Sage,
-///     Priority::Balance,
-///     &RuntimeConstraints::none(),
-/// )?;
-/// println!("guideline: {}", result.guideline.config.summary());
+/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01)?;
+/// let platform = Platform::default_rtx4090();
+/// let profiler = Profiler::new(
+///     RuntimeBackend::new(platform.clone()),
+///     ExecutionOptions::timing_only(),
+/// );
+/// let configs = DesignSpace::reduced().sample(8, ModelKind::Sage, 5);
+/// let db = profiler.profile(&dataset, &configs)?;
+/// let mut estimator = GrayBoxEstimator::new();
+/// estimator.fit(&db)?;
+/// let explorer = Explorer::new(&estimator, 200);
+/// let result = explorer.explore(&dataset, &platform, ModelKind::Sage,
+///                               Priority::Balance, &RuntimeConstraints::none())?;
+/// assert!(!result.evaluated.is_empty());
 /// # Ok(())
 /// # }
 /// ```
@@ -115,12 +122,34 @@ impl<'a> Explorer<'a> {
         priority: Priority,
         constraints: &RuntimeConstraints,
     ) -> Result<ExplorationResult, ExplorerError> {
+        let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
+        self.explore_from(dataset, platform, model, priority, constraints, &seeds)
+    }
+
+    /// Like [`explore`](Self::explore), but seeds the DFS with the
+    /// given configurations instead of the baseline templates.
+    ///
+    /// This is the incremental re-exploration entry point used by
+    /// adaptive training: seeding with the previous run's Pareto-front
+    /// configurations (plus the currently running one) warm-starts the
+    /// search near known-good regions, so a small budget suffices.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`explore`](Self::explore).
+    pub fn explore_from(
+        &self,
+        dataset: &Dataset,
+        platform: &Platform,
+        model: ModelKind,
+        priority: Priority,
+        constraints: &RuntimeConstraints,
+        seeds: &[gnnav_runtime::TrainingConfig],
+    ) -> Result<ExplorationResult, ExplorerError> {
         let metrics = gnnav_obs::global();
         let _explore_span = metrics.span(metric::EXPLORER_EXPLORE_WALL);
         let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
-        let seeds: Vec<_> = Template::ALL.iter().map(|t| t.config(model)).collect();
-        let outcome =
-            dfs.run_audited(self.estimator, dataset, platform, model, constraints, &seeds);
+        let outcome = dfs.run_audited(self.estimator, dataset, platform, model, constraints, seeds);
         let (evaluated, rejected, stats) = (outcome.accepted, outcome.rejected, outcome.stats);
         let mut audit = outcome.audit;
         let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();

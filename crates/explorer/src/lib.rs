@@ -9,6 +9,8 @@
 //! seeds the search with the baseline templates so guidelines never
 //! lose to the prior systems they generalize.
 
+#![warn(missing_docs)]
+
 pub mod audit;
 pub mod decision;
 pub mod dfs;

@@ -52,6 +52,8 @@
 //! # global().enable(false);
 //! ```
 
+#![warn(missing_docs)]
+
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -500,6 +502,15 @@ pub struct Span<'r> {
     start: Option<Instant>,
     path: String,
     pushed: usize,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("path", &self.path)
+            .field("active", &self.start.is_some())
+            .finish()
+    }
 }
 
 impl Span<'_> {

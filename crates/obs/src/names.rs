@@ -61,6 +61,9 @@
 //! | `nn.kernel.par_tasks` | counter | chunks | `RuntimeBackend::execute` |
 //! | `nn.kernel.par_regions` | counter | regions | `RuntimeBackend::execute` |
 //! | `par.pool_threads` | gauge | threads | `RuntimeBackend::execute` (last run) |
+//! | `adapt.drift_score` | gauge | ratio | `AdaptiveRunner::run`, one/epoch |
+//! | `adapt.switches` | counter | switches | `AdaptiveRunner::run`, one/switch |
+//! | `adapt.reexplore_ms` | gauge | wall ms | `AdaptiveRunner::run` (last re-exploration) |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -76,6 +79,8 @@
 //! | `fault` | `faults` | instant | `FaultInjector::inject`, one/injection |
 //! | `recovery` | `backend` | instant | `RuntimeBackend::execute`, one/recovery action |
 //! | `kernels` | `backend` | instant | `RuntimeBackend::execute`, one/run |
+//! | `drift` | `adapt` | instant | `AdaptiveRunner::run`, one/epoch with drift verdict |
+//! | `switch` | `adapt` | instant | `AdaptiveRunner::run`, one/guideline switch |
 
 // --- runtime backend -------------------------------------------------
 
@@ -197,6 +202,18 @@ pub const NN_KERNEL_PAR_REGIONS: &str = "nn.kernel.par_regions";
 /// Effective gnnav-par worker budget of the last run (gauge).
 pub const PAR_POOL_THREADS: &str = "par.pool_threads";
 
+// --- adaptive training ------------------------------------------------
+
+/// EWMA drift score of the last adaptive epoch (gauge; relative
+/// deviation of observed vs predicted per-epoch metrics).
+pub const ADAPT_DRIFT_SCORE: &str = "adapt.drift_score";
+/// Mid-training guideline switches performed by the adaptive layer.
+pub const ADAPT_SWITCHES: &str = "adapt.switches";
+/// Wall milliseconds of the last incremental re-exploration (gauge;
+/// refit + explore; the `wall`-free name is still excluded from
+/// deterministic baselines because adaptive runs never feed them).
+pub const ADAPT_REEXPLORE_MS: &str = "adapt.reexplore_ms";
+
 // --- fault injection --------------------------------------------------
 
 /// Total faults injected by the active `FaultPlan`.
@@ -218,6 +235,8 @@ pub const TRACK_PROFILER_WORKER_PREFIX: &str = "profiler.worker-";
 pub const TRACK_EXPLORER: &str = "explorer";
 /// Journal track for fault injections.
 pub const TRACK_FAULTS: &str = "faults";
+/// Journal track for adaptive-training drift and switch events.
+pub const TRACK_ADAPT: &str = "adapt";
 
 /// Per-epoch span event on [`TRACK_BACKEND`] (wall + sim clocks).
 pub const EVENT_EPOCH: &str = "epoch";
@@ -236,3 +255,7 @@ pub const EVENT_RECOVERY: &str = "recovery";
 /// Per-run kernel-stats instant on [`TRACK_BACKEND`] (matmul calls,
 /// flops, parallel chunks).
 pub const EVENT_KERNELS: &str = "kernels";
+/// Per-epoch drift-verdict instant on [`TRACK_ADAPT`].
+pub const EVENT_DRIFT: &str = "drift";
+/// Per-switch instant on [`TRACK_ADAPT`].
+pub const EVENT_SWITCH: &str = "switch";

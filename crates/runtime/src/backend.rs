@@ -8,19 +8,12 @@
 //! times and the memory ledger enforces device capacity.
 
 use crate::config::TrainingConfig;
-use crate::perf::{Perf, PhaseBreakdown};
+use crate::perf::Perf;
+use crate::session::ExecutionSession;
 use crate::RuntimeError;
-use gnnav_cache::{build_cache, CacheStats};
-use gnnav_faults::{FaultInjector, FaultKind, FaultPlan};
+use gnnav_faults::FaultPlan;
 use gnnav_graph::Dataset;
-use gnnav_hwsim::{CostModel, MemoryLedger, Platform, SimTime};
-use gnnav_nn::tensor::Matrix;
-use gnnav_nn::{train, Adam, GnnModel};
-use gnnav_obs::names as metric;
-use gnnav_sampler::batch_targets;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use gnnav_hwsim::{Platform, SimTime};
 
 /// Probability (at `η = 1`) that a cold training target is replaced
 /// by a hot one during locality-aware target scheduling.
@@ -170,7 +163,7 @@ impl RecoveryLog {
 }
 
 /// Full result of a backend execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// The measured performance triple and diagnostics.
     pub perf: Perf,
@@ -186,18 +179,20 @@ pub struct ExecutionReport {
 ///
 /// # Example
 ///
-/// ```no_run
+/// A timing-only run on a small synthetic slice of Reddit2 (runs in a
+/// doctest):
+///
+/// ```
 /// use gnnav_runtime::{ExecutionOptions, RuntimeBackend, TrainingConfig};
 /// use gnnav_graph::{Dataset, DatasetId};
 /// use gnnav_hwsim::Platform;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.1)?;
+/// let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01)?;
 /// let backend = RuntimeBackend::new(Platform::default_rtx4090());
 /// let report = backend.execute(&dataset, &TrainingConfig::default(),
-///                              &ExecutionOptions::default())?;
-/// println!("epoch time {}, acc {:.1}%", report.perf.epoch_time,
-///          report.perf.accuracy * 100.0);
+///                              &ExecutionOptions::timing_only())?;
+/// assert!(report.perf.epoch_time.as_secs() > 0.0);
 /// # Ok(())
 /// # }
 /// ```
@@ -231,590 +226,27 @@ impl RuntimeBackend {
         config: &TrainingConfig,
         opts: &ExecutionOptions,
     ) -> Result<ExecutionReport, RuntimeError> {
-        config.validate()?;
-        if opts.epochs == 0 {
-            return Err(RuntimeError::InvalidConfig("epochs must be > 0".into()));
+        let mut session = ExecutionSession::new(self.platform.clone(), dataset, config, opts)?;
+        for _ in 0..opts.epochs {
+            session.run_epoch()?;
         }
-        if let Some(plan) = &opts.fault_plan {
-            plan.validate().map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
-        }
-        let policy = &opts.recovery;
-        if !policy.backoff_base_ms.is_finite() || policy.backoff_base_ms < 0.0 {
-            return Err(RuntimeError::InvalidConfig(format!(
-                "recovery backoff_base_ms {} must be finite and >= 0",
-                policy.backoff_base_ms
-            )));
-        }
-        let injector = opts.fault_plan.as_ref().filter(|p| !p.is_empty()).map(FaultInjector::new);
-        // Exponential backoff, charged to simulated time (the shift is
-        // clamped so a large retry budget cannot overflow).
-        let backoff = |attempt: u32| {
-            SimTime::from_millis(policy.backoff_base_ms * (1u64 << attempt.min(20)) as f64)
-        };
-        let mut recovery = RecoveryLog::default();
-        let metrics = gnnav_obs::global();
-        let _execute_span = metrics.span(metric::EXECUTE_WALL);
-        let observing = metrics.is_enabled();
-        let journal = metrics.journal();
-        let journaling = journal.is_enabled();
-        let graph = dataset.graph();
-        let feats = dataset.features();
-        let cost = CostModel::new(self.platform.clone());
-        let mut ledger = MemoryLedger::new(self.platform.device.mem_capacity_bytes);
+        session.finish()
+    }
 
-        // Model + static memory Γ_model.
-        let mut model = GnnModel::new(
-            config.model,
-            feats.dim(),
-            config.hidden_dim,
-            feats.num_classes(),
-            config.num_layers(),
-            opts.seed,
-        );
-        model.set_dropout(config.dropout as f32);
-        let bytes_per_scalar = config.precision.bytes();
-        ledger.set_model_bytes(model.param_count() * bytes_per_scalar)?;
-
-        // Cache + Γ_cache.
-        let row_bytes = feats.dim() * bytes_per_scalar;
-        let entries = config.cache_entries(graph.num_nodes());
-        ledger.set_cache_bytes(entries * row_bytes)?;
-        let mut cache = build_cache(config.cache_policy, entries, graph);
-
-        // Degradation-ladder state: the effective config starts as a
-        // copy of the requested one and only diverges when persistent
-        // OOM forces a ladder step. `stats_carry` accumulates the
-        // stats of caches replaced by ShrinkCache so hit-rate
-        // accounting stays monotone across rebuilds.
-        let mut eff_config = config.clone();
-        let mut cache_entries = entries;
-        let mut micro_batch = 1usize;
-        let mut fanout_reduced = false;
-        let mut stats_carry = CacheStats::default();
-
-        let mut sampler = config.build_sampler(graph)?;
-        let mut opt = Adam::new(opts.learning_rate);
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let mut train_steps: u64 = 0;
-
-        // Locality-aware target scheduling (2PGraph): with bias η the
-        // epoch's target list is skewed toward cache-resident ("hot")
-        // vertices — cold targets are replaced by resampled hot train
-        // nodes with probability TARGET_SWAP_AT_FULL_ETA·η. This keeps
-        // n_iter unchanged but undertrains cold regions, producing the
-        // accuracy-for-locality trade of the paper's Fig. 1b.
-        let hot_mask: Vec<bool> = if config.locality_eta > 0.0 {
-            let mut mask = vec![false; graph.num_nodes()];
-            for v in config.hot_set(graph) {
-                mask[v as usize] = true;
-            }
-            mask
-        } else {
-            Vec::new()
-        };
-        let hot_train: Vec<u32> = if config.locality_eta > 0.0 {
-            dataset.split().train.iter().copied().filter(|&v| hot_mask[v as usize]).collect()
-        } else {
-            Vec::new()
-        };
-
-        // Reusable host-side gather buffers: the batch loop refills
-        // these (and the model's internal scratch arena) instead of
-        // allocating, so steady-state training stays off the heap.
-        let mut x_buf: Vec<f32> = Vec::new();
-        let mut label_buf: Vec<u16> = Vec::new();
-        let kernel_stats_start = gnnav_nn::kernel_stats();
-        let par_stats_start = gnnav_par::stats();
-
-        let mut phases = PhaseBreakdown::default();
-        let mut epoch_time_total = SimTime::ZERO;
-        let mut total_nodes = 0usize;
-        let mut total_edges = 0usize;
-        let mut total_batches = 0usize;
-        let mut n_iter = 0usize;
-        let mut loss_history = Vec::new();
-
-        // Metric accumulators: kept as plain locals inside the hot
-        // loop and flushed to the registry once per execution, so the
-        // per-batch cost with metrics enabled stays one branch + a few
-        // integer adds (and exactly one branch when disabled).
-        let mut evictions = 0usize;
-        let mut wall_sample = Duration::ZERO;
-        let mut wall_train = Duration::ZERO;
-
-        for epoch in 0..opts.epochs {
-            // Per-epoch bookkeeping for the journal and the epoch
-            // histograms: snapshot the cumulative phase/cache state at
-            // epoch entry and diff it at epoch exit, so the hot batch
-            // loop itself stays untouched.
-            let epoch_span = observing.then(|| metrics.span(metric::EVENT_EPOCH));
-            let epoch_wall_us = journaling.then(|| journal.now_us());
-            let epoch_sim_start = epoch_time_total;
-            let epoch_phases_start = phases;
-            let epoch_stats_start = CacheStats {
-                lookups: stats_carry.lookups + cache.stats().lookups,
-                hits: stats_carry.hits + cache.stats().hits,
-            };
-            let epoch_batches_start = total_batches;
-
-            let mut epoch_targets = dataset.split().train.clone();
-            if config.locality_eta > 0.0 && !hot_train.is_empty() {
-                use rand::Rng;
-                let swap_p = TARGET_SWAP_AT_FULL_ETA * config.locality_eta;
-                for t in epoch_targets.iter_mut() {
-                    if !hot_mask[*t as usize] && rng.gen::<f64>() < swap_p {
-                        *t = hot_train[rng.gen_range(0..hot_train.len())];
-                    }
-                }
-            }
-            let batches = batch_targets(&epoch_targets, config.batch_size, &mut rng);
-            n_iter = batches.len();
-            for (bi, targets) in batches.iter().enumerate() {
-                let batch_site = total_batches as u64;
-
-                // The whole batch attempt — sampling through the
-                // transient memory claim — can be aborted and
-                // restarted by the degradation ladder, so phase times
-                // are only accumulated after the claim succeeds.
-                let (mb, t_sample, t_transfer, t_replace, t_compute) = 'batch: loop {
-                    // Host: sampling, with bounded retry of injected
-                    // sampler failures.
-                    let mut attempt = 0u32;
-                    let mb = loop {
-                        let failed = injector.as_ref().is_some_and(|inj| {
-                            inj.inject(
-                                FaultKind::SamplerFailure,
-                                batch_site,
-                                attempt,
-                                Some(epoch_time_total.as_micros()),
-                            )
-                            .is_some()
-                        });
-                        if !failed {
-                            let sample_started = observing.then(Instant::now);
-                            let mb = sampler.sample(graph, targets, &mut rng)?;
-                            if let Some(t0) = sample_started {
-                                wall_sample += t0.elapsed();
-                            }
-                            break mb;
-                        }
-                        if attempt >= policy.max_retries {
-                            return Err(RuntimeError::RetriesExhausted {
-                                what: "mini-batch sampling".into(),
-                                attempts: attempt + 1,
-                                last_error: "injected sampler failure".into(),
-                            });
-                        }
-                        let pause = backoff(attempt);
-                        epoch_time_total += pause;
-                        recovery.recovery_sim += pause;
-                        recovery.retries += 1;
-                        attempt += 1;
-                    };
-                    let t_sample = cost.t_sample(mb.expansion(), mb.num_edges());
-
-                    // Device cache: split hits/misses, transfer the
-                    // misses — through a possibly degraded link. A
-                    // stalled link (factor >= LINK_STALL_FACTOR) is
-                    // retried with backoff; a slow one just stretches
-                    // the transfer.
-                    let outcome = cache.lookup(&mb.nodes);
-                    let miss_bytes = outcome.misses.len() * row_bytes;
-                    let mut t_transfer = cost.t_transfer(miss_bytes);
-                    let mut attempt = 0u32;
-                    loop {
-                        match injector.as_ref().and_then(|inj| {
-                            inj.inject(
-                                FaultKind::LinkDegrade,
-                                batch_site,
-                                attempt,
-                                Some(epoch_time_total.as_micros()),
-                            )
-                        }) {
-                            Some(factor) if factor >= LINK_STALL_FACTOR => {
-                                if attempt >= policy.max_retries {
-                                    return Err(RuntimeError::RetriesExhausted {
-                                        what: "miss transfer (stalled link)".into(),
-                                        attempts: attempt + 1,
-                                        last_error: format!(
-                                            "link stalled (degradation factor {factor})"
-                                        ),
-                                    });
-                                }
-                                let pause = backoff(attempt);
-                                epoch_time_total += pause;
-                                recovery.recovery_sim += pause;
-                                recovery.retries += 1;
-                                attempt += 1;
-                            }
-                            Some(factor) => {
-                                t_transfer = t_transfer * factor.max(1.0);
-                                break;
-                            }
-                            None => break,
-                        }
-                    }
-
-                    // Cache update per policy (frozen dynamic caches
-                    // stop replacing once full).
-                    let may_update = config.cache_update || cache.len() < cache.capacity();
-                    let replaced = if may_update { cache.update(&outcome.misses) } else { 0 };
-                    evictions += replaced;
-                    let t_replace = cost.t_replace(replaced * row_bytes, cache.len());
-
-                    // Device compute; micro-batching pays one extra
-                    // kernel launch per additional micro-step.
-                    let flops = model.flops_per_batch(mb.num_nodes(), mb.num_edges());
-                    let mut t_compute = cost.t_compute(flops, mb.num_nodes(), config.precision);
-                    if micro_batch > 1 {
-                        t_compute += SimTime::from_micros(
-                            self.platform.device.launch_overhead_us * (micro_batch - 1) as f64,
-                        );
-                    }
-
-                    // Transient memory Γ_runtime: bounded retry with
-                    // backoff, then the degradation ladder.
-                    let base_claim = model.activation_bytes(mb.num_nodes(), bytes_per_scalar)
-                        + mb.num_nodes() * row_bytes;
-                    let mut attempt = 0u32;
-                    let claim_err = loop {
-                        let claim = base_claim.div_ceil(micro_batch);
-                        let requested = match injector.as_ref().and_then(|inj| {
-                            inj.inject(
-                                FaultKind::TransientOom,
-                                batch_site,
-                                attempt,
-                                Some(epoch_time_total.as_micros()),
-                            )
-                        }) {
-                            // A spike multiplies the claim; the cast
-                            // saturates at usize::MAX for extreme
-                            // magnitudes.
-                            Some(spike) => (claim as f64 * spike.max(1.0)).ceil() as usize,
-                            None => claim,
-                        };
-                        match ledger.begin_batch(requested) {
-                            Ok(()) => break None,
-                            Err(_) if attempt < policy.max_retries => {
-                                let pause = backoff(attempt);
-                                epoch_time_total += pause;
-                                recovery.recovery_sim += pause;
-                                recovery.retries += 1;
-                                attempt += 1;
-                            }
-                            Err(e) => break Some(e),
-                        }
-                    };
-                    let oom = match claim_err {
-                        None => {
-                            ledger.end_batch();
-                            break 'batch (mb, t_sample, t_transfer, t_replace, t_compute);
-                        }
-                        Some(e) => e,
-                    };
-
-                    // Retries exhausted: walk the ladder one rung and
-                    // re-run the batch under the degraded setup. Each
-                    // rung strictly shrinks remaining headroom to
-                    // consume (cache halvings are finite, micro-batch
-                    // is capped, fanout reduction fires once), so this
-                    // loop terminates.
-                    let step = if cache_entries > 0 {
-                        let to_entries = cache_entries / 2;
-                        stats_carry.lookups += cache.stats().lookups;
-                        stats_carry.hits += cache.stats().hits;
-                        cache = build_cache(config.cache_policy, to_entries, graph);
-                        ledger.set_cache_bytes(to_entries * row_bytes)?;
-                        let rebuild = cost.t_replace(to_entries * row_bytes, to_entries.max(1));
-                        epoch_time_total += rebuild;
-                        recovery.recovery_sim += rebuild;
-                        let step = DegradationStep::ShrinkCache {
-                            from_entries: cache_entries,
-                            to_entries,
-                        };
-                        cache_entries = to_entries;
-                        step
-                    } else if micro_batch < MAX_MICRO_BATCH {
-                        micro_batch *= 2;
-                        let pause = SimTime::from_micros(self.platform.device.launch_overhead_us);
-                        epoch_time_total += pause;
-                        recovery.recovery_sim += pause;
-                        DegradationStep::MicroBatch { factor: micro_batch }
-                    } else if !fanout_reduced {
-                        fanout_reduced = true;
-                        for f in eff_config.fanouts.iter_mut() {
-                            *f = (*f / 2).max(1);
-                        }
-                        sampler = eff_config.build_sampler(graph)?;
-                        DegradationStep::ReduceFanout { fanouts: eff_config.fanouts.clone() }
-                    } else {
-                        return Err(RuntimeError::RetriesExhausted {
-                            what: "transient memory claim (degradation ladder exhausted)".into(),
-                            attempts: attempt + 1,
-                            last_error: oom.to_string(),
-                        });
-                    };
-                    if journaling {
-                        journal.instant(
-                            metric::EVENT_RECOVERY,
-                            metric::TRACK_BACKEND,
-                            Some(epoch_time_total.as_micros()),
-                            vec![
-                                ("action".into(), step.label().into()),
-                                ("batch".into(), batch_site.into()),
-                                ("detail".into(), format!("{step:?}").into()),
-                            ],
-                        );
-                    }
-                    recovery.degradations.push(step);
-                };
-
-                phases.sample += t_sample;
-                phases.transfer += t_transfer;
-                phases.replace += t_replace;
-                phases.compute += t_compute;
-                epoch_time_total += cost.iteration_time(
-                    t_sample,
-                    t_transfer,
-                    t_replace,
-                    t_compute,
-                    config.pipelined,
-                );
-
-                total_nodes += mb.num_nodes();
-                total_edges += mb.num_edges();
-                total_batches += 1;
-
-                // The actual training step (Algorithm 1 lines 4–8).
-                let train_this = opts.train && opts.train_batches_cap.is_none_or(|cap| bi < cap);
-                if train_this {
-                    let train_started = observing.then(Instant::now);
-                    feats.gather_into(&mb.nodes, &mut x_buf);
-                    let x =
-                        Matrix::from_vec(mb.num_nodes(), feats.dim(), std::mem::take(&mut x_buf));
-                    feats.gather_labels_into(&mb.nodes, &mut label_buf);
-                    let step_site = train_steps;
-                    train_steps += 1;
-                    let mut loss = train::train_step(
-                        &mut model,
-                        &mut opt,
-                        &mb.subgraph,
-                        &x,
-                        &label_buf,
-                        &mb.target_locals(),
-                    );
-                    x_buf = x.into_vec();
-                    if injector
-                        .as_ref()
-                        .and_then(|inj| {
-                            inj.inject(
-                                FaultKind::NanLoss,
-                                step_site,
-                                0,
-                                Some(epoch_time_total.as_micros()),
-                            )
-                        })
-                        .is_some()
-                    {
-                        loss = f32::NAN;
-                    }
-                    if !loss.is_finite() && policy.nan_guard {
-                        // NaN guard: drop the poisoned step from the
-                        // history and anneal the LR; a bounded number
-                        // of halvings separates a recoverable blip
-                        // from a divergent run.
-                        recovery.nan_steps_skipped += 1;
-                        if recovery.lr_halvings >= policy.max_lr_halvings {
-                            return Err(RuntimeError::RetriesExhausted {
-                                what: "NaN-loss recovery (learning-rate floor reached)".into(),
-                                attempts: recovery.nan_steps_skipped,
-                                last_error: format!("non-finite loss at training step {step_site}"),
-                            });
-                        }
-                        opt.set_lr(opt.lr() * 0.5);
-                        recovery.lr_halvings += 1;
-                        if journaling {
-                            journal.instant(
-                                metric::EVENT_RECOVERY,
-                                metric::TRACK_BACKEND,
-                                Some(epoch_time_total.as_micros()),
-                                vec![
-                                    ("action".into(), "nan_guard".into()),
-                                    ("step".into(), step_site.into()),
-                                    ("lr".into(), (opt.lr() as f64).into()),
-                                ],
-                            );
-                        }
-                    } else {
-                        loss_history.push(loss);
-                    }
-                    if let Some(t0) = train_started {
-                        wall_train += t0.elapsed();
-                    }
-                }
-            }
-
-            if observing {
-                let epoch_sim_s = epoch_time_total.as_secs() - epoch_sim_start.as_secs();
-                let stats = CacheStats {
-                    lookups: stats_carry.lookups + cache.stats().lookups,
-                    hits: stats_carry.hits + cache.stats().hits,
-                };
-                let epoch_lookups = stats.lookups - epoch_stats_start.lookups;
-                let epoch_hits = stats.hits - epoch_stats_start.hits;
-                let epoch_hit_rate =
-                    if epoch_lookups > 0 { epoch_hits as f64 / epoch_lookups as f64 } else { 0.0 };
-                metrics.observe(metric::EPOCH_SIM, epoch_sim_s);
-                metrics.observe(metric::EPOCH_HIT_RATE, epoch_hit_rate);
-                if journaling {
-                    let wall0 = epoch_wall_us.unwrap_or(0.0);
-                    let wall_dur = journal.now_us() - wall0;
-                    let sim0 = epoch_sim_start.as_micros();
-                    let sim_dur = epoch_sim_s * 1e6;
-                    journal.span_complete(
-                        metric::EVENT_EPOCH,
-                        metric::TRACK_BACKEND,
-                        wall0,
-                        Some(wall_dur),
-                        Some(sim0),
-                        Some(sim_dur),
-                        vec![
-                            ("epoch".into(), epoch.into()),
-                            ("batches".into(), (total_batches - epoch_batches_start).into()),
-                            ("hit_rate".into(), epoch_hit_rate.into()),
-                        ],
-                    );
-                    // One sim-only span per phase, each on its own
-                    // track, anchored at the epoch's simulated start:
-                    // the phases overlap inside the epoch window, so
-                    // side-by-side tracks read as a per-epoch phase
-                    // breakdown rather than a serial schedule.
-                    for (phase_name, sim_delta) in [
-                        ("sample", phases.sample.as_secs() - epoch_phases_start.sample.as_secs()),
-                        (
-                            "transfer",
-                            phases.transfer.as_secs() - epoch_phases_start.transfer.as_secs(),
-                        ),
-                        (
-                            "replace",
-                            phases.replace.as_secs() - epoch_phases_start.replace.as_secs(),
-                        ),
-                        (
-                            "compute",
-                            phases.compute.as_secs() - epoch_phases_start.compute.as_secs(),
-                        ),
-                    ] {
-                        journal.span_complete(
-                            phase_name,
-                            format!("{}{}", metric::TRACK_PHASE_PREFIX, phase_name),
-                            wall0,
-                            None,
-                            Some(sim0),
-                            Some(sim_delta * 1e6),
-                            Vec::new(),
-                        );
-                    }
-                    journal.counter(
-                        metric::EPOCH_HIT_RATE,
-                        metric::TRACK_BACKEND,
-                        epoch_hit_rate,
-                        Some(sim0 + sim_dur),
-                    );
-                }
-            }
-            drop(epoch_span);
-        }
-
-        let accuracy = if opts.train {
-            let x = Matrix::from_vec(graph.num_nodes(), feats.dim(), feats.matrix().to_vec());
-            train::evaluate(&mut model, graph, &x, feats.labels(), &dataset.split().test)
-        } else {
-            0.0
-        };
-
-        let epochs_f = opts.epochs as f64;
-        let inv_epochs = 1.0 / epochs_f;
-        let total_stats = CacheStats {
-            lookups: stats_carry.lookups + cache.stats().lookups,
-            hits: stats_carry.hits + cache.stats().hits,
-        };
-        recovery.faults_injected = injector.as_ref().map_or(0, |inj| inj.total_injected());
-        let perf = Perf {
-            epoch_time: epoch_time_total * inv_epochs,
-            peak_mem_bytes: ledger.peak_bytes(),
-            accuracy,
-            hit_rate: total_stats.hit_rate(),
-            avg_batch_nodes: total_nodes as f64 / total_batches.max(1) as f64,
-            avg_batch_edges: total_edges as f64 / total_batches.max(1) as f64,
-            n_iter,
-            phases: PhaseBreakdown {
-                sample: phases.sample * inv_epochs,
-                transfer: phases.transfer * inv_epochs,
-                replace: phases.replace * inv_epochs,
-                compute: phases.compute * inv_epochs,
-            },
-        };
-
-        if observing {
-            let stats = total_stats;
-            metrics.add(metric::BACKEND_RUNS, 1);
-            metrics.add(metric::BACKEND_BATCHES, total_batches as u64);
-            metrics.add(metric::CACHE_HITS, stats.hits as u64);
-            metrics.add(metric::CACHE_MISSES, (stats.lookups - stats.hits) as u64);
-            metrics.add(metric::CACHE_EVICTIONS, evictions as u64);
-            // Recovery counters are added even when zero so the
-            // perf-gate baselines pin them at zero on the clean path.
-            metrics.add(metric::FAULTS_INJECTED, 0);
-            metrics.add(metric::BACKEND_RETRIES, recovery.retries as u64);
-            metrics.add(metric::BACKEND_DEGRADATIONS, recovery.degradations.len() as u64);
-            metrics.add(metric::BACKEND_NAN_SKIPS, recovery.nan_steps_skipped as u64);
-            metrics.gauge_set(metric::PHASE_SAMPLE, perf.phases.sample.as_secs());
-            metrics.gauge_set(metric::PHASE_TRANSFER, perf.phases.transfer.as_secs());
-            metrics.gauge_set(metric::PHASE_REPLACE, perf.phases.replace.as_secs());
-            metrics.gauge_set(metric::PHASE_COMPUTE, perf.phases.compute.as_secs());
-            metrics.gauge_set(metric::EPOCH_TIME, perf.epoch_time.as_secs());
-            metrics.gauge_set(metric::PEAK_MEM_BYTES, perf.peak_mem_bytes as f64);
-            metrics.gauge_set(metric::WALL_SAMPLE, wall_sample.as_secs_f64());
-            metrics.gauge_set(metric::WALL_TRAIN, wall_train.as_secs_f64());
-            if let Some(&last) = loss_history.last() {
-                let mean = loss_history.iter().sum::<f32>() / loss_history.len() as f32;
-                metrics.gauge_set(metric::LOSS_LAST, last as f64);
-                metrics.gauge_set(metric::LOSS_MEAN, mean as f64);
-            }
-            // Kernel-level counters: deltas of the process-global nn /
-            // gnnav-par stats across this execution (concurrent
-            // executions may interleave into each other's deltas; the
-            // perf baselines run serially, where the deltas are exact).
-            let kernel_stats = gnnav_nn::kernel_stats();
-            let par_stats = gnnav_par::stats();
-            let matmul_calls = kernel_stats.matmul_calls - kernel_stats_start.matmul_calls;
-            let matmul_flops = kernel_stats.matmul_flops - kernel_stats_start.matmul_flops;
-            let par_tasks = par_stats.tasks - par_stats_start.tasks;
-            let par_regions = par_stats.regions - par_stats_start.regions;
-            metrics.add(metric::NN_MATMUL_CALLS, matmul_calls);
-            metrics.add(metric::NN_MATMUL_FLOPS, matmul_flops);
-            metrics.add(metric::NN_KERNEL_PAR_TASKS, par_tasks);
-            metrics.add(metric::NN_KERNEL_PAR_REGIONS, par_regions);
-            metrics.gauge_set(metric::PAR_POOL_THREADS, gnnav_par::effective_threads() as f64);
-            let train_wall = wall_train.as_secs_f64();
-            if train_wall > 0.0 {
-                metrics.gauge_set(metric::NN_MATMUL_GFLOPS, matmul_flops as f64 / train_wall / 1e9);
-            }
-            if journaling {
-                journal.instant(
-                    metric::EVENT_KERNELS,
-                    metric::TRACK_BACKEND,
-                    Some(epoch_time_total.as_micros()),
-                    vec![
-                        ("matmul_calls".into(), matmul_calls.into()),
-                        ("matmul_flops".into(), matmul_flops.into()),
-                        ("par_tasks".into(), par_tasks.into()),
-                        ("par_regions".into(), par_regions.into()),
-                    ],
-                );
-            }
-        }
-        Ok(ExecutionReport { perf, loss_history, config: config.clone(), recovery })
+    /// Opens a resumable [`ExecutionSession`] on this backend's
+    /// platform — the epoch-at-a-time form of
+    /// [`execute`](Self::execute) used by adaptive training.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`execute`](Self::execute).
+    pub fn open_session<'d>(
+        &self,
+        dataset: &'d Dataset,
+        config: &TrainingConfig,
+        opts: &ExecutionOptions,
+    ) -> Result<ExecutionSession<'d>, RuntimeError> {
+        ExecutionSession::new(self.platform.clone(), dataset, config, opts)
     }
 }
 

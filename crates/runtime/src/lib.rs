@@ -12,10 +12,13 @@
 //! substrate), producing the `Perf{T, Γ, Acc}` triple ([`Perf`]) the
 //! paper's evaluation tables report.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod config;
 pub mod perf;
 pub mod report;
+pub mod session;
 pub mod space;
 pub mod templates;
 
@@ -25,6 +28,7 @@ pub use backend::{
 pub use config::{SamplerKind, TrainingConfig};
 pub use perf::{Perf, PhaseBreakdown};
 pub use report::{write_perf_csv, write_perf_jsonl, PERF_CSV_HEADER};
+pub use session::{EpochStats, ExecutionSession};
 pub use space::DesignSpace;
 pub use templates::Template;
 

@@ -1,0 +1,855 @@
+//! Epoch-at-a-time execution sessions.
+//!
+//! [`ExecutionSession`] is the resumable form of
+//! [`RuntimeBackend::execute`](crate::RuntimeBackend::execute): the
+//! backend's whole epoch loop, opened up so a caller can drive it one
+//! epoch at a time, observe per-epoch statistics ([`EpochStats`]), and
+//! — between epochs — switch to a different [`TrainingConfig`] without
+//! losing the model weights ([`ExecutionSession::switch_config`]).
+//! `execute` itself is a thin wrapper (`new` → N × `run_epoch` →
+//! `finish`), so a session driven straight through produces a report
+//! byte-identical to the one-shot path. The adaptive layer
+//! (`gnnav-adapt`) builds its drift-reexplore-switch loop on this API.
+
+use crate::backend::{
+    DegradationStep, ExecutionOptions, ExecutionReport, RecoveryLog, LINK_STALL_FACTOR,
+    MAX_MICRO_BATCH, TARGET_SWAP_AT_FULL_ETA,
+};
+use crate::config::TrainingConfig;
+use crate::perf::{Perf, PhaseBreakdown};
+use crate::RuntimeError;
+use gnnav_cache::{build_cache, Cache, CacheStats};
+use gnnav_faults::{FaultInjector, FaultKind, FaultPlan};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::{CostModel, MemoryLedger, Platform, SimTime};
+use gnnav_nn::tensor::Matrix;
+use gnnav_nn::{train, Adam, GnnModel};
+use gnnav_obs::names as metric;
+use gnnav_obs::{Journal, Registry, Span};
+use gnnav_sampler::{batch_targets, Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// What one [`ExecutionSession::run_epoch`] call observed — the
+/// per-epoch slice of the quantities the estimator predicts, in the
+/// same units the profiler records them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Zero-based index of the epoch that just ran.
+    pub epoch: usize,
+    /// Simulated time this epoch consumed, in seconds (includes any
+    /// recovery backoff and migration charges that landed in it).
+    pub sim_s: f64,
+    /// Cache hit rate over this epoch's lookups (0 when the epoch had
+    /// no lookups).
+    pub hit_rate: f64,
+    /// Peak device memory of the run so far, in bytes (the ledger
+    /// tracks a cumulative high-water mark).
+    pub peak_mem_bytes: usize,
+    /// Mini-batches executed this epoch.
+    pub batches: usize,
+    /// Sampled nodes summed over this epoch's mini-batches.
+    pub nodes: usize,
+    /// Sampled edges summed over this epoch's mini-batches.
+    pub edges: usize,
+    /// Per-phase simulated seconds `[sample, transfer, replace,
+    /// compute]` this epoch.
+    pub phase_s: [f64; 4],
+    /// Iterations this epoch (same as `batches` unless sampling was
+    /// aborted mid-epoch).
+    pub n_iter: usize,
+}
+
+/// Owned fault state: the injector proper borrows its plan, so the
+/// session keeps the plan and a running injection count and rebinds
+/// the (stateless) injector per query.
+#[derive(Debug)]
+struct OwnedInjector {
+    plan: FaultPlan,
+    injected: u64,
+}
+
+/// Locality-aware hot sets for a config (empty when `η = 0`).
+fn hot_sets(config: &TrainingConfig, dataset: &Dataset) -> (Vec<bool>, Vec<u32>) {
+    let graph = dataset.graph();
+    if config.locality_eta <= 0.0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut mask = vec![false; graph.num_nodes()];
+    for v in config.hot_set(graph) {
+        mask[v as usize] = true;
+    }
+    let hot_train: Vec<u32> =
+        dataset.split().train.iter().copied().filter(|&v| mask[v as usize]).collect();
+    (mask, hot_train)
+}
+
+/// A paused-between-epochs backend execution.
+///
+/// Create with [`new`](Self::new), advance with
+/// [`run_epoch`](Self::run_epoch), optionally redirect with
+/// [`switch_config`](Self::switch_config), and close with
+/// [`finish`](Self::finish). Driving a session straight through is
+/// exactly [`RuntimeBackend::execute`](crate::RuntimeBackend::execute).
+#[derive(Debug)]
+pub struct ExecutionSession<'d> {
+    platform: Platform,
+    dataset: &'d Dataset,
+    opts: ExecutionOptions,
+    injector: Option<OwnedInjector>,
+    cost: CostModel,
+    ledger: MemoryLedger,
+    model: GnnModel,
+    opt: Adam,
+    rng: StdRng,
+    cache: Box<dyn Cache>,
+    sampler: Box<dyn Sampler>,
+    /// The currently requested config (becomes the report's config).
+    config: TrainingConfig,
+    /// The config in effect after degradation-ladder steps.
+    eff_config: TrainingConfig,
+    row_bytes: usize,
+    bytes_per_scalar: usize,
+    cache_entries: usize,
+    micro_batch: usize,
+    fanout_reduced: bool,
+    stats_carry: CacheStats,
+    hot_mask: Vec<bool>,
+    hot_train: Vec<u32>,
+    x_buf: Vec<f32>,
+    label_buf: Vec<u16>,
+    kernel_stats_start: gnnav_nn::tensor::KernelStats,
+    par_stats_start: gnnav_par::Stats,
+    phases: PhaseBreakdown,
+    epoch_time_total: SimTime,
+    total_nodes: usize,
+    total_edges: usize,
+    total_batches: usize,
+    n_iter: usize,
+    loss_history: Vec<f32>,
+    recovery: RecoveryLog,
+    evictions: usize,
+    wall_sample: Duration,
+    wall_train: Duration,
+    epochs_run: usize,
+    train_steps: u64,
+    metrics: &'static Registry,
+    journal: &'static Journal,
+    observing: bool,
+    journaling: bool,
+    _execute_span: Span<'static>,
+}
+
+impl<'d> ExecutionSession<'d> {
+    /// Validates `config`/`opts` and allocates the whole training
+    /// state (model, cache, sampler, ledger) without running any
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for inconsistent
+    /// configurations or fault plans, and [`RuntimeError::Hw`] if the
+    /// model plus cache already exceed device memory.
+    pub fn new(
+        platform: Platform,
+        dataset: &'d Dataset,
+        config: &TrainingConfig,
+        opts: &ExecutionOptions,
+    ) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        if opts.epochs == 0 {
+            return Err(RuntimeError::InvalidConfig("epochs must be > 0".into()));
+        }
+        if let Some(plan) = &opts.fault_plan {
+            plan.validate().map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+        }
+        let policy = &opts.recovery;
+        if !policy.backoff_base_ms.is_finite() || policy.backoff_base_ms < 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "recovery backoff_base_ms {} must be finite and >= 0",
+                policy.backoff_base_ms
+            )));
+        }
+        let injector = opts
+            .fault_plan
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| OwnedInjector { plan: p.clone(), injected: 0 });
+        let metrics = gnnav_obs::global();
+        let execute_span = metrics.span(metric::EXECUTE_WALL);
+        let observing = metrics.is_enabled();
+        let journal = metrics.journal();
+        let journaling = journal.is_enabled();
+        let graph = dataset.graph();
+        let feats = dataset.features();
+        let cost = CostModel::new(platform.clone());
+        let mut ledger = MemoryLedger::new(platform.device.mem_capacity_bytes);
+
+        // Model + static memory Γ_model.
+        let mut model = GnnModel::new(
+            config.model,
+            feats.dim(),
+            config.hidden_dim,
+            feats.num_classes(),
+            config.num_layers(),
+            opts.seed,
+        );
+        model.set_dropout(config.dropout as f32);
+        let bytes_per_scalar = config.precision.bytes();
+        ledger.set_model_bytes(model.param_count() * bytes_per_scalar)?;
+
+        // Cache + Γ_cache.
+        let row_bytes = feats.dim() * bytes_per_scalar;
+        let entries = config.cache_entries(graph.num_nodes());
+        ledger.set_cache_bytes(entries * row_bytes)?;
+        let cache = build_cache(config.cache_policy, entries, graph);
+
+        let sampler = config.build_sampler(graph)?;
+        let (hot_mask, hot_train) = hot_sets(config, dataset);
+
+        Ok(ExecutionSession {
+            cost,
+            ledger,
+            model,
+            opt: Adam::new(opts.learning_rate),
+            rng: StdRng::seed_from_u64(opts.seed),
+            cache,
+            sampler,
+            config: config.clone(),
+            eff_config: config.clone(),
+            row_bytes,
+            bytes_per_scalar,
+            cache_entries: entries,
+            micro_batch: 1,
+            fanout_reduced: false,
+            stats_carry: CacheStats::default(),
+            hot_mask,
+            hot_train,
+            x_buf: Vec::new(),
+            label_buf: Vec::new(),
+            kernel_stats_start: gnnav_nn::kernel_stats(),
+            par_stats_start: gnnav_par::stats(),
+            phases: PhaseBreakdown::default(),
+            epoch_time_total: SimTime::ZERO,
+            total_nodes: 0,
+            total_edges: 0,
+            total_batches: 0,
+            n_iter: 0,
+            loss_history: Vec::new(),
+            recovery: RecoveryLog::default(),
+            evictions: 0,
+            wall_sample: Duration::ZERO,
+            wall_train: Duration::ZERO,
+            epochs_run: 0,
+            train_steps: 0,
+            metrics,
+            journal,
+            observing,
+            journaling,
+            _execute_span: execute_span,
+            platform,
+            dataset,
+            opts: opts.clone(),
+            injector,
+        })
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// The config currently in effect (post any
+    /// [`switch_config`](Self::switch_config)).
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Total simulated time accumulated so far.
+    pub fn sim_time_total(&self) -> SimTime {
+        self.epoch_time_total
+    }
+
+    /// Recovery actions absorbed so far.
+    pub fn recovery(&self) -> &RecoveryLog {
+        &self.recovery
+    }
+
+    /// Exponential backoff, charged to simulated time (the shift is
+    /// clamped so a large retry budget cannot overflow).
+    fn backoff(&self, attempt: u32) -> SimTime {
+        SimTime::from_millis(self.opts.recovery.backoff_base_ms * (1u64 << attempt.min(20)) as f64)
+    }
+
+    /// Queries (and records) the fault schedule at the current
+    /// simulated time.
+    fn inject_fault(&mut self, kind: FaultKind, site: u64, attempt: u32) -> Option<f64> {
+        let sim_us = self.epoch_time_total.as_micros();
+        let inj = self.injector.as_mut()?;
+        let magnitude = FaultInjector::new(&inj.plan).inject(kind, site, attempt, Some(sim_us));
+        if magnitude.is_some() {
+            inj.injected += 1;
+        }
+        magnitude
+    }
+
+    /// Cumulative cache stats including carries from caches replaced
+    /// by ladder shrinks or config switches.
+    fn cache_stats_total(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.stats_carry.lookups + self.cache.stats().lookups,
+            hits: self.stats_carry.hits + self.cache.stats().hits,
+        }
+    }
+
+    /// True when `new` can be switched to without re-initializing the
+    /// model: the architecture-shaping fields (model kind, hidden
+    /// width, layer count, precision) must match so the trained
+    /// weights remain valid.
+    pub fn compatible(&self, new: &TrainingConfig) -> bool {
+        new.model == self.config.model
+            && new.hidden_dim == self.config.hidden_dim
+            && new.num_layers() == self.config.num_layers()
+            && new.precision == self.config.precision
+    }
+
+    /// Switches the session to `new` between epochs, preserving the
+    /// model weights and optimizer state.
+    ///
+    /// The old cache's hit statistics are carried over, the new cache
+    /// is rebuilt (its population charged to simulated time as a
+    /// replace-phase migration), the sampler and locality hot sets are
+    /// rebuilt, and the degradation ladder is reset. Returns the
+    /// simulated migration cost, which has already been added to the
+    /// session's total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when `new` is invalid
+    /// or not [`compatible`](Self::compatible), and
+    /// [`RuntimeError::Hw`] if the new cache does not fit.
+    pub fn switch_config(&mut self, new: &TrainingConfig) -> Result<SimTime, RuntimeError> {
+        new.validate()?;
+        if !self.compatible(new) {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "switch_config requires an architecture-compatible config \
+                 (model/hidden_dim/layers/precision); have {}, got {}",
+                self.config.summary(),
+                new.summary()
+            )));
+        }
+        let dataset = self.dataset;
+        let graph = dataset.graph();
+
+        // Carry hit accounting across the cache swap, then rebuild.
+        let old = self.cache.stats();
+        self.stats_carry.lookups += old.lookups;
+        self.stats_carry.hits += old.hits;
+        let entries = new.cache_entries(graph.num_nodes());
+        self.ledger.set_cache_bytes(entries * self.row_bytes)?;
+        self.cache = build_cache(new.cache_policy, entries, graph);
+        let migration = self.cost.t_replace(entries * self.row_bytes, entries.max(1));
+        self.epoch_time_total += migration;
+
+        self.sampler = new.build_sampler(graph)?;
+        let (hot_mask, hot_train) = hot_sets(new, dataset);
+        self.hot_mask = hot_mask;
+        self.hot_train = hot_train;
+        self.model.set_dropout(new.dropout as f32);
+
+        // A switch resets the degradation ladder: the new guideline is
+        // expected to fit, and if it does not, the ladder will walk
+        // again from the top.
+        self.config = new.clone();
+        self.eff_config = new.clone();
+        self.cache_entries = entries;
+        self.micro_batch = 1;
+        self.fanout_reduced = false;
+        Ok(migration)
+    }
+
+    /// Runs one epoch (sampling, transfer, cache update, compute, and
+    /// — when enabled — training) and returns what it observed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RetriesExhausted`] when a fault exceeds
+    /// its retry/recovery budget and [`RuntimeError::Graph`] on
+    /// sampling failures.
+    pub fn run_epoch(&mut self) -> Result<EpochStats, RuntimeError> {
+        let epoch = self.epochs_run;
+        let dataset = self.dataset;
+        let graph = dataset.graph();
+        let feats = dataset.features();
+        let observing = self.observing;
+        let journaling = self.journaling;
+
+        // Per-epoch bookkeeping for the journal and the epoch
+        // histograms: snapshot the cumulative phase/cache state at
+        // epoch entry and diff it at epoch exit, so the hot batch
+        // loop itself stays untouched.
+        let epoch_span = observing.then(|| self.metrics.span(metric::EVENT_EPOCH));
+        let epoch_wall_us = journaling.then(|| self.journal.now_us());
+        let epoch_sim_start = self.epoch_time_total;
+        let epoch_phases_start = self.phases;
+        let epoch_stats_start = self.cache_stats_total();
+        let epoch_batches_start = self.total_batches;
+        let epoch_nodes_start = self.total_nodes;
+        let epoch_edges_start = self.total_edges;
+
+        let mut epoch_targets = dataset.split().train.clone();
+        if self.config.locality_eta > 0.0 && !self.hot_train.is_empty() {
+            use rand::Rng;
+            let swap_p = TARGET_SWAP_AT_FULL_ETA * self.config.locality_eta;
+            for t in epoch_targets.iter_mut() {
+                if !self.hot_mask[*t as usize] && self.rng.gen::<f64>() < swap_p {
+                    *t = self.hot_train[self.rng.gen_range(0..self.hot_train.len())];
+                }
+            }
+        }
+        let batches = batch_targets(&epoch_targets, self.config.batch_size, &mut self.rng);
+        self.n_iter = batches.len();
+        for (bi, targets) in batches.iter().enumerate() {
+            let batch_site = self.total_batches as u64;
+
+            // The whole batch attempt — sampling through the
+            // transient memory claim — can be aborted and
+            // restarted by the degradation ladder, so phase times
+            // are only accumulated after the claim succeeds.
+            let (mb, t_sample, t_transfer, t_replace, t_compute) = 'batch: loop {
+                // Host: sampling, with bounded retry of injected
+                // sampler failures.
+                let mut attempt = 0u32;
+                let mb = loop {
+                    let failed =
+                        self.inject_fault(FaultKind::SamplerFailure, batch_site, attempt).is_some();
+                    if !failed {
+                        let sample_started = observing.then(Instant::now);
+                        let mb = self.sampler.sample(graph, targets, &mut self.rng)?;
+                        if let Some(t0) = sample_started {
+                            self.wall_sample += t0.elapsed();
+                        }
+                        break mb;
+                    }
+                    if attempt >= self.opts.recovery.max_retries {
+                        return Err(RuntimeError::RetriesExhausted {
+                            what: "mini-batch sampling".into(),
+                            attempts: attempt + 1,
+                            last_error: "injected sampler failure".into(),
+                        });
+                    }
+                    let pause = self.backoff(attempt);
+                    self.epoch_time_total += pause;
+                    self.recovery.recovery_sim += pause;
+                    self.recovery.retries += 1;
+                    attempt += 1;
+                };
+                let t_sample = self.cost.t_sample(mb.expansion(), mb.num_edges());
+
+                // Device cache: split hits/misses, transfer the
+                // misses — through a possibly degraded link. A
+                // stalled link (factor >= LINK_STALL_FACTOR) is
+                // retried with backoff; a slow one just stretches
+                // the transfer.
+                let outcome = self.cache.lookup(&mb.nodes);
+                let miss_bytes = outcome.misses.len() * self.row_bytes;
+                let mut t_transfer = self.cost.t_transfer(miss_bytes);
+                let mut attempt = 0u32;
+                loop {
+                    match self.inject_fault(FaultKind::LinkDegrade, batch_site, attempt) {
+                        Some(factor) if factor >= LINK_STALL_FACTOR => {
+                            if attempt >= self.opts.recovery.max_retries {
+                                return Err(RuntimeError::RetriesExhausted {
+                                    what: "miss transfer (stalled link)".into(),
+                                    attempts: attempt + 1,
+                                    last_error: format!(
+                                        "link stalled (degradation factor {factor})"
+                                    ),
+                                });
+                            }
+                            let pause = self.backoff(attempt);
+                            self.epoch_time_total += pause;
+                            self.recovery.recovery_sim += pause;
+                            self.recovery.retries += 1;
+                            attempt += 1;
+                        }
+                        Some(factor) => {
+                            t_transfer = t_transfer * factor.max(1.0);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+
+                // Cache update per policy (frozen dynamic caches
+                // stop replacing once full).
+                let may_update =
+                    self.config.cache_update || self.cache.len() < self.cache.capacity();
+                let replaced = if may_update { self.cache.update(&outcome.misses) } else { 0 };
+                self.evictions += replaced;
+                let t_replace = self.cost.t_replace(replaced * self.row_bytes, self.cache.len());
+
+                // Device compute; micro-batching pays one extra
+                // kernel launch per additional micro-step.
+                let flops = self.model.flops_per_batch(mb.num_nodes(), mb.num_edges());
+                let mut t_compute =
+                    self.cost.t_compute(flops, mb.num_nodes(), self.config.precision);
+                if self.micro_batch > 1 {
+                    t_compute += SimTime::from_micros(
+                        self.platform.device.launch_overhead_us * (self.micro_batch - 1) as f64,
+                    );
+                }
+
+                // Transient memory Γ_runtime: bounded retry with
+                // backoff, then the degradation ladder.
+                let base_claim = self.model.activation_bytes(mb.num_nodes(), self.bytes_per_scalar)
+                    + mb.num_nodes() * self.row_bytes;
+                let mut attempt = 0u32;
+                let claim_err = loop {
+                    let claim = base_claim.div_ceil(self.micro_batch);
+                    let requested =
+                        match self.inject_fault(FaultKind::TransientOom, batch_site, attempt) {
+                            // A spike multiplies the claim; the cast
+                            // saturates at usize::MAX for extreme
+                            // magnitudes.
+                            Some(spike) => (claim as f64 * spike.max(1.0)).ceil() as usize,
+                            None => claim,
+                        };
+                    match self.ledger.begin_batch(requested) {
+                        Ok(()) => break None,
+                        Err(_) if attempt < self.opts.recovery.max_retries => {
+                            let pause = self.backoff(attempt);
+                            self.epoch_time_total += pause;
+                            self.recovery.recovery_sim += pause;
+                            self.recovery.retries += 1;
+                            attempt += 1;
+                        }
+                        Err(e) => break Some(e),
+                    }
+                };
+                let oom = match claim_err {
+                    None => {
+                        self.ledger.end_batch();
+                        break 'batch (mb, t_sample, t_transfer, t_replace, t_compute);
+                    }
+                    Some(e) => e,
+                };
+
+                // Retries exhausted: walk the ladder one rung and
+                // re-run the batch under the degraded setup. Each
+                // rung strictly shrinks remaining headroom to
+                // consume (cache halvings are finite, micro-batch
+                // is capped, fanout reduction fires once), so this
+                // loop terminates.
+                let step = if self.cache_entries > 0 {
+                    let to_entries = self.cache_entries / 2;
+                    let old = self.cache.stats();
+                    self.stats_carry.lookups += old.lookups;
+                    self.stats_carry.hits += old.hits;
+                    self.cache = build_cache(self.config.cache_policy, to_entries, graph);
+                    self.ledger.set_cache_bytes(to_entries * self.row_bytes)?;
+                    let rebuild =
+                        self.cost.t_replace(to_entries * self.row_bytes, to_entries.max(1));
+                    self.epoch_time_total += rebuild;
+                    self.recovery.recovery_sim += rebuild;
+                    let step = DegradationStep::ShrinkCache {
+                        from_entries: self.cache_entries,
+                        to_entries,
+                    };
+                    self.cache_entries = to_entries;
+                    step
+                } else if self.micro_batch < MAX_MICRO_BATCH {
+                    self.micro_batch *= 2;
+                    let pause = SimTime::from_micros(self.platform.device.launch_overhead_us);
+                    self.epoch_time_total += pause;
+                    self.recovery.recovery_sim += pause;
+                    DegradationStep::MicroBatch { factor: self.micro_batch }
+                } else if !self.fanout_reduced {
+                    self.fanout_reduced = true;
+                    for f in self.eff_config.fanouts.iter_mut() {
+                        *f = (*f / 2).max(1);
+                    }
+                    self.sampler = self.eff_config.build_sampler(graph)?;
+                    DegradationStep::ReduceFanout { fanouts: self.eff_config.fanouts.clone() }
+                } else {
+                    return Err(RuntimeError::RetriesExhausted {
+                        what: "transient memory claim (degradation ladder exhausted)".into(),
+                        attempts: attempt + 1,
+                        last_error: oom.to_string(),
+                    });
+                };
+                if journaling {
+                    self.journal.instant(
+                        metric::EVENT_RECOVERY,
+                        metric::TRACK_BACKEND,
+                        Some(self.epoch_time_total.as_micros()),
+                        vec![
+                            ("action".into(), step.label().into()),
+                            ("batch".into(), batch_site.into()),
+                            ("detail".into(), format!("{step:?}").into()),
+                        ],
+                    );
+                }
+                self.recovery.degradations.push(step);
+            };
+
+            self.phases.sample += t_sample;
+            self.phases.transfer += t_transfer;
+            self.phases.replace += t_replace;
+            self.phases.compute += t_compute;
+            self.epoch_time_total += self.cost.iteration_time(
+                t_sample,
+                t_transfer,
+                t_replace,
+                t_compute,
+                self.config.pipelined,
+            );
+
+            self.total_nodes += mb.num_nodes();
+            self.total_edges += mb.num_edges();
+            self.total_batches += 1;
+
+            // The actual training step (Algorithm 1 lines 4–8).
+            let train_this =
+                self.opts.train && self.opts.train_batches_cap.is_none_or(|cap| bi < cap);
+            if train_this {
+                let train_started = observing.then(Instant::now);
+                feats.gather_into(&mb.nodes, &mut self.x_buf);
+                let x =
+                    Matrix::from_vec(mb.num_nodes(), feats.dim(), std::mem::take(&mut self.x_buf));
+                feats.gather_labels_into(&mb.nodes, &mut self.label_buf);
+                let step_site = self.train_steps;
+                self.train_steps += 1;
+                let mut loss = train::train_step(
+                    &mut self.model,
+                    &mut self.opt,
+                    &mb.subgraph,
+                    &x,
+                    &self.label_buf,
+                    &mb.target_locals(),
+                );
+                self.x_buf = x.into_vec();
+                if self.inject_fault(FaultKind::NanLoss, step_site, 0).is_some() {
+                    loss = f32::NAN;
+                }
+                if !loss.is_finite() && self.opts.recovery.nan_guard {
+                    // NaN guard: drop the poisoned step from the
+                    // history and anneal the LR; a bounded number
+                    // of halvings separates a recoverable blip
+                    // from a divergent run.
+                    self.recovery.nan_steps_skipped += 1;
+                    if self.recovery.lr_halvings >= self.opts.recovery.max_lr_halvings {
+                        return Err(RuntimeError::RetriesExhausted {
+                            what: "NaN-loss recovery (learning-rate floor reached)".into(),
+                            attempts: self.recovery.nan_steps_skipped,
+                            last_error: format!("non-finite loss at training step {step_site}"),
+                        });
+                    }
+                    self.opt.set_lr(self.opt.lr() * 0.5);
+                    self.recovery.lr_halvings += 1;
+                    if journaling {
+                        self.journal.instant(
+                            metric::EVENT_RECOVERY,
+                            metric::TRACK_BACKEND,
+                            Some(self.epoch_time_total.as_micros()),
+                            vec![
+                                ("action".into(), "nan_guard".into()),
+                                ("step".into(), step_site.into()),
+                                ("lr".into(), (self.opt.lr() as f64).into()),
+                            ],
+                        );
+                    }
+                } else {
+                    self.loss_history.push(loss);
+                }
+                if let Some(t0) = train_started {
+                    self.wall_train += t0.elapsed();
+                }
+            }
+        }
+
+        // The epoch's observed slice, computed unconditionally (a few
+        // subtractions) so the adaptive layer can watch even when the
+        // metrics registry is off.
+        let epoch_sim_s = self.epoch_time_total.as_secs() - epoch_sim_start.as_secs();
+        let stats = self.cache_stats_total();
+        let epoch_lookups = stats.lookups - epoch_stats_start.lookups;
+        let epoch_hits = stats.hits - epoch_stats_start.hits;
+        let epoch_hit_rate =
+            if epoch_lookups > 0 { epoch_hits as f64 / epoch_lookups as f64 } else { 0.0 };
+        let phase_s = [
+            self.phases.sample.as_secs() - epoch_phases_start.sample.as_secs(),
+            self.phases.transfer.as_secs() - epoch_phases_start.transfer.as_secs(),
+            self.phases.replace.as_secs() - epoch_phases_start.replace.as_secs(),
+            self.phases.compute.as_secs() - epoch_phases_start.compute.as_secs(),
+        ];
+
+        if observing {
+            self.metrics.observe(metric::EPOCH_SIM, epoch_sim_s);
+            self.metrics.observe(metric::EPOCH_HIT_RATE, epoch_hit_rate);
+            if journaling {
+                let wall0 = epoch_wall_us.unwrap_or(0.0);
+                let wall_dur = self.journal.now_us() - wall0;
+                let sim0 = epoch_sim_start.as_micros();
+                let sim_dur = epoch_sim_s * 1e6;
+                self.journal.span_complete(
+                    metric::EVENT_EPOCH,
+                    metric::TRACK_BACKEND,
+                    wall0,
+                    Some(wall_dur),
+                    Some(sim0),
+                    Some(sim_dur),
+                    vec![
+                        ("epoch".into(), epoch.into()),
+                        ("batches".into(), (self.total_batches - epoch_batches_start).into()),
+                        ("hit_rate".into(), epoch_hit_rate.into()),
+                    ],
+                );
+                // One sim-only span per phase, each on its own
+                // track, anchored at the epoch's simulated start:
+                // the phases overlap inside the epoch window, so
+                // side-by-side tracks read as a per-epoch phase
+                // breakdown rather than a serial schedule.
+                for (phase_name, sim_delta) in [
+                    ("sample", phase_s[0]),
+                    ("transfer", phase_s[1]),
+                    ("replace", phase_s[2]),
+                    ("compute", phase_s[3]),
+                ] {
+                    self.journal.span_complete(
+                        phase_name,
+                        format!("{}{}", metric::TRACK_PHASE_PREFIX, phase_name),
+                        wall0,
+                        None,
+                        Some(sim0),
+                        Some(sim_delta * 1e6),
+                        Vec::new(),
+                    );
+                }
+                self.journal.counter(
+                    metric::EPOCH_HIT_RATE,
+                    metric::TRACK_BACKEND,
+                    epoch_hit_rate,
+                    Some(sim0 + sim_dur),
+                );
+            }
+        }
+        drop(epoch_span);
+
+        self.epochs_run += 1;
+        Ok(EpochStats {
+            epoch,
+            sim_s: epoch_sim_s,
+            hit_rate: epoch_hit_rate,
+            peak_mem_bytes: self.ledger.peak_bytes(),
+            batches: self.total_batches - epoch_batches_start,
+            nodes: self.total_nodes - epoch_nodes_start,
+            edges: self.total_edges - epoch_edges_start,
+            phase_s,
+            n_iter: self.n_iter,
+        })
+    }
+
+    /// Evaluates accuracy, averages the accumulated totals over the
+    /// epochs that ran, flushes the metric accumulators, and produces
+    /// the final [`ExecutionReport`].
+    pub fn finish(mut self) -> Result<ExecutionReport, RuntimeError> {
+        let dataset = self.dataset;
+        let graph = dataset.graph();
+        let feats = dataset.features();
+        let accuracy = if self.opts.train {
+            let x = Matrix::from_vec(graph.num_nodes(), feats.dim(), feats.matrix().to_vec());
+            train::evaluate(&mut self.model, graph, &x, feats.labels(), &dataset.split().test)
+        } else {
+            0.0
+        };
+
+        let epochs_f = self.epochs_run.max(1) as f64;
+        let inv_epochs = 1.0 / epochs_f;
+        let total_stats = self.cache_stats_total();
+        self.recovery.faults_injected = self.injector.as_ref().map_or(0, |inj| inj.injected);
+        let perf = Perf {
+            epoch_time: self.epoch_time_total * inv_epochs,
+            peak_mem_bytes: self.ledger.peak_bytes(),
+            accuracy,
+            hit_rate: total_stats.hit_rate(),
+            avg_batch_nodes: self.total_nodes as f64 / self.total_batches.max(1) as f64,
+            avg_batch_edges: self.total_edges as f64 / self.total_batches.max(1) as f64,
+            n_iter: self.n_iter,
+            phases: PhaseBreakdown {
+                sample: self.phases.sample * inv_epochs,
+                transfer: self.phases.transfer * inv_epochs,
+                replace: self.phases.replace * inv_epochs,
+                compute: self.phases.compute * inv_epochs,
+            },
+        };
+
+        if self.observing {
+            let metrics = self.metrics;
+            let stats = total_stats;
+            metrics.add(metric::BACKEND_RUNS, 1);
+            metrics.add(metric::BACKEND_BATCHES, self.total_batches as u64);
+            metrics.add(metric::CACHE_HITS, stats.hits as u64);
+            metrics.add(metric::CACHE_MISSES, (stats.lookups - stats.hits) as u64);
+            metrics.add(metric::CACHE_EVICTIONS, self.evictions as u64);
+            // Recovery counters are added even when zero so the
+            // perf-gate baselines pin them at zero on the clean path.
+            metrics.add(metric::FAULTS_INJECTED, 0);
+            metrics.add(metric::BACKEND_RETRIES, self.recovery.retries as u64);
+            metrics.add(metric::BACKEND_DEGRADATIONS, self.recovery.degradations.len() as u64);
+            metrics.add(metric::BACKEND_NAN_SKIPS, self.recovery.nan_steps_skipped as u64);
+            metrics.gauge_set(metric::PHASE_SAMPLE, perf.phases.sample.as_secs());
+            metrics.gauge_set(metric::PHASE_TRANSFER, perf.phases.transfer.as_secs());
+            metrics.gauge_set(metric::PHASE_REPLACE, perf.phases.replace.as_secs());
+            metrics.gauge_set(metric::PHASE_COMPUTE, perf.phases.compute.as_secs());
+            metrics.gauge_set(metric::EPOCH_TIME, perf.epoch_time.as_secs());
+            metrics.gauge_set(metric::PEAK_MEM_BYTES, perf.peak_mem_bytes as f64);
+            metrics.gauge_set(metric::WALL_SAMPLE, self.wall_sample.as_secs_f64());
+            metrics.gauge_set(metric::WALL_TRAIN, self.wall_train.as_secs_f64());
+            if let Some(&last) = self.loss_history.last() {
+                let mean = self.loss_history.iter().sum::<f32>() / self.loss_history.len() as f32;
+                metrics.gauge_set(metric::LOSS_LAST, last as f64);
+                metrics.gauge_set(metric::LOSS_MEAN, mean as f64);
+            }
+            // Kernel-level counters: deltas of the process-global nn /
+            // gnnav-par stats across this execution (concurrent
+            // executions may interleave into each other's deltas; the
+            // perf baselines run serially, where the deltas are exact).
+            let kernel_stats = gnnav_nn::kernel_stats();
+            let par_stats = gnnav_par::stats();
+            let matmul_calls = kernel_stats.matmul_calls - self.kernel_stats_start.matmul_calls;
+            let matmul_flops = kernel_stats.matmul_flops - self.kernel_stats_start.matmul_flops;
+            let par_tasks = par_stats.tasks - self.par_stats_start.tasks;
+            let par_regions = par_stats.regions - self.par_stats_start.regions;
+            metrics.add(metric::NN_MATMUL_CALLS, matmul_calls);
+            metrics.add(metric::NN_MATMUL_FLOPS, matmul_flops);
+            metrics.add(metric::NN_KERNEL_PAR_TASKS, par_tasks);
+            metrics.add(metric::NN_KERNEL_PAR_REGIONS, par_regions);
+            metrics.gauge_set(metric::PAR_POOL_THREADS, gnnav_par::effective_threads() as f64);
+            let train_wall = self.wall_train.as_secs_f64();
+            if train_wall > 0.0 {
+                metrics.gauge_set(metric::NN_MATMUL_GFLOPS, matmul_flops as f64 / train_wall / 1e9);
+            }
+            if self.journaling {
+                self.journal.instant(
+                    metric::EVENT_KERNELS,
+                    metric::TRACK_BACKEND,
+                    Some(self.epoch_time_total.as_micros()),
+                    vec![
+                        ("matmul_calls".into(), matmul_calls.into()),
+                        ("matmul_flops".into(), matmul_flops.into()),
+                        ("par_tasks".into(), par_tasks.into()),
+                        ("par_regions".into(), par_regions.into()),
+                    ],
+                );
+            }
+        }
+        Ok(ExecutionReport {
+            perf,
+            loss_history: self.loss_history,
+            config: self.config,
+            recovery: self.recovery,
+        })
+    }
+}
