@@ -7,6 +7,27 @@ use gnnav_graph::generators::barabasi_albert;
 use gnnav_nn::init::glorot_uniform;
 use gnnav_nn::{train, Adam, GnnModel, Matrix, ModelKind};
 
+/// Hard throughput gate, not a measurement: single-thread 256³ matmul
+/// must clear [`gnnav_bench::MATMUL_GFLOPS_FLOOR`] GFLOP/s (set ~30%
+/// below what the vectorized lane kernels measure, and above 2× the
+/// scalar kernels they replaced). Takes the best of a few samples so
+/// one descheduled run can't fail the gate; a genuine regression —
+/// e.g. reintroducing bounds checks into the inner loops — still
+/// lands far below the floor on every sample.
+fn assert_matmul_throughput_floor(_c: &mut Criterion) {
+    let gflops = gnnav_bench::best_matmul_gflops(256, 1, 3);
+    println!(
+        "matmul_floor/256x256x256 (1 thread): {gflops:.2} GFLOP/s (floor {:.1})",
+        gnnav_bench::MATMUL_GFLOPS_FLOOR
+    );
+    assert!(
+        gflops >= gnnav_bench::MATMUL_GFLOPS_FLOOR,
+        "single-thread matmul throughput {gflops:.2} GFLOP/s fell below the \
+         committed floor of {:.1} — the lane kernels regressed",
+        gnnav_bench::MATMUL_GFLOPS_FLOOR
+    );
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
@@ -95,6 +116,7 @@ fn bench_forward_only(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    assert_matmul_throughput_floor,
     bench_matmul,
     bench_train_step_per_model,
     bench_thread_sweep,

@@ -1,0 +1,40 @@
+//! Dense-kernel throughput sweep: GFLOP/s at pool widths 1/2/4/8.
+//!
+//! ```sh
+//! cargo run --release -p gnnav-bench --bin gflops_sweep
+//! ```
+//!
+//! Prints a table of measured matmul GFLOP/s per problem size and
+//! thread count (best of three samples per cell — see
+//! [`gnnav_bench::best_matmul_gflops`]) and checks the single-thread
+//! 256-point against [`gnnav_bench::MATMUL_GFLOPS_FLOOR`], the same
+//! gate the `kernel-bench` CI job enforces. Exits non-zero if the
+//! floor is missed.
+
+use gnnav_bench::{best_matmul_gflops, print_table, MATMUL_GFLOPS_FLOOR};
+
+fn main() {
+    let sizes = [64usize, 128, 256];
+    let widths = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut single_thread_256 = 0.0f64;
+    for &n in &sizes {
+        let mut row = vec![format!("{n}x{n}x{n}")];
+        for &t in &widths {
+            let gflops = best_matmul_gflops(n, t, 3);
+            if n == 256 && t == 1 {
+                single_thread_256 = gflops;
+            }
+            row.push(format!("{gflops:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(&["matmul", "1 thread", "2 threads", "4 threads", "8 threads"], &rows);
+    println!(
+        "single-thread floor: {MATMUL_GFLOPS_FLOOR:.2} GFLOP/s (measured {single_thread_256:.2})"
+    );
+    if single_thread_256 < MATMUL_GFLOPS_FLOOR {
+        eprintln!("FAIL: single-thread 256-point below the committed floor");
+        std::process::exit(1);
+    }
+}

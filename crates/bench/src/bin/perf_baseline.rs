@@ -140,6 +140,10 @@ fn nn_baseline() -> Snapshot {
     // Deterministic only because the pool is pinned to one thread: a
     // region's task count equals its worker count.
     metrics.add(metric::NN_KERNEL_PAR_TASKS, ps.tasks - ps0.tasks);
+    // The committed throughput floor rides along as a gated counter so
+    // metrics-diff flags any change to the performance bar itself; the
+    // measured-vs-floor assertion runs in the `gflops_sweep` binary.
+    metrics.add(metric::NN_MATMUL_GFLOPS_FLOOR, gnnav_bench::MATMUL_GFLOPS_FLOOR as u64);
     metrics.gauge_set(metric::PAR_POOL_THREADS, gnnav_par::effective_threads() as f64);
     deterministic(metrics.snapshot())
 }

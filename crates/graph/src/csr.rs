@@ -1,5 +1,6 @@
 //! Immutable CSR (compressed sparse row) graph representation.
 
+use crate::schedule::{AggSchedule, DegreeSchedule};
 use crate::GraphError;
 use std::sync::{Arc, OnceLock};
 
@@ -41,13 +42,14 @@ pub struct Graph {
     caches: KernelCache,
 }
 
-/// Lazily computed per-graph data consumed by the NN kernels. Both
-/// members are pure functions of the CSR arrays, so the cache is
+/// Lazily computed per-graph data consumed by the NN kernels. Every
+/// member is a pure function of the CSR arrays, so the cache is
 /// invisible to equality and cheap (`Arc`) to clone.
 #[derive(Default)]
 struct KernelCache {
     gcn_norm: OnceLock<Arc<[f32]>>,
     transpose: OnceLock<Arc<TransposeCsr>>,
+    schedule: OnceLock<Arc<AggSchedule>>,
 }
 
 impl Clone for KernelCache {
@@ -58,6 +60,9 @@ impl Clone for KernelCache {
         }
         if let Some(t) = self.transpose.get() {
             let _ = out.transpose.set(Arc::clone(t));
+        }
+        if let Some(s) = self.schedule.get() {
+            let _ = out.schedule.set(Arc::clone(s));
         }
         out
     }
@@ -78,6 +83,7 @@ impl std::fmt::Debug for KernelCache {
         f.debug_struct("KernelCache")
             .field("gcn_norm", &self.gcn_norm.get().map(|n| n.len()))
             .field("transpose", &self.transpose.get().is_some())
+            .field("schedule", &self.schedule.get().is_some())
             .finish()
     }
 }
@@ -344,6 +350,22 @@ impl Graph {
     /// scatters into per-row gathers.
     pub fn transpose_csr(&self) -> &TransposeCsr {
         self.caches.transpose.get_or_init(|| Arc::new(TransposeCsr::build(self)))
+    }
+
+    /// The degree-aware aggregation schedule for this graph
+    /// (GNNAdvisor-style row grouping; see [`crate::schedule`]),
+    /// built lazily and cached like the degree norms and transpose.
+    /// Forward groups follow out-degrees; backward groups follow the
+    /// transpose's in-degrees (building the schedule therefore also
+    /// builds and caches the transpose).
+    pub fn agg_schedule(&self) -> &AggSchedule {
+        self.caches.schedule.get_or_init(|| {
+            let t = self.transpose_csr();
+            Arc::new(AggSchedule {
+                fwd: DegreeSchedule::build(self.num_nodes, |v| self.degree(v as NodeId)),
+                bwd: DegreeSchedule::build(self.num_nodes, |v| t.in_degree(v as NodeId)),
+            })
+        })
     }
 
     /// Total bytes of the CSR arrays; used by the memory cost model.

@@ -43,13 +43,15 @@ pub mod features;
 pub mod generators;
 pub mod io;
 pub mod partition;
+pub mod schedule;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
 pub use datasets::{Dataset, DatasetId, Split};
 pub use features::{FeatureSpec, Features};
-pub use stats::{DegreeStats, GraphStats};
+pub use schedule::{AggGroup, AggSchedule, DegreeSchedule};
+pub use stats::{DegreeBuckets, DegreeStats, GraphStats};
 
 use std::error::Error;
 use std::fmt;

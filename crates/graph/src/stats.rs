@@ -110,6 +110,48 @@ impl GraphStats {
     }
 }
 
+/// Power-of-two degree histogram: bucket 0 counts isolated nodes,
+/// bucket `i >= 1` counts nodes with degree in `[2^(i-1), 2^i)`.
+///
+/// This is the summary the degree-aware aggregation schedule
+/// ([`crate::schedule`]) is keyed on: the split between buckets below
+/// and above the heavy-row threshold tells how much of a graph's work
+/// sits in hub rows that need splitting versus leaf rows that need
+/// batching.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegreeBuckets {
+    /// `counts[0]` = isolated nodes; `counts[i]` = nodes with degree
+    /// in `[2^(i-1), 2^i)`.
+    pub counts: Vec<usize>,
+}
+
+impl DegreeBuckets {
+    /// Buckets the out-degrees of every node of `g`.
+    pub fn of_graph(g: &Graph) -> Self {
+        let mut counts = Vec::new();
+        for v in 0..g.num_nodes() as NodeId {
+            let d = g.degree(v);
+            let bucket = if d == 0 { 0 } else { d.ilog2() as usize + 1 };
+            if counts.len() <= bucket {
+                counts.resize(bucket + 1, 0);
+            }
+            counts[bucket] += 1;
+        }
+        DegreeBuckets { counts }
+    }
+
+    /// Number of nodes with degree `>= threshold` (the heavy-row
+    /// population for a schedule keyed at `threshold`). Exact, not
+    /// bucket-rounded, when `threshold` is a power of two.
+    pub fn nodes_at_or_above(&self, threshold: usize) -> usize {
+        if threshold == 0 {
+            return self.counts.iter().sum();
+        }
+        let first_full = threshold.next_power_of_two().ilog2() as usize + 1;
+        self.counts.iter().skip(first_full).sum()
+    }
+}
+
 /// Returns node ids sorted by descending degree — the order PaGraph's
 /// static cache fills device memory with (hot vertices first).
 pub fn nodes_by_degree_desc(g: &Graph) -> Vec<NodeId> {
@@ -173,6 +215,24 @@ mod tests {
         let stats = GraphStats::with_communities(&g, &[0, 0, 1, 1]);
         let f = stats.intra_community_fraction.expect("has edges");
         assert!((f - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_buckets_histogram() {
+        // Star with 10 leaves: hub degree 10 (bucket 4), leaves
+        // degree 1 (bucket 1).
+        let g = star(11);
+        let b = DegreeBuckets::of_graph(&g);
+        assert_eq!(b.counts[1], 10);
+        assert_eq!(b.counts[4], 1);
+        assert_eq!(b.counts.iter().sum::<usize>(), 11);
+        assert_eq!(b.nodes_at_or_above(8), 1);
+        assert_eq!(b.nodes_at_or_above(1), 11);
+        assert_eq!(b.nodes_at_or_above(0), 11);
+        // Isolated nodes land in bucket 0.
+        let iso = GraphBuilder::new(3).build().expect("build");
+        assert_eq!(DegreeBuckets::of_graph(&iso).counts, vec![3]);
+        assert_eq!(DegreeBuckets::of_graph(&iso).nodes_at_or_above(1), 0);
     }
 
     #[test]

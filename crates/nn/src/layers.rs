@@ -31,8 +31,8 @@
 
 use crate::init::{glorot_uniform, uniform_vec};
 use crate::scratch::ScratchArena;
-use crate::tensor::Matrix;
-use gnnav_graph::Graph;
+use crate::tensor::{axpy1, dot_lanes, Matrix};
+use gnnav_graph::{AggGroup, Graph};
 
 /// A trainable dense parameter: weight matrix plus bias with gradient
 /// accumulators.
@@ -139,6 +139,21 @@ pub trait Layer: std::fmt::Debug + Send {
 /// Target FLOPs per worker chunk for the aggregation kernels.
 const AGG_GRAIN_FLOPS: usize = 32_768;
 
+/// Scheduling weight (one weight unit ≈ 2 FLOPs) a worker must carry
+/// before the feature-wide aggregation passes fan out.
+const AGG_GRAIN_WORK: u64 = (AGG_GRAIN_FLOPS / 2) as u64;
+
+/// Grain for the feature-independent span passes (GAT softmax and its
+/// backward), whose per-unit cost is a handful of transcendentals.
+const AGG_GRAIN_SPAN: u64 = 4_096;
+
+/// Feature-dimension tile width for heavy (single hub row) schedule
+/// groups: a hub row at least `2 * FEAT_TILE` wide is split into
+/// column tiles so several workers can share one giant neighbor list.
+/// A column tile of a single row is contiguous in row-major layout,
+/// so tiles carve into disjoint `&mut` windows like any other group.
+const FEAT_TILE: usize = 64;
+
 /// Nodes per static chunk for an aggregation over `g` with feature
 /// width `d` — sized so a chunk is worth a worker, never a function of
 /// the thread count.
@@ -148,31 +163,73 @@ fn agg_nodes_per_chunk(g: &Graph, d: usize) -> usize {
     (AGG_GRAIN_FLOPS / per_node.max(1)).max(1)
 }
 
-/// Carves `a` and `b` into per-run mutable windows covering
-/// `nodes_per_run` nodes each, where node `i`'s data spans
+/// One scheduled unit of aggregation work: output rows
+/// `v0..v0 + dst.len() / (j1 - j0)`, columns `j0..j1`.
+struct AggTask<'a> {
+    v0: usize,
+    j0: usize,
+    j1: usize,
+    dst: &'a mut [f32],
+}
+
+/// Carves the row-major `n x d` output `out` into one [`AggTask`] per
+/// schedule group (heavy groups additionally split into [`FEAT_TILE`]
+/// column tiles when `d` is wide), weighted for
+/// [`gnnav_par::par_for_weighted_tasks`]. Group boundaries come from
+/// the graph's cached degree schedule, so tasks are a pure function of
+/// the graph and `d` — never of the thread count.
+fn schedule_tasks<'a>(
+    groups: &[AggGroup],
+    d: usize,
+    out: &'a mut [f32],
+) -> Vec<(u64, AggTask<'a>)> {
+    let mut tasks = Vec::with_capacity(groups.len());
+    let mut rest = out;
+    for grp in groups {
+        let (win, tail) = rest.split_at_mut(grp.len() * d);
+        rest = tail;
+        if grp.heavy && d >= 2 * FEAT_TILE {
+            let mut row = win;
+            let mut j0 = 0usize;
+            while j0 < d {
+                let j1 = (j0 + FEAT_TILE).min(d);
+                let (tile, row_tail) = row.split_at_mut(j1 - j0);
+                row = row_tail;
+                let task = AggTask { v0: grp.start as usize, j0, j1, dst: tile };
+                tasks.push((grp.work * (j1 - j0) as u64, task));
+                j0 = j1;
+            }
+        } else {
+            let task = AggTask { v0: grp.start as usize, j0: 0, j1: d, dst: win };
+            tasks.push((grp.work * d as u64, task));
+        }
+    }
+    tasks
+}
+
+/// Carves `a` and `b` into per-group mutable windows along the
+/// schedule's group boundaries, where node `i`'s data spans
 /// `a_off(i)..a_off(i+1)` in `a` (resp. `b_off` in `b`). Returns
-/// `(first_node, a_window, b_window)` tasks for
-/// [`gnnav_par::par_for_tasks`].
-fn split_two_by_nodes<'a>(
-    nodes: usize,
-    nodes_per_run: usize,
+/// weighted `(v0, v1, a_window, b_window)` tasks for
+/// [`gnnav_par::par_for_weighted_tasks`].
+#[allow(clippy::type_complexity)]
+fn split_two_by_groups<'a>(
+    groups: &[AggGroup],
     a: &'a mut [f32],
     a_off: impl Fn(usize) -> usize,
     b: &'a mut [f32],
     b_off: impl Fn(usize) -> usize,
-) -> Vec<(usize, &'a mut [f32], &'a mut [f32])> {
-    let mut tasks = Vec::new();
+) -> Vec<(u64, (usize, usize, &'a mut [f32], &'a mut [f32]))> {
+    let mut tasks = Vec::with_capacity(groups.len());
     let mut a = a;
     let mut b = b;
-    let mut v0 = 0usize;
-    while v0 < nodes {
-        let v1 = (v0 + nodes_per_run).min(nodes);
+    for grp in groups {
+        let (v0, v1) = (grp.start as usize, grp.end as usize);
         let (ha, ta) = a.split_at_mut(a_off(v1) - a_off(v0));
         let (hb, tb) = b.split_at_mut(b_off(v1) - b_off(v0));
-        tasks.push((v0, ha, hb));
+        tasks.push((grp.work, (v0, v1, ha, hb)));
         a = ta;
         b = tb;
-        v0 = v1;
     }
     tasks
 }
@@ -206,20 +263,18 @@ pub fn gcn_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
         return;
     }
     let inv_sqrt = g.gcn_inv_sqrt();
-    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
-    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
-        let v = (off / d) as u32;
-        let cv = inv_sqrt[v as usize];
-        // Self-loop term first, then neighbors ascending — the same
-        // per-element accumulation order as the serial kernel.
-        let coeff = cv * cv;
-        for (o, &s) in dst.iter_mut().zip(x.row(v as usize)) {
-            *o += coeff * s;
-        }
-        for &u in g.neighbors(v) {
-            let coeff = cv * inv_sqrt[u as usize];
-            for (o, &s) in dst.iter_mut().zip(x.row(u as usize)) {
-                *o += coeff * s;
+    let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
+    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
+        let w = task.j1 - task.j0;
+        for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
+            let v = (task.v0 + lv) as u32;
+            let cv = inv_sqrt[v as usize];
+            // Self-loop term first, then neighbors ascending — the
+            // same per-element accumulation order as the serial
+            // kernel, whatever the grouping or column tiling.
+            axpy1(dst, cv * cv, &x.row(v as usize)[task.j0..task.j1]);
+            for &u in g.neighbors(v) {
+                axpy1(dst, cv * inv_sqrt[u as usize], &x.row(u as usize)[task.j0..task.j1]);
             }
         }
     });
@@ -248,21 +303,25 @@ pub fn mean_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     if n == 0 || d == 0 {
         return;
     }
-    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
-    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
-        let v = (off / d) as u32;
-        let neigh = g.neighbors(v);
-        if neigh.is_empty() {
-            return;
-        }
-        let inv = 1.0 / neigh.len() as f32;
-        for &u in neigh {
-            for (o, &s) in dst.iter_mut().zip(x.row(u as usize)) {
-                *o += s;
+    let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
+    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
+        let w = task.j1 - task.j0;
+        for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
+            let v = (task.v0 + lv) as u32;
+            let neigh = g.neighbors(v);
+            if neigh.is_empty() {
+                // Isolated node: the row stays exactly zero.
+                continue;
             }
-        }
-        for o in dst.iter_mut() {
-            *o *= inv;
+            let inv = 1.0 / neigh.len() as f32;
+            for &u in neigh {
+                for (o, &s) in dst.iter_mut().zip(&x.row(u as usize)[task.j0..task.j1]) {
+                    *o += s;
+                }
+            }
+            for o in dst.iter_mut() {
+                *o *= inv;
+            }
         }
     });
 }
@@ -295,13 +354,17 @@ pub fn mean_aggregate_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matr
         return;
     }
     let t = g.transpose_csr();
-    let nodes_per_chunk = agg_nodes_per_chunk(g, d);
-    gnnav_par::par_chunks(out.as_mut_slice(), d, nodes_per_chunk, |off, dst| {
-        let u = (off / d) as u32;
-        for &v in t.in_sources(u) {
-            let inv = 1.0 / g.degree(v) as f32;
-            for (o, &gv) in dst.iter_mut().zip(grad_out.row(v as usize)) {
-                *o += gv * inv;
+    // Backward gathers walk in-edges, so grouping follows in-degrees.
+    let tasks = schedule_tasks(&g.agg_schedule().bwd.groups, d, out.as_mut_slice());
+    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
+        let w = task.j1 - task.j0;
+        for (lu, dst) in task.dst.chunks_mut(w).enumerate() {
+            let u = (task.v0 + lu) as u32;
+            for &v in t.in_sources(u) {
+                // Every in-source has at least the edge v -> u, so
+                // degree(v) >= 1 and the divide is finite.
+                let inv = 1.0 / g.degree(v) as f32;
+                axpy1(dst, inv, &grad_out.row(v as usize)[task.j0..task.j1]);
             }
         }
     });
@@ -524,6 +587,54 @@ fn leaky_grad(x: f32) -> f32 {
     }
 }
 
+/// Numerically stable softmax over one attention neighborhood:
+/// `alpha[i] = exp(leaky(pre[i]) - max) / Σ exp(leaky(pre[j]) - max)`.
+///
+/// Subtracting the span maximum keeps every exponent `<= 0`, so large
+/// logits can never overflow to `inf` and poison the normalization
+/// with `inf / inf = NaN`. When the maximum activation is exactly
+/// `0.0` the subtraction is bitwise invisible (`x - 0.0 == x` for
+/// finite `x`), which is what lets the stability test pin the stable
+/// path against the naive one bit for bit.
+///
+/// # Panics
+///
+/// Panics if `pre` and `alpha` differ in length (callers pass spans
+/// carved from the same `alpha_off` table). Spans are never empty:
+/// every neighborhood contains at least the self term.
+fn neighborhood_softmax(pre: &[f32], alpha: &mut [f32]) {
+    assert_eq!(pre.len(), alpha.len(), "attention span length mismatch");
+    let mut max = f32::NEG_INFINITY;
+    for &p in pre {
+        max = max.max(leaky(p));
+    }
+    let mut sum = 0.0f32;
+    for (a, &p) in alpha.iter_mut().zip(pre) {
+        let e = (leaky(p) - max).exp();
+        *a = e;
+        sum += e;
+    }
+    for a in alpha.iter_mut() {
+        *a /= sum;
+    }
+}
+
+/// The textbook softmax without max-subtraction — overflows for large
+/// logits. Kept only as the reference the stability test compares
+/// against.
+#[cfg(test)]
+fn neighborhood_softmax_naive(pre: &[f32], alpha: &mut [f32]) {
+    let mut sum = 0.0f32;
+    for (a, &p) in alpha.iter_mut().zip(pre) {
+        let e = leaky(p).exp();
+        *a = e;
+        sum += e;
+    }
+    for a in alpha.iter_mut() {
+        *a /= sum;
+    }
+}
+
 impl Layer for GatLayer {
     fn in_dim(&self) -> usize {
         self.lin.w.rows()
@@ -544,7 +655,6 @@ impl Layer for GatLayer {
             None => (scratch.take(n, d), Vec::new(), Vec::new(), Vec::new(), None),
         };
         x.matmul_into(&self.lin.w, &mut z);
-        let dot = |row: &[f32], v: &[f32]| -> f32 { row.iter().zip(v).map(|(a, b)| a * b).sum() };
         let mut s_l = scratch.take_raw(n);
         let mut s_r = scratch.take_raw(n);
         {
@@ -552,8 +662,12 @@ impl Layer for GatLayer {
             let att_r = &self.att_r.v;
             let z = &z;
             let grain = agg_nodes_per_chunk(g, d);
-            gnnav_par::par_chunks(&mut s_l, 1, grain, |v, slot| slot[0] = dot(z.row(v), att_l));
-            gnnav_par::par_chunks(&mut s_r, 1, grain, |v, slot| slot[0] = dot(z.row(v), att_r));
+            gnnav_par::par_chunks(&mut s_l, 1, grain, |v, slot| {
+                slot[0] = dot_lanes(z.row(v), att_l);
+            });
+            gnnav_par::par_chunks(&mut s_r, 1, grain, |v, slot| {
+                slot[0] = dot_lanes(z.row(v), att_r);
+            });
         }
 
         alpha_off.clear();
@@ -571,53 +685,54 @@ impl Layer for GatLayer {
         alpha.clear();
         alpha.resize(pre.len(), 0.0);
 
-        let mut out = scratch.take(n, d);
+        // Pass 1: per-neighborhood stable softmax over disjoint alpha
+        // spans, carved along the schedule's group boundaries. Span
+        // lengths per group sum to exactly the group's work (deg + 1
+        // per node).
         {
-            let bias = &self.lin.b;
-            let z = &z;
             let pre = &pre;
             let alpha_off = &alpha_off;
-            let tasks = split_two_by_nodes(
-                n,
-                agg_nodes_per_chunk(g, d),
-                out.as_mut_slice(),
-                |i| i * d,
-                &mut alpha,
-                |i| alpha_off[i],
-            );
-            gnnav_par::par_for_tasks(tasks, 1, |(v0, out_run, alpha_run)| {
+            let groups = &g.agg_schedule().fwd.groups;
+            let mut tasks = Vec::with_capacity(groups.len());
+            let mut rest = alpha.as_mut_slice();
+            for grp in groups {
+                let (v0, v1) = (grp.start as usize, grp.end as usize);
+                let (win, tail) = rest.split_at_mut(alpha_off[v1] - alpha_off[v0]);
+                rest = tail;
+                tasks.push((grp.work, (v0, v1, win)));
+            }
+            gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_SPAN, |(v0, v1, alpha_run)| {
                 let mut cursor = 0usize;
-                for (lv, out_row) in out_run.chunks_mut(d).enumerate() {
-                    let v = v0 + lv;
+                for v in v0..v1 {
                     let (start, end) = (alpha_off[v], alpha_off[v + 1]);
                     let count = end - start;
-                    let aslice = &mut alpha_run[cursor..cursor + count];
+                    neighborhood_softmax(&pre[start..end], &mut alpha_run[cursor..cursor + count]);
                     cursor += count;
-                    let mut max = f32::NEG_INFINITY;
-                    for &p in &pre[start..end] {
-                        max = max.max(leaky(p));
-                    }
-                    let mut sum = 0.0f32;
-                    for (a, i) in aslice.iter_mut().zip(start..end) {
-                        let e = (leaky(pre[i]) - max).exp();
-                        *a = e;
-                        sum += e;
-                    }
-                    for a in aslice.iter_mut() {
-                        *a /= sum;
-                    }
-                    // out[v] = Σ α z[u] over neighbors then self.
+                }
+            });
+        }
+
+        // Pass 2: out[v] = Σ α z[u] + bias over neighbors then self,
+        // schedule-grouped with column tiling for hub rows (alpha is
+        // read-only here, so tiles of one row can run concurrently).
+        let mut out = scratch.take(n, d);
+        if d > 0 {
+            let bias = &self.lin.b;
+            let z = &z;
+            let alpha = &alpha;
+            let alpha_off = &alpha_off;
+            let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
+            gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
+                let w = task.j1 - task.j0;
+                for (lv, out_row) in task.dst.chunks_mut(w).enumerate() {
+                    let v = task.v0 + lv;
+                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                    let aspan = &alpha[start..end];
                     for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
-                        let a = aslice[i];
-                        for (o, &zz) in out_row.iter_mut().zip(z.row(u as usize)) {
-                            *o += a * zz;
-                        }
+                        axpy1(out_row, aspan[i], &z.row(u as usize)[task.j0..task.j1]);
                     }
-                    let a_self = aslice[count - 1];
-                    for (o, &zz) in out_row.iter_mut().zip(z.row(v)) {
-                        *o += a_self * zz;
-                    }
-                    for (o, &b) in out_row.iter_mut().zip(bias) {
+                    axpy1(out_row, aspan[aspan.len() - 1], &z.row(v)[task.j0..task.j1]);
+                    for (o, &b) in out_row.iter_mut().zip(&bias[task.j0..task.j1]) {
                         *o += b;
                     }
                 }
@@ -649,91 +764,98 @@ impl Layer for GatLayer {
             }
         }
 
-        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
-
-        // Softmax backward, node-parallel over destinations `v`:
+        // Softmax backward, parallel over destination neighborhoods:
         // d_alpha -> de -> dpre (disjoint spans of `dpre`), plus the
-        // per-destination score gradient ds_r[v].
+        // per-destination score gradient ds_r[v]. Carved along the
+        // forward schedule's group boundaries.
         {
-            let tasks = split_two_by_nodes(
-                n,
-                agg_nodes_per_chunk(g, d),
+            let tasks = split_two_by_groups(
+                &g.agg_schedule().fwd.groups,
                 &mut dpre,
                 |i| alpha_off[i],
                 &mut ds_r,
                 |i| i,
             );
-            gnnav_par::par_for_tasks(tasks, 1, |(v0, dpre_run, dsr_run)| {
-                let mut cursor = 0usize;
-                for (lv, dsr) in dsr_run.iter_mut().enumerate() {
-                    let v = v0 + lv;
-                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
-                    let count = end - start;
-                    let go = grad_out.row(v);
-                    let dslice = &mut dpre_run[cursor..cursor + count];
-                    cursor += count;
-                    for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
-                        dslice[i] = dot(go, z.row(u as usize));
+            gnnav_par::par_for_weighted_tasks(
+                tasks,
+                AGG_GRAIN_SPAN,
+                |(v0, _v1, dpre_run, dsr_run)| {
+                    let mut cursor = 0usize;
+                    for (lv, dsr) in dsr_run.iter_mut().enumerate() {
+                        let v = v0 + lv;
+                        let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                        let count = end - start;
+                        let go = grad_out.row(v);
+                        let dslice = &mut dpre_run[cursor..cursor + count];
+                        cursor += count;
+                        for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
+                            dslice[i] = dot_lanes(go, z.row(u as usize));
+                        }
+                        dslice[count - 1] = dot_lanes(go, z.row(v));
+                        let sdot: f32 = (0..count).map(|i| alpha[start + i] * dslice[i]).sum();
+                        let mut acc = 0.0f32;
+                        for (i, dp) in dslice.iter_mut().enumerate() {
+                            let de = alpha[start + i] * (*dp - sdot);
+                            let dpv = de * leaky_grad(pre[start + i]);
+                            *dp = dpv;
+                            acc += dpv;
+                        }
+                        *dsr = acc;
                     }
-                    dslice[count - 1] = dot(go, z.row(v));
-                    let sdot: f32 = (0..count).map(|i| alpha[start + i] * dslice[i]).sum();
-                    let mut acc = 0.0f32;
-                    for (i, dp) in dslice.iter_mut().enumerate() {
-                        let de = alpha[start + i] * (*dp - sdot);
-                        let dpv = de * leaky_grad(pre[start + i]);
-                        *dp = dpv;
-                        acc += dpv;
-                    }
-                    *dsr = acc;
-                }
-            });
+                },
+            );
         }
 
-        // dz and ds_l, node-parallel over sources `u`: the serial
-        // kernel scattered `α·go_v` and `dpre` from each destination
-        // v; gathering over the transpose's ascending in-sources (with
-        // the self term merged at v == u) reproduces the exact
-        // per-element add order.
+        // dz and ds_l, parallel over sources `u` along the *backward*
+        // (in-degree) schedule groups: the serial kernel scattered
+        // `α·go_v` and `dpre` from each destination v; gathering over
+        // the transpose's ascending in-sources (with the self term
+        // merged at v == u) reproduces the exact per-element add
+        // order. No column tiling here — ds_l[u] is a full-row
+        // reduction, so a row must stay within one task.
         {
             let t = g.transpose_csr();
-            let tasks = split_two_by_nodes(
-                n,
-                agg_nodes_per_chunk(g, d),
+            let tasks = split_two_by_groups(
+                &g.agg_schedule().bwd.groups,
                 dz.as_mut_slice(),
                 |i| i * d,
                 &mut ds_l,
                 |i| i,
             );
-            gnnav_par::par_for_tasks(tasks, 1, |(u0, dz_run, dsl_run)| {
-                for (lu, dsl) in dsl_run.iter_mut().enumerate() {
-                    let u = u0 + lu;
-                    let dz_row = &mut dz_run[lu * d..(lu + 1) * d];
-                    let sources = t.in_sources(u as u32);
-                    let edges = t.in_forward_edges(u as u32);
-                    // The serial scatter touched u once per destination
-                    // block, v ascending, with u's own self term at
-                    // v == u *after* any in-edge from v == u.
-                    let cut = sources.partition_point(|&v| v <= u as u32);
-                    let mut acc = 0.0f32;
-                    let mut take = |alpha_idx: usize, src: usize| {
-                        let a = alpha[alpha_idx];
-                        for (o, &gv) in dz_row.iter_mut().zip(grad_out.row(src)) {
-                            *o += a * gv;
+            gnnav_par::par_for_weighted_tasks(
+                tasks,
+                AGG_GRAIN_SPAN,
+                |(u0, _u1, dz_run, dsl_run)| {
+                    for (lu, dsl) in dsl_run.iter_mut().enumerate() {
+                        let u = u0 + lu;
+                        let dz_row = &mut dz_run[lu * d..(lu + 1) * d];
+                        let sources = t.in_sources(u as u32);
+                        let edges = t.in_forward_edges(u as u32);
+                        // The serial scatter touched u once per destination
+                        // block, v ascending, with u's own self term at
+                        // v == u *after* any in-edge from v == u.
+                        let cut = sources.partition_point(|&v| v <= u as u32);
+                        let mut acc = 0.0f32;
+                        let mut take = |alpha_idx: usize, src: usize| {
+                            let a = alpha[alpha_idx];
+                            for (o, &gv) in dz_row.iter_mut().zip(grad_out.row(src)) {
+                                *o += a * gv;
+                            }
+                            acc += dpre[alpha_idx];
+                        };
+                        for i in 0..cut {
+                            // alpha index of forward edge e from source v:
+                            // alpha_off[v] + (e - offsets[v]) == e + v.
+                            take(edges[i] + sources[i] as usize, sources[i] as usize);
                         }
-                        acc += dpre[alpha_idx];
-                    };
-                    for i in 0..cut {
-                        // alpha index of forward edge e from source v:
-                        // alpha_off[v] + (e - offsets[v]) == e + v.
-                        take(edges[i] + sources[i] as usize, sources[i] as usize);
+                        take(alpha_off[u + 1] - 1, u);
+                        for i in cut..sources.len() {
+                            take(edges[i] + sources[i] as usize, sources[i] as usize);
+                        }
+                        *dsl = acc;
                     }
-                    take(alpha_off[u + 1] - 1, u);
-                    for i in cut..sources.len() {
-                        take(edges[i] + sources[i] as usize, sources[i] as usize);
-                    }
-                    *dsl = acc;
-                }
-            });
+                },
+            );
         }
 
         // s_l[u] = z[u]·a_l and s_r[u] = z[u]·a_r. The attention
@@ -1062,6 +1184,162 @@ mod tests {
             let sum: f32 = cache.alpha[s..e].iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "node {v} alpha sum {sum}");
         }
+    }
+
+    /// Graph with a connected core (0-1-2 triangle) and three isolated
+    /// nodes (3, 4, 5) — empty neighbor lists in both directions.
+    fn isolated_graph() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.symmetrize().build().expect("build")
+    }
+
+    #[test]
+    fn isolated_nodes_stay_finite_in_every_kernel() {
+        let g = isolated_graph();
+        let x = glorot_uniform(6, 5, 70);
+
+        // Free aggregation kernels: no NaN/inf anywhere, and the
+        // isolated rows take their defined values (self-loop only for
+        // GCN — coefficient 1/sqrt(0+1)^2 == 1 — and exactly zero for
+        // the mean and its transpose).
+        let ax = gcn_aggregate(&g, &x);
+        let m = mean_aggregate(&g, &x);
+        let mb = mean_aggregate_backward(&g, &x);
+        for (label, out) in [("gcn", &ax), ("mean", &m), ("mean_bwd", &mb)] {
+            assert!(out.as_slice().iter().all(|v| v.is_finite()), "{label} produced non-finite");
+        }
+        for v in 3..6 {
+            for c in 0..5 {
+                assert_eq!(ax.get(v, c).to_bits(), x.get(v, c).to_bits(), "gcn isolated row");
+                assert_eq!(m.get(v, c), 0.0, "mean isolated row");
+                assert_eq!(mb.get(v, c), 0.0, "mean_bwd isolated row");
+            }
+        }
+
+        // Every layer's forward AND backward must survive empty
+        // neighbor lists without NaN/inf (the GAT neighborhood still
+        // contains the self term, so its softmax span is never empty).
+        let r = glorot_uniform(6, 2, 71);
+        let mut scratch = ScratchArena::new();
+        for kind in ["gcn", "sage", "gat"] {
+            let mut layer: Box<dyn Layer> = match kind {
+                "gcn" => Box::new(GcnLayer::new(5, 2, 72)),
+                "sage" => Box::new(SageLayer::new(5, 2, 73)),
+                _ => Box::new(GatLayer::new(5, 2, 74)),
+            };
+            let out = layer.forward(&g, &x, &mut scratch);
+            assert!(
+                out.as_slice().iter().all(|v| v.is_finite()),
+                "{kind} forward produced non-finite with isolated nodes"
+            );
+            layer.zero_grad();
+            let gx = layer.backward(&g, &r, &mut scratch);
+            assert!(
+                gx.as_slice().iter().all(|v| v.is_finite()),
+                "{kind} backward produced non-finite with isolated nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_isolated_graph_kernels_are_finite() {
+        // No edges at all: every degree is zero, the transpose is
+        // empty, and the cached inverse-sqrt norms must still be
+        // finite (degree + 1 self-loop convention).
+        let g = GraphBuilder::new(4).build().expect("build");
+        assert!(g.gcn_inv_sqrt().iter().all(|v| v.is_finite()));
+        let x = glorot_uniform(4, 3, 75);
+        let r = glorot_uniform(4, 2, 76);
+        let mut scratch = ScratchArena::new();
+        for kind in ["gcn", "sage", "gat"] {
+            let mut layer: Box<dyn Layer> = match kind {
+                "gcn" => Box::new(GcnLayer::new(3, 2, 77)),
+                "sage" => Box::new(SageLayer::new(3, 2, 78)),
+                _ => Box::new(GatLayer::new(3, 2, 79)),
+            };
+            let out = layer.forward(&g, &x, &mut scratch);
+            layer.zero_grad();
+            let gx = layer.backward(&g, &r, &mut scratch);
+            assert!(out.as_slice().iter().all(|v| v.is_finite()), "{kind} forward");
+            assert!(gx.as_slice().iter().all(|v| v.is_finite()), "{kind} backward");
+        }
+    }
+
+    #[test]
+    fn empty_graph_does_not_panic() {
+        let g = GraphBuilder::new(0).build().expect("build");
+        let x = Matrix::zeros(0, 3);
+        let r = Matrix::zeros(0, 2);
+        let mut scratch = ScratchArena::new();
+        assert_eq!(gcn_aggregate(&g, &x).rows(), 0);
+        assert_eq!(mean_aggregate(&g, &x).rows(), 0);
+        assert_eq!(mean_aggregate_backward(&g, &x).rows(), 0);
+        for kind in ["gcn", "sage", "gat"] {
+            let mut layer: Box<dyn Layer> = match kind {
+                "gcn" => Box::new(GcnLayer::new(3, 2, 80)),
+                "sage" => Box::new(SageLayer::new(3, 2, 81)),
+                _ => Box::new(GatLayer::new(3, 2, 82)),
+            };
+            let out = layer.forward(&g, &x, &mut scratch);
+            assert_eq!((out.rows(), out.cols()), (0, 2), "{kind} empty-graph forward shape");
+            layer.zero_grad();
+            let gx = layer.backward(&g, &r, &mut scratch);
+            assert_eq!((gx.rows(), gx.cols()), (0, 3), "{kind} empty-graph backward shape");
+        }
+    }
+
+    #[test]
+    fn gat_zero_out_dim_does_not_panic() {
+        // Regression: the single-pass forward carved `out` with
+        // `chunks_mut(d)`, which panics on chunk size 0. The guarded
+        // two-pass form must handle a zero-width head.
+        let g = tiny_graph();
+        let x = tiny_x(83);
+        let mut layer = GatLayer::new(3, 0, 84);
+        let mut scratch = ScratchArena::new();
+        let out = layer.forward(&g, &x, &mut scratch);
+        assert_eq!((out.rows(), out.cols()), (4, 0));
+        layer.zero_grad();
+        let gx = layer.backward(&g, &Matrix::zeros(4, 0), &mut scratch);
+        assert_eq!((gx.rows(), gx.cols()), (4, 3));
+        assert!(gx.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stable_softmax_matches_naive_bitwise_when_max_is_zero() {
+        // When the largest activation is exactly 0.0 the stabilizing
+        // subtraction is the identity (`x - 0.0 == x` bitwise for
+        // finite x), so the stable path must reproduce the naive one
+        // bit for bit. `leaky(0.0) == 0.0`, so a span containing one
+        // zero logit and otherwise-negative logits pins this down.
+        let pre = [0.0f32, -1.0, -2.5, -0.25, -7.0];
+        let mut stable = [0.0f32; 5];
+        let mut naive = [0.0f32; 5];
+        neighborhood_softmax(&pre, &mut stable);
+        neighborhood_softmax_naive(&pre, &mut naive);
+        for (i, (s, n)) in stable.iter().zip(&naive).enumerate() {
+            assert_eq!(s.to_bits(), n.to_bits(), "element {i}: {s:?} vs {n:?}");
+        }
+        let sum: f32 = stable.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_softmax_survives_large_logits() {
+        // exp(100) overflows f32 to inf, so the naive softmax turns
+        // into inf/inf = NaN; max-subtraction keeps every exponent
+        // <= 0 and the distribution finite.
+        let pre = [100.0f32, 95.0, 40.0];
+        let mut stable = [0.0f32; 3];
+        let mut naive = [0.0f32; 3];
+        neighborhood_softmax(&pre, &mut stable);
+        neighborhood_softmax_naive(&pre, &mut naive);
+        assert!(naive.iter().any(|v| v.is_nan()), "naive should overflow: {naive:?}");
+        assert!(stable.iter().all(|v| v.is_finite()), "stable must stay finite: {stable:?}");
+        let sum: f32 = stable.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(stable[0] > stable[1] && stable[1] > stable[2]);
     }
 
     #[test]

@@ -2,29 +2,157 @@
 //!
 //! This is deliberately small: the GNN layers need matmul, transpose
 //! variants, elementwise maps, and row reductions — nothing more. The
-//! matmul uses an i-k-j loop order over contiguous rows so the
-//! compiler can autovectorize the inner accumulation.
+//! matmul kernels process fixed-width [`LANE`]-element f32 chunks with
+//! explicit accumulator arrays plus a scalar tail, a shape LLVM
+//! autovectorizes on any x86-64 / aarch64 baseline target (verified by
+//! the throughput gate in `gnnav-bench`'s `nn_kernels` bench).
 //!
 //! # Parallelism and determinism
 //!
 //! The three matmul kernels are cache-blocked over output-column tiles
 //! and row-parallel over `gnnav_par`: output rows are split into
 //! static chunks and each chunk runs the identical serial inner loop.
-//! Because every output element is always accumulated in the same
-//! order (`k` ascending, with the same zero-skip tests), results are
-//! **bitwise identical** for any worker count — the thread pool only
-//! changes wall time, never a single bit of output.
+//! Per output element, `matmul` and `matmul_at_b` accumulate one
+//! reduction term at a time with the reduction index ascending (lanes
+//! run across *columns*, so lane width never touches the per-element
+//! order), and `matmul_a_bt` reduces a fixed [`LANE`]-way partial-sum
+//! split whose layout depends only on the reduction length. All three
+//! are therefore **bitwise identical** for any worker count — the
+//! thread pool only changes wall time, never a single bit of output.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Vector lane width (f32 elements) the kernels are written around:
+/// wide enough for one AVX2 register or two SSE2/NEON registers, and
+/// small enough that the scalar tail never dominates.
+pub const LANE: usize = 8;
+
+/// Reduction-axis unroll of the saxpy-form kernels: each pass streams
+/// `KU` rows of `B` against one resident output tile, cutting
+/// output-tile load/store traffic by `KU`x.
+const KU: usize = 4;
+
 /// Output-column tile width (f32 elements) for the blocked matmuls:
-/// one tile of the output row plus a tile of a `B` row stay resident
-/// in L1 while the kernel streams over `k`.
+/// one tile of the output row plus [`KU`] tiles of `B` rows stay
+/// resident in L1 while the kernel streams over `k`.
 const COL_TILE: usize = 128;
+
+/// Output rows per parallel chunk unit in the saxpy-form matmuls. A
+/// reduction-axis tile of `B` ([`K_TILE`]` x `[`COL_TILE`]) is swept
+/// once per row *block* instead of once per row, dividing `B` cache
+/// traffic by `ROW_BLOCK`. Chunk boundaries stay static (every
+/// `ROW_BLOCK` rows, final block short), so the thread-count
+/// invariance is untouched.
+const ROW_BLOCK: usize = 8;
+
+/// Reduction-axis tile depth: `K_TILE x COL_TILE` f32 of `B` (16 KiB)
+/// stays L1-resident while every row of the current [`ROW_BLOCK`]
+/// sweeps it. Per output element the reduction still walks `k`
+/// ascending — tile-ascending outer, `k`-ascending inner — so tiling
+/// is bitwise invisible.
+const K_TILE: usize = 32;
 
 /// Minimum FLOPs a worker must have before the kernels fan out.
 const PAR_GRAIN_FLOPS: u64 = 65_536;
+
+/// `out[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]` with the four
+/// terms added *sequentially* per element (reduction index ascending),
+/// lane-vectorized across `j` with a scalar tail. The sequential adds
+/// keep every output element's accumulation order identical to the
+/// one-term-at-a-time loop, so unrolling is bitwise invisible.
+#[inline]
+fn axpy4(out: &mut [f32], a: [f32; KU], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    // Equal-length reslices up front so the chunk iterators below are
+    // provably in lockstep and the indexing stays bounds-check-free.
+    let n = out.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let mut o_it = out.chunks_exact_mut(LANE);
+    let mut c0_it = b0.chunks_exact(LANE);
+    let mut c1_it = b1.chunks_exact(LANE);
+    let mut c2_it = b2.chunks_exact(LANE);
+    let mut c3_it = b3.chunks_exact(LANE);
+    for ((((o, c0), c1), c2), c3) in o_it
+        .by_ref()
+        .zip(c0_it.by_ref())
+        .zip(c1_it.by_ref())
+        .zip(c2_it.by_ref())
+        .zip(c3_it.by_ref())
+    {
+        let mut acc = [0.0f32; LANE];
+        acc.copy_from_slice(o);
+        for l in 0..LANE {
+            acc[l] += a[0] * c0[l];
+        }
+        for l in 0..LANE {
+            acc[l] += a[1] * c1[l];
+        }
+        for l in 0..LANE {
+            acc[l] += a[2] * c2[l];
+        }
+        for l in 0..LANE {
+            acc[l] += a[3] * c3[l];
+        }
+        o.copy_from_slice(&acc);
+    }
+    for ((((o, &v0), &v1), &v2), &v3) in o_it
+        .into_remainder()
+        .iter_mut()
+        .zip(c0_it.remainder())
+        .zip(c1_it.remainder())
+        .zip(c2_it.remainder())
+        .zip(c3_it.remainder())
+    {
+        let mut acc = *o;
+        acc += a[0] * v0;
+        acc += a[1] * v1;
+        acc += a[2] * v2;
+        acc += a[3] * v3;
+        *o = acc;
+    }
+}
+
+/// `out[j] += a * b[j]`, lane-vectorized with a scalar tail.
+#[inline]
+pub(crate) fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    let b = &b[..out.len()];
+    let mut o_it = out.chunks_exact_mut(LANE);
+    let mut b_it = b.chunks_exact(LANE);
+    for (o, c) in o_it.by_ref().zip(b_it.by_ref()) {
+        for l in 0..LANE {
+            o[l] += a * c[l];
+        }
+    }
+    for (o, &bv) in o_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+        *o += a * bv;
+    }
+}
+
+/// Dot product over a fixed [`LANE`]-way partial-sum split: lane `l`
+/// accumulates elements `l, l+LANE, l+2*LANE, ...`, the scalar tail is
+/// folded in per-lane, and the partial sums are combined left to
+/// right. The split depends only on `a.len()`, never on the thread
+/// count, so the result is a pure function of the inputs.
+#[inline]
+pub(crate) fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let b = &b[..a.len()];
+    let mut acc = [0.0f32; LANE];
+    let mut a_it = a.chunks_exact(LANE);
+    let mut b_it = b.chunks_exact(LANE);
+    for (ca, cb) in a_it.by_ref().zip(b_it.by_ref()) {
+        for l in 0..LANE {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    for (j, (&x, &y)) in a_it.remainder().iter().zip(b_it.remainder()).enumerate() {
+        acc[j] += x * y;
+    }
+    let mut sum = 0.0f32;
+    for &v in &acc {
+        sum += v;
+    }
+    sum
+}
 
 static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
 static MATMUL_FLOPS: AtomicU64 = AtomicU64::new(0);
@@ -35,7 +163,7 @@ pub struct KernelStats {
     /// Matmul-family kernel invocations.
     pub matmul_calls: u64,
     /// Multiply-add FLOPs issued by the matmul family (`2 * m * k * n`
-    /// per call, counting skipped zero terms — the classical bound).
+    /// per call — the classical bound).
     pub matmul_flops: u64,
 }
 
@@ -199,8 +327,11 @@ impl Matrix {
     }
 
     /// `self * other`, written into `out` (fully overwritten). The
-    /// allocation-free form of [`Matrix::matmul`]; row-parallel and
-    /// column-tiled, bitwise identical to the serial i-k-j kernel.
+    /// allocation-free form of [`Matrix::matmul`]; row-parallel,
+    /// column-tiled, and lane-vectorized with a `KU`-deep reduction
+    /// unroll — per element, terms are still added one at a time with
+    /// `k` ascending, so the result is bitwise identical to the naive
+    /// i-k-j loop at any thread count.
     ///
     /// # Panics
     ///
@@ -218,25 +349,39 @@ impl Matrix {
         }
         let a = &self.data;
         let b = &other.data;
-        let grain = grain_rows(2 * k_dim as u64 * n as u64);
-        gnnav_par::par_chunks(&mut out.data, n, grain, |off, out_row| {
-            let i = off / n;
-            let a_row = &a[i * k_dim..(i + 1) * k_dim];
-            // Per output element the accumulation order is k ascending
-            // with the same zero skips as the untiled loop: column
-            // tiling only reorders work *across* elements.
+        let grain = grain_rows(2 * (ROW_BLOCK * k_dim) as u64 * n as u64);
+        gnnav_par::par_chunks(&mut out.data, ROW_BLOCK * n, grain, |off, out_block| {
+            let i0 = off / n;
+            // Tiling (columns, reduction depth, row blocks) only
+            // reorders work *across* elements; within an element the
+            // k loop below stays ascending.
             let mut j0 = 0;
             while j0 < n {
                 let j1 = (j0 + COL_TILE).min(n);
-                let out_tile = &mut out_row[j0..j1];
-                for (k, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
+                let mut k0 = 0;
+                while k0 < k_dim {
+                    let k1 = (k0 + K_TILE).min(k_dim);
+                    let kb = k0 + (k1 - k0) / KU * KU;
+                    for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                        let a_row = &a[(i0 + r) * k_dim..(i0 + r + 1) * k_dim];
+                        let out_tile = &mut out_row[j0..j1];
+                        let mut k = k0;
+                        while k < kb {
+                            axpy4(
+                                out_tile,
+                                [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]],
+                                &b[k * n + j0..k * n + j1],
+                                &b[(k + 1) * n + j0..(k + 1) * n + j1],
+                                &b[(k + 2) * n + j0..(k + 2) * n + j1],
+                                &b[(k + 3) * n + j0..(k + 3) * n + j1],
+                            );
+                            k += KU;
+                        }
+                        for k in kb..k1 {
+                            axpy1(out_tile, a_row[k], &b[k * n + j0..k * n + j1]);
+                        }
                     }
-                    let b_tile = &b[k * n + j0..k * n + j1];
-                    for (o, &bv) in out_tile.iter_mut().zip(b_tile) {
-                        *o += av * bv;
-                    }
+                    k0 = k1;
                 }
                 j0 = j1;
             }
@@ -258,8 +403,10 @@ impl Matrix {
     ///
     /// Parallel over *output* rows (columns of `self`): each output
     /// row gathers down its column of `self` with `r` ascending —
-    /// exactly the per-element order (and zero skips) of the serial
-    /// scatter kernel, so results are bitwise identical.
+    /// exactly the per-element order of the serial scatter kernel, so
+    /// results are bitwise identical (and bitwise equal to
+    /// `self.transpose().matmul(other)`, whose reduction also walks
+    /// one term at a time in ascending order).
     ///
     /// # Panics
     ///
@@ -278,22 +425,41 @@ impl Matrix {
         }
         let a = &self.data;
         let b = &other.data;
-        let grain = grain_rows(2 * rows as u64 * n as u64);
-        gnnav_par::par_chunks(&mut out.data, n, grain, |off, out_row| {
-            let k = off / n;
+        let grain = grain_rows(2 * (ROW_BLOCK * rows) as u64 * n as u64);
+        gnnav_par::par_chunks(&mut out.data, ROW_BLOCK * n, grain, |off, out_block| {
+            let kk0 = off / n;
             let mut j0 = 0;
             while j0 < n {
                 let j1 = (j0 + COL_TILE).min(n);
-                let out_tile = &mut out_row[j0..j1];
-                for r in 0..rows {
-                    let av = a[r * k_dim + k];
-                    if av == 0.0 {
-                        continue;
+                let mut r0 = 0;
+                while r0 < rows {
+                    let r1 = (r0 + K_TILE).min(rows);
+                    let rb = r0 + (r1 - r0) / KU * KU;
+                    for (dk, out_row) in out_block.chunks_mut(n).enumerate() {
+                        let k = kk0 + dk;
+                        let out_tile = &mut out_row[j0..j1];
+                        let mut r = r0;
+                        while r < rb {
+                            axpy4(
+                                out_tile,
+                                [
+                                    a[r * k_dim + k],
+                                    a[(r + 1) * k_dim + k],
+                                    a[(r + 2) * k_dim + k],
+                                    a[(r + 3) * k_dim + k],
+                                ],
+                                &b[r * n + j0..r * n + j1],
+                                &b[(r + 1) * n + j0..(r + 1) * n + j1],
+                                &b[(r + 2) * n + j0..(r + 2) * n + j1],
+                                &b[(r + 3) * n + j0..(r + 3) * n + j1],
+                            );
+                            r += KU;
+                        }
+                        for r in rb..r1 {
+                            axpy1(out_tile, a[r * k_dim + k], &b[r * n + j0..r * n + j1]);
+                        }
                     }
-                    let b_tile = &b[r * n + j0..r * n + j1];
-                    for (o, &bv) in out_tile.iter_mut().zip(b_tile) {
-                        *o += av * bv;
-                    }
+                    r0 = r1;
                 }
                 j0 = j1;
             }
@@ -312,8 +478,13 @@ impl Matrix {
     }
 
     /// `self * other^T`, written into `out` (fully overwritten).
-    /// Row-parallel; each element is one dot product computed in the
-    /// serial order.
+    /// Row-parallel; each element is one `dot_lanes` dot product —
+    /// [`LANE`] independent partial sums whose split depends only on
+    /// the reduction length, combined in a fixed order. Unlike the
+    /// saxpy-form kernels this is *not* a sequential reduction, so the
+    /// result matches `self.matmul(&other.transpose())` numerically
+    /// (to rounding) but not bitwise; across thread counts it is still
+    /// bitwise identical.
     ///
     /// # Panics
     ///
@@ -330,17 +501,19 @@ impl Matrix {
         }
         let a = &self.data;
         let b = &other.data;
-        let grain = grain_rows(2 * k_dim as u64 * m as u64);
-        gnnav_par::par_chunks(&mut out.data, m, grain, |off, out_row| {
-            let i = off / m;
-            let a_row = &a[i * k_dim..(i + 1) * k_dim];
-            for (j, o) in out_row.iter_mut().enumerate() {
+        let grain = grain_rows(2 * (ROW_BLOCK * k_dim) as u64 * m as u64);
+        gnnav_par::par_chunks(&mut out.data, ROW_BLOCK * m, grain, |off, out_block| {
+            let i0 = off / m;
+            // `j` outer so one `B` row is reused by the whole row
+            // block while it is still cache-resident. Every element
+            // is an independent dot product, so the walk order is
+            // free.
+            for j in 0..m {
                 let b_row = &b[j * k_dim..(j + 1) * k_dim];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+                for (r, out_row) in out_block.chunks_mut(m).enumerate() {
+                    let a_row = &a[(i0 + r) * k_dim..(i0 + r + 1) * k_dim];
+                    out_row[j] = dot_lanes(a_row, b_row);
                 }
-                *o = acc;
             }
         });
     }
@@ -484,9 +657,15 @@ mod tests {
 
     #[test]
     fn a_bt_matches_explicit_transpose() {
+        // matmul_a_bt reduces over LANE-way partial sums, so it agrees
+        // with the sequential-reduction matmul to rounding, not bits.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]);
-        assert_eq!(a.matmul_a_bt(&b), a.matmul(&b.transpose()));
+        let got = a.matmul_a_bt(&b);
+        let expect = a.matmul(&b.transpose());
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -570,6 +749,83 @@ mod tests {
                 }
                 assert_eq!(c.get(i, j), acc, "mismatch at ({i},{j})");
             }
+        }
+    }
+
+    /// Naive triple-loop reference with the same per-element
+    /// reduction order as the saxpy-form kernels.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.get(i, k);
+                for j in 0..b.cols() {
+                    out.set(i, j, out.get(i, j) + av * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lane_kernels_match_naive_bitwise_across_shapes() {
+        // Shapes straddling every lane/unroll boundary: k and n below,
+        // at, and above LANE and KU, including scalar-tail-only cases.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (3, super::KU, super::LANE),
+            (2, super::KU + 1, super::LANE - 1),
+            (2, 2 * super::KU + 3, super::LANE + 3),
+            (5, 17, 2 * super::LANE + 7),
+            (2, 3, super::COL_TILE + 9),
+        ] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i as f32) * 0.37 - 1.1).collect());
+            let b = Matrix::from_vec(
+                k,
+                n,
+                (0..k * n).map(|i| ((i % 23) as f32) * 0.21 - 2.0).collect(),
+            );
+            let got = a.matmul(&b);
+            let expect = naive_matmul(&a, &b);
+            for (i, (x, y)) in got.as_slice().iter().zip(expect.as_slice()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m}x{k}x{n}) element {i}: {x} vs {y}");
+            }
+            // at_b keeps the same sequential reduction order.
+            let atb = a.matmul_at_b(&got);
+            let atb_expect = naive_matmul(&a.transpose(), &got);
+            for (x, y) in atb.as_slice().iter().zip(atb_expect.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "at_b ({m}x{k}x{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_do_not_panic() {
+        // Zero rows / zero cols / zero reduction dims on all variants.
+        for &(m, k, n) in &[(0usize, 3usize, 4usize), (3, 0, 4), (3, 4, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            let c = a.matmul(&b);
+            assert_eq!((c.rows(), c.cols()), (m, n));
+            assert!(c.as_slice().iter().all(|&x| x == 0.0));
+            let atb = a.matmul_at_b(&Matrix::zeros(m, n));
+            assert_eq!((atb.rows(), atb.cols()), (k, n));
+            let abt = a.matmul_a_bt(&Matrix::zeros(n, k));
+            assert_eq!((abt.rows(), abt.cols()), (m, n));
+            assert!(abt.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn dot_lanes_handles_short_and_tail_lengths() {
+        for len in [0usize, 1, 3, super::LANE - 1, super::LANE, super::LANE + 1, 37] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.5 - 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i * 7 % 5) as f32) - 2.0).collect();
+            let expect: f64 =
+                a.iter().zip(&b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum::<f64>();
+            let got = super::dot_lanes(&a, &b);
+            assert!((f64::from(got) - expect).abs() < 1e-4, "len {len}: {got} vs {expect}");
         }
     }
 

@@ -13,13 +13,20 @@
 //! threads (the limit overrides the hardware budget), so this suite is
 //! meaningful even on single-core CI runners.
 
+use gnnav_graph::generators::barabasi_albert;
 use gnnav_graph::{Graph, GraphBuilder};
-use gnnav_nn::layers::{gcn_aggregate, mean_aggregate, mean_aggregate_backward};
+use gnnav_nn::layers::{gcn_aggregate, mean_aggregate, mean_aggregate_backward, GatLayer, Layer};
+use gnnav_nn::scratch::ScratchArena;
 use gnnav_nn::tensor::Matrix;
 use gnnav_nn::{Adam, GnnModel, ModelKind};
 use proptest::prelude::*;
 
 const WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// All widths including the serial reference — the degree-bucketed
+/// tests sweep 1/2/4/8 explicitly so width 1 also runs through the
+/// weighted-task scheduler (single-run path) rather than being assumed.
+const ALL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 fn assert_bits_eq(label: &str, a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.rows(), b.rows(), "{} rows", label);
@@ -57,6 +64,89 @@ fn build_graph(n: usize, edges: &[(usize, usize)]) -> Graph {
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-4.0f32..4.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// A skewed power-law graph whose degree sequence actually exercises
+/// the bucketed schedule: Barabási–Albert preferential attachment plus
+/// a star overlay on node 0 guarantees at least one hub row above the
+/// heavy-degree threshold while the leaf tail batches into light
+/// groups.
+fn skewed_graph(n: usize, seed: u64) -> Graph {
+    let ba = barabasi_albert(n, 3, seed).expect("gen");
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in ba.edges() {
+        b.add_edge(u, v);
+    }
+    for v in 1..(n as u32).min(100) {
+        b.add_edge(0, v);
+    }
+    b.symmetrize().build().expect("build")
+}
+
+#[test]
+fn bucketed_aggregations_identical_across_widths() {
+    // Wide feature dimension (128 >= 2 * FEAT_TILE) so hub rows split
+    // into column tiles — the full degree-aware schedule, not just the
+    // light-group path.
+    let g = skewed_graph(300, 5);
+    let sched = g.agg_schedule();
+    assert!(sched.fwd.heavy_groups > 0, "graph must produce heavy groups");
+    assert!(sched.fwd.groups.len() > sched.fwd.heavy_groups, "and light groups");
+    for d in [1usize, 3, 128] {
+        let x = gnnav_nn::init::glorot_uniform(300, d, 6);
+        let reference = gnnav_par::with_thread_limit(1, || {
+            (gcn_aggregate(&g, &x), mean_aggregate(&g, &x), mean_aggregate_backward(&g, &x))
+        });
+        for w in ALL_WIDTHS {
+            let (gc, me, mb) = gnnav_par::with_thread_limit(w, || {
+                (gcn_aggregate(&g, &x), mean_aggregate(&g, &x), mean_aggregate_backward(&g, &x))
+            });
+            let check = |label: &str, a: &Matrix, b: &Matrix| {
+                for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{label} d={d} width={w}: element {i} differs: {x:?} vs {y:?}"
+                    );
+                }
+            };
+            check("gcn_aggregate", &reference.0, &gc);
+            check("mean_aggregate", &reference.1, &me);
+            check("mean_aggregate_backward", &reference.2, &mb);
+        }
+    }
+}
+
+#[test]
+fn bucketed_gat_identical_across_widths() {
+    // GAT exercises every scheduled code path at once: the span-carved
+    // softmax pass, the column-tiled output pass (out_dim 128), and
+    // the transpose-grouped backward gather.
+    let g = skewed_graph(200, 9);
+    assert!(g.agg_schedule().fwd.heavy_groups > 0);
+    let x = gnnav_nn::init::glorot_uniform(200, 8, 10);
+    let r = gnnav_nn::init::glorot_uniform(200, 128, 11);
+    let run = |w: usize| {
+        gnnav_par::with_thread_limit(w, || {
+            let mut layer = GatLayer::new(8, 128, 12);
+            let mut scratch = ScratchArena::new();
+            let out = layer.forward(&g, &x, &mut scratch);
+            layer.zero_grad();
+            let gx = layer.backward(&g, &r, &mut scratch);
+            (out, gx)
+        })
+    };
+    let reference = run(1);
+    for w in ALL_WIDTHS {
+        let (out, gx) = run(w);
+        for (label, a, b) in [("forward", &reference.0, &out), ("backward", &reference.1, &gx)] {
+            for (i, (p, q)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                assert!(
+                    p.to_bits() == q.to_bits(),
+                    "gat {label} width={w}: element {i} differs: {p:?} vs {q:?}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

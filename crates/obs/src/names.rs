@@ -195,6 +195,13 @@ pub const NN_MATMUL_FLOPS: &str = "nn.matmul.flops";
 /// Matmul throughput of the last run in GFLOP per wall second (gauge;
 /// the `wall` suffix keeps it out of deterministic baselines).
 pub const NN_MATMUL_GFLOPS: &str = "nn.matmul_gflops_wall";
+/// The committed single-thread matmul throughput floor in GFLOP/s
+/// (counter, recorded as a whole number). Deliberately *not* a wall
+/// series: baking the floor into `BENCH_nn.json` lets
+/// `gnnavigate metrics-diff` flag any PR that silently lowers the
+/// kernel performance bar, while the measured-vs-floor assertion
+/// itself runs in the `gflops_sweep` bench binary.
+pub const NN_MATMUL_GFLOPS_FLOOR: &str = "nn.matmul_gflops_floor";
 /// Chunks dispatched by the gnnav-par pool inside nn kernels.
 pub const NN_KERNEL_PAR_TASKS: &str = "nn.kernel.par_tasks";
 /// Parallel regions entered by the gnnav-par pool inside nn kernels.

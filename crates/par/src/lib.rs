@@ -327,6 +327,96 @@ where
     .expect("pool worker panicked");
 }
 
+/// Runs `f` over every `(weight, task)` pair, in contiguous ascending
+/// runs of roughly equal *total weight* distributed across the worker
+/// budget. Weighted scheduling is what the degree-bucketed aggregation
+/// schedules need: groups carry wildly uneven work (a hub row vs. a
+/// batch of leaves), so splitting by task *count* would leave one
+/// worker holding all the heavy groups.
+///
+/// Each task executes exactly once, serially, inside one worker — only
+/// the run boundaries (never the task contents or any per-task
+/// iteration order) depend on the worker budget, so kernels built on
+/// this keep their bitwise thread-count invariance.
+///
+/// `grain_weight` is the minimum total weight per worker before an
+/// extra worker is worth spawning. Zero-weight tasks are legal and run
+/// with whichever run they land in.
+pub fn par_for_weighted_tasks<T, F>(tasks: Vec<(u64, T)>, grain_weight: u64, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if tasks.is_empty() {
+        return;
+    }
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    let total: u64 = tasks.iter().map(|(w, _)| *w).sum();
+    let budget = {
+        let by_weight = (total / grain_weight.max(1)).max(1);
+        let by_weight = usize::try_from(by_weight).unwrap_or(usize::MAX);
+        plan_width(tasks.len(), 1).min(by_weight)
+    };
+    if budget <= 1 {
+        TASKS.fetch_add(1, Ordering::Relaxed);
+        for (_, task) in tasks {
+            f(task);
+        }
+        return;
+    }
+
+    // Greedy contiguous carve: each run takes tasks until it reaches
+    // its share of the remaining weight, so a single oversized task
+    // simply becomes a run of its own.
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(budget);
+    let mut run: Vec<T> = Vec::new();
+    let mut run_weight = 0u64;
+    let mut remaining = total;
+    for (w, task) in tasks {
+        let workers_left = budget - runs.len();
+        let target = remaining.div_ceil(workers_left as u64);
+        if !run.is_empty() && run_weight + w > target && workers_left > 1 {
+            runs.push(std::mem::take(&mut run));
+            run_weight = 0;
+        }
+        remaining = remaining.saturating_sub(w);
+        run_weight += w;
+        run.push(task);
+    }
+    if !run.is_empty() {
+        runs.push(run);
+    }
+    let width = runs.len();
+    TASKS.fetch_add(width as u64, Ordering::Relaxed);
+    if width <= 1 {
+        let _worker = ();
+        for task in runs.remove(0) {
+            f(task);
+        }
+        return;
+    }
+    HELPERS_SPAWNED.fetch_add(width as u64 - 1, Ordering::Relaxed);
+
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let mut runs = runs.into_iter();
+        let first = runs.next().expect("width >= 1");
+        for run in runs {
+            s.spawn(move |_| {
+                let _worker = WorkerFlagGuard::set();
+                for task in run {
+                    f(task);
+                }
+            });
+        }
+        let _worker = WorkerFlagGuard::set();
+        for task in first {
+            f(task);
+        }
+    })
+    .expect("pool worker panicked");
+}
+
 /// Maps `f(index, &item)` over `items` in parallel, returning results
 /// in input order. Like every helper here, the output is independent
 /// of the worker count.
@@ -460,6 +550,61 @@ mod tests {
         let mut seen: Vec<usize> = rx.into_iter().collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_tasks_run_each_exactly_once() {
+        let _guard = serialize();
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Skewed weights: one hub task dominating a tail of leaves.
+        let tasks: Vec<(u64, usize)> =
+            (0..53).map(|i| (if i == 0 { 10_000 } else { 3 }, i)).collect();
+        with_thread_limit(4, || {
+            par_for_weighted_tasks(tasks, 1, |t| tx.send(t).expect("send"));
+        });
+        drop(tx);
+        let mut seen: Vec<usize> = rx.into_iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..53).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_tasks_degenerate_inputs() {
+        let _guard = serialize();
+        // Empty task list, zero weights, fewer tasks than workers:
+        // none of these may panic or drop a task.
+        with_thread_limit(8, || {
+            par_for_weighted_tasks(Vec::<(u64, usize)>::new(), 1, |_| unreachable!());
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        with_thread_limit(8, || {
+            par_for_weighted_tasks(vec![(0u64, 1usize), (0, 2)], 1, |t| {
+                tx.send(t).expect("send");
+            });
+        });
+        drop(tx);
+        let mut seen: Vec<usize> = rx.into_iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+        let hit = std::sync::atomic::AtomicUsize::new(0);
+        with_thread_limit(8, || {
+            par_for_weighted_tasks(vec![(7u64, ())], 1, |()| {
+                hit.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn weighted_tasks_below_grain_stay_serial() {
+        let _guard = serialize();
+        let before = stats();
+        with_thread_limit(8, || {
+            par_for_weighted_tasks(vec![(1u64, 0usize), (1, 1), (1, 2)], 1_000, |_| {});
+        });
+        let after = stats();
+        assert_eq!(after.helpers_spawned, before.helpers_spawned);
+        assert_eq!(after.tasks - before.tasks, 1);
     }
 
     #[test]

@@ -54,6 +54,59 @@ fn backend_execution_identical_across_thread_counts() {
 }
 
 #[test]
+fn bucketed_training_identical_across_thread_counts() {
+    // End-to-end training determinism on a graph skewed enough that
+    // the degree-aware schedule actually engages: Barabási–Albert
+    // preferential attachment plus a star overlay yields hub rows
+    // above the heavy threshold (single-row schedule groups, column
+    // tiling) next to a leaf tail (batched light groups). Three full
+    // train steps per model family — a single divergent bit in any
+    // kernel would compound into the losses and final logits.
+    use gnnavigator::graph::GraphBuilder;
+    use gnnavigator::nn::{train::train_step, Adam, GnnModel};
+
+    let ba = gnnavigator::graph::generators::barabasi_albert(250, 3, 17).expect("gen");
+    let mut b = GraphBuilder::new(250);
+    for (u, v) in ba.edges() {
+        b.add_edge(u, v);
+    }
+    for v in 1..120u32 {
+        b.add_edge(0, v);
+    }
+    let g = b.symmetrize().build().expect("build");
+    let sched = g.agg_schedule();
+    assert!(sched.fwd.heavy_groups > 0, "schedule must contain heavy groups");
+    assert!(sched.bwd.heavy_groups > 0, "transpose schedule must contain heavy groups");
+
+    let x = gnnavigator::nn::init::glorot_uniform(250, 12, 18);
+    let labels: Vec<u16> = (0..250u16).map(|v| v % 4).collect();
+    let targets: Vec<u32> = (0..250u32).collect();
+    for kind in ModelKind::ALL {
+        let run = |threads: usize| {
+            gnnav_par::with_thread_limit(threads, || {
+                let mut m = GnnModel::new(kind, 12, 16, 4, 2, 19);
+                let mut opt = Adam::new(0.01);
+                let losses: Vec<f32> = (0..3)
+                    .map(|_| train_step(&mut m, &mut opt, &g, &x, &labels, &targets))
+                    .collect();
+                m.set_train_mode(false);
+                (losses, m.forward(&g, &x))
+            })
+        };
+        let (serial_losses, serial_logits) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (losses, logits) = run(threads);
+            for (i, (a, b)) in serial_losses.iter().zip(&losses).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} loss {i} at {threads} threads");
+            }
+            for (i, (a, b)) in serial_logits.as_slice().iter().zip(logits.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} logit {i} at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
 fn guideline_generation_is_reproducible() {
     let make = || {
         let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
