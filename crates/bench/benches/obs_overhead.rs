@@ -80,10 +80,31 @@ fn bench_registry_enabled_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_alloc_tracking(c: &mut Criterion) {
+    // The counting global allocator wraps every workspace allocation,
+    // so its passthrough (tracking off: one relaxed load) and
+    // tracking (four atomic RMWs per alloc/free pair) costs bound
+    // what `Registry::enable` adds to *all* code, not just
+    // instrumented sites. The workload is one Vec round trip — the
+    // hot-path shape the steady-state gate cares about.
+    let mut group = c.benchmark_group("obs_alloc_tracking");
+    group.bench_function("passthrough_alloc_free", |b| {
+        gnnav_obs::alloc::set_tracking(false);
+        b.iter(|| drop(black_box(Vec::<u8>::with_capacity(black_box(256)))));
+    });
+    group.bench_function("tracking_alloc_free", |b| {
+        gnnav_obs::alloc::set_tracking(true);
+        b.iter(|| drop(black_box(Vec::<u8>::with_capacity(black_box(256)))));
+        gnnav_obs::alloc::set_tracking(false);
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_execute_disabled_vs_enabled,
     bench_registry_primitives,
-    bench_registry_enabled_paths
+    bench_registry_enabled_paths,
+    bench_alloc_tracking
 );
 criterion_main!(benches);

@@ -34,8 +34,10 @@ const SEED: u64 = 0x7A51;
 /// Counters that must stay at zero on a clean (fault-free) run; a
 /// non-zero value means recovery machinery fired where none should
 /// have, which would silently shift every other series in the
-/// baseline.
-const PINNED_ZERO: [&str; 9] = [
+/// baseline. `alloc.steady_state_allocs_per_epoch` rides along: the
+/// training hot path's zero-allocation steady state is a gated
+/// invariant, not just a claim.
+const PINNED_ZERO: [&str; 10] = [
     metric::FAULTS_INJECTED,
     metric::BACKEND_RETRIES,
     metric::BACKEND_DEGRADATIONS,
@@ -45,12 +47,13 @@ const PINNED_ZERO: [&str; 9] = [
     metric::PROFILER_TIMEOUTS,
     metric::EXPLORER_FALLBACKS,
     metric::EXPLORER_NONFINITE,
+    metric::ALLOC_STEADY_PER_EPOCH,
 ];
 
 fn assert_clean(name: &str, snapshot: &Snapshot) {
     for key in PINNED_ZERO {
         let v = snapshot.counters.get(key).copied().unwrap_or(0);
-        assert_eq!(v, 0, "{name}: fault/recovery counter {key} = {v} on a clean run");
+        assert_eq!(v, 0, "{name}: zero-pinned counter {key} = {v} on a clean run");
     }
 }
 
@@ -59,6 +62,10 @@ fn deterministic(snapshot: Snapshot) -> Snapshot {
         !["wall", "latency", "per_s", "utilization"].iter().any(|frag| name.contains(frag))
     });
     kept.histograms.clear();
+    // Whole-run allocator gauges track every Vec the process grows —
+    // too incidental to gate (any refactor shifts them). The gated
+    // allocation series is the steady-state counter pinned above.
+    kept.gauges.retain(|name, _| !name.starts_with("alloc."));
     kept
 }
 

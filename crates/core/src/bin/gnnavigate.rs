@@ -16,6 +16,7 @@ use gnnavigator::graph::{Dataset, DatasetId};
 use gnnavigator::hwsim::Platform;
 use gnnavigator::nn::ModelKind;
 use gnnavigator::obs::diff::diff_snapshots;
+use gnnavigator::obs::tree::Clock;
 use gnnavigator::obs::Snapshot;
 use gnnavigator::{Navigator, NavigatorOptions, Priority, RuntimeConstraints, Template};
 use std::process::ExitCode;
@@ -26,6 +27,7 @@ gnnavigate — adaptive GNN training guideline exploration
 USAGE:
     gnnavigate [OPTIONS]
     gnnavigate metrics-diff <BASELINE.json> <CURRENT.json> [--threshold <PCT>]
+    gnnavigate trace-diff <BASELINE.json> <CURRENT.json> [--threshold <PCT>]
 
 OPTIONS:
     --dataset <AR|PR|RD|RD2>       dataset stand-in        [default: RD2]
@@ -50,6 +52,11 @@ OPTIONS:
     --metrics-out <PATH>           write a metrics snapshot as JSON
     --trace-out <PATH>             write the event journal as Chrome trace JSON
                                    (open in Perfetto / chrome://tracing)
+    --trace-summary                print span-tree rollups, the critical path,
+                                   and the per-epoch phase-attribution table
+    --flame-out <PATH>             write folded stacks for flamegraph.pl /
+                                   inferno (one `track;span… weight` per line)
+    --flame-weight <sim|wall>      folded-stack weighting    [default: sim]
     --audit-out <PATH>             write the explorer decision audit as JSON
     --verbose                      print the metrics table and phase breakdown
     -h, --help                     print this help
@@ -59,6 +66,13 @@ METRICS-DIFF:
     regression table sorted by relative change. Exits 1 when any gated
     series (counters; non-wall gauges) moved more than the threshold
     [default: 10] percent.
+
+TRACE-DIFF:
+    Aligns two Chrome traces (written by --trace-out) span-path by
+    span-path on the sim clock and prints a regression table. Exits 1
+    when any path's inclusive sim time grew more than the threshold
+    [default: 10] percent, and 2 — refusing to gate — when either
+    journal was truncated by ring eviction.
 ";
 
 #[derive(Debug)]
@@ -78,6 +92,9 @@ struct Args {
     drift_threshold: Option<f64>,
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
+    trace_summary: bool,
+    flame_out: Option<std::path::PathBuf>,
+    flame_weight: Clock,
     audit_out: Option<std::path::PathBuf>,
     verbose: bool,
 }
@@ -99,6 +116,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         drift_threshold: None,
         metrics_out: None,
         trace_out: None,
+        trace_summary: false,
+        flame_out: None,
+        flame_weight: Clock::Sim,
         audit_out: None,
         verbose: false,
     };
@@ -199,6 +219,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--trace-out" => {
                 args.trace_out = Some(value("--trace-out")?.into());
             }
+            "--trace-summary" => args.trace_summary = true,
+            "--flame-out" => {
+                args.flame_out = Some(value("--flame-out")?.into());
+            }
+            "--flame-weight" => {
+                args.flame_weight = match value("--flame-weight")?.to_lowercase().as_str() {
+                    "sim" => Clock::Sim,
+                    "wall" => Clock::Wall,
+                    other => return Err(format!("unknown --flame-weight `{other}`")),
+                };
+            }
             "--audit-out" => {
                 args.audit_out = Some(value("--audit-out")?.into());
             }
@@ -217,6 +248,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("metrics-diff") {
         return match run_metrics_diff(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("trace-diff") {
+        return match run_trace_diff(&argv[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -277,16 +317,63 @@ fn run_metrics_diff(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Err
     Ok(if report.has_breach() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
+/// `gnnavigate trace-diff <baseline.json> <current.json> [--threshold pct]`:
+/// the CI trace gate. Exit 0 clean, 1 on a gated sim-time regression,
+/// 2 (refusing to gate) when either journal was truncated.
+fn run_trace_diff(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 10.0_f64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("missing value for --threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown trace-diff flag `{flag}`").into());
+            }
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return Err("trace-diff expects exactly two trace paths (try --help)".into());
+    };
+    let load =
+        |path: &str| -> Result<gnnavigator::obs::JournalSnapshot, Box<dyn std::error::Error>> {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            gnnavigator::obs::tree::import_chrome_trace(&text)
+                .map_err(|e| format!("{path}: invalid trace: {e}").into())
+        };
+    let report = gnnavigator::obs::tracediff::diff_traces(
+        &load(baseline_path)?,
+        &load(current_path)?,
+        threshold,
+    );
+    print!("{}", report.to_table());
+    Ok(if report.truncated() {
+        ExitCode::from(2)
+    } else if report.has_breach() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let metrics = gnnavigator::obs::global();
-    if args.metrics_out.is_some()
-        || args.trace_out.is_some()
-        || args.audit_out.is_some()
-        || args.verbose
-    {
+    let tracing = args.trace_out.is_some() || args.trace_summary || args.flame_out.is_some();
+    if args.metrics_out.is_some() || args.audit_out.is_some() || args.verbose || tracing {
         metrics.enable(true);
     }
-    if args.trace_out.is_some() {
+    if tracing {
         metrics.journal().enable(true);
     }
     let dataset = Dataset::load_scaled(args.dataset, args.scale)?;
@@ -427,9 +514,36 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, metrics.snapshot().to_json())?;
         eprintln!("metrics written to {}", path.display());
     }
-    if let Some(path) = &args.trace_out {
-        std::fs::write(path, metrics.journal().snapshot().to_chrome_trace())?;
-        eprintln!("chrome trace written to {} (open in https://ui.perfetto.dev)", path.display());
+    if tracing {
+        let journal = metrics.journal().snapshot();
+        if journal.dropped > 0 {
+            eprintln!(
+                "warning: journal ring dropped {} event(s); the exported trace is \
+                 truncated and trace-diff will refuse to gate on it",
+                journal.dropped
+            );
+        }
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, journal.to_chrome_trace())?;
+            eprintln!(
+                "chrome trace written to {} (open in https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        if let Some(path) = &args.flame_out {
+            std::fs::write(
+                path,
+                gnnavigator::obs::flame::folded_stacks(&journal, args.flame_weight),
+            )?;
+            eprintln!(
+                "folded stacks ({}-weighted) written to {}",
+                args.flame_weight.label(),
+                path.display()
+            );
+        }
+        if args.trace_summary {
+            println!("\n{}", gnnavigator::obs::critical::render_summary(&journal, 10));
+        }
     }
     if let Some(path) = &args.audit_out {
         let mut audit = result.audit.clone();

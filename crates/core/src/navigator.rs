@@ -56,6 +56,10 @@ impl Default for NavigatorOptions {
                 epochs: 1,
                 train: true,
                 train_batches_cap: Some(4),
+                // Probe sweeps run dozens of configs; keeping them out
+                // of the journal leaves the trace with exactly one
+                // backend timeline — the navigated execution.
+                journal: false,
                 ..Default::default()
             },
             apply_exec: ExecutionOptions::default(),
@@ -252,7 +256,10 @@ impl Navigator {
     /// Propagates backend failures.
     pub fn run_template(&self, template: Template) -> Result<ExecutionReport, NavigatorError> {
         let config = template.config(self.model);
-        Ok(self.backend.execute(&self.dataset, &config, &self.options.apply_exec)?)
+        // Comparison rows never journal: the exported trace describes
+        // the navigated execution, not the baselines raced against it.
+        let opts = ExecutionOptions { journal: false, ..self.options.apply_exec.clone() };
+        Ok(self.backend.execute(&self.dataset, &config, &opts)?)
     }
 
     /// Runs an arbitrary configuration under the apply options.

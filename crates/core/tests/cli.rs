@@ -297,6 +297,9 @@ fn sample_args(flag: &str) -> Option<Vec<&'static str>> {
         "--drift-threshold" => vec!["0.5"],
         "--metrics-out" => vec!["metrics.json"],
         "--trace-out" => vec!["trace.json"],
+        "--trace-summary" => vec![],
+        "--flame-out" => vec!["flame.txt"],
+        "--flame-weight" => vec!["sim"],
         "--audit-out" => vec!["audit.json"],
         "--verbose" => vec![],
         "--help" => vec![],

@@ -1,0 +1,194 @@
+//! End-to-end tests for the trace-analytics CLI surface:
+//! `--trace-summary`, `--flame-out`, and the `trace-diff` gate.
+//!
+//! Determinism contract: with the same `(seed, plan, GNNAV_THREADS)`
+//! two runs produce byte-identical folded stacks and `--trace-summary`
+//! tables, and `trace-diff` between their traces reports zero deltas.
+//! Sensitivity contract: a committed LinkDegrade fault plan inflates
+//! exactly the transfer phase, and `trace-diff` attributes the breach
+//! to `phase.transfer;transfer` with a non-zero exit.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn gnnavigate() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_gnnavigate"));
+    // Pin the worker pool: the determinism contract is per thread
+    // count, and the sim clock is what the gates compare.
+    c.env("GNNAV_THREADS", "1");
+    c
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnnav-trace-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+/// One small full-pipeline run writing a trace and folded stacks;
+/// returns (stdout, stderr).
+fn pipeline_run(trace: &Path, flame: &Path, extra: &[&str]) -> (String, String) {
+    let out = gnnavigate()
+        .args(["--dataset", "RD2", "--scale", "0.01", "--seed", "7"])
+        .args(["--profile-samples", "8", "--explore-budget", "100", "--epochs", "2"])
+        .arg("--trace-out")
+        .arg(trace)
+        .arg("--flame-out")
+        .arg(flame)
+        .arg("--trace-summary")
+        .args(extra)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// The `--trace-summary` block of a run's stdout (everything from the
+/// header on: sim-clock tables only, no wall timings).
+fn summary_section(stdout: &str) -> &str {
+    let start = stdout.find("trace-summary (sim clock)").expect("summary header");
+    &stdout[start..]
+}
+
+#[test]
+fn identical_runs_are_byte_identical_and_self_diff_clean() {
+    let dir = tmpdir("determinism");
+    let (t1, f1) = (dir.join("t1.json"), dir.join("f1.txt"));
+    let (t2, f2) = (dir.join("t2.json"), dir.join("f2.txt"));
+    let (stdout1, _) = pipeline_run(&t1, &f1, &[]);
+    let (stdout2, _) = pipeline_run(&t2, &f2, &[]);
+
+    // Folded stacks: byte-identical across runs, well-formed lines.
+    let flame1 = std::fs::read_to_string(&f1).expect("flame written");
+    let flame2 = std::fs::read_to_string(&f2).expect("flame written");
+    assert_eq!(flame1, flame2, "folded stacks must be byte-identical across identical runs");
+    assert!(!flame1.is_empty());
+    for line in flame1.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("`path weight` format");
+        assert!(!path.is_empty(), "{line}");
+        assert!(weight.parse::<u64>().is_ok(), "non-integer weight in {line}");
+    }
+    assert!(
+        flame1.lines().any(|l| l.starts_with("phase.transfer;transfer ")),
+        "transfer phase missing from folded stacks:\n{flame1}"
+    );
+
+    // The printed sim-time summary is identical too.
+    assert_eq!(summary_section(&stdout1), summary_section(&stdout2));
+    assert!(stdout1.contains("critical path"), "{stdout1}");
+    assert!(stdout1.contains("per-epoch phase attribution"), "{stdout1}");
+
+    // Self-diff: zero deltas, exit 0.
+    let out = gnnavigate().arg("trace-diff").args([&t1, &t2]).output().expect("spawn");
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(table.contains("0 breach(es)"), "{table}");
+    assert!(!table.contains("BREACH"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn link_degrade_breach_is_attributed_to_transfer_phase() {
+    let dir = tmpdir("sensitivity");
+    let (clean_t, clean_f) = (dir.join("clean.json"), dir.join("clean-flame.txt"));
+    let (slow_t, slow_f) = (dir.join("degraded.json"), dir.join("degraded-flame.txt"));
+    let plan = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/link_degrade_plan.json");
+    pipeline_run(&clean_t, &clean_f, &[]);
+    pipeline_run(&slow_t, &slow_f, &["--fault-plan", plan]);
+
+    let out = gnnavigate()
+        .arg("trace-diff")
+        .args([&clean_t, &slow_t])
+        .args(["--threshold", "20"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "gated regression must exit 1");
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    // Rows sort worst-first, so the top breach names the degraded
+    // phase. The enclosing `backend;epoch` span may legitimately
+    // breach too (transfer time is part of epoch time), but no
+    // sibling phase may.
+    let breaches: Vec<&str> =
+        table.lines().filter(|l| l.starts_with("BREACH") && l.contains(';')).collect();
+    assert!(!breaches.is_empty(), "{table}");
+    assert!(
+        breaches[0].ends_with("phase.transfer;transfer"),
+        "worst breach is not the degraded phase:\n{table}"
+    );
+    assert!(
+        breaches
+            .iter()
+            .all(|l| { l.ends_with("phase.transfer;transfer") || l.ends_with("backend;epoch") }),
+        "breach attributed to an untouched phase:\n{table}"
+    );
+    // The untouched phases stay clean.
+    for phase in ["phase.sample;sample", "phase.compute;compute"] {
+        let row = table.lines().find(|l| l.ends_with(phase)).expect("phase row");
+        assert!(row.starts_with("ok"), "{row}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_diff_refuses_to_gate_truncated_traces() {
+    let dir = tmpdir("truncated");
+    let (t, f) = (dir.join("t.json"), dir.join("f.txt"));
+    pipeline_run(&t, &f, &[]);
+    let trace = std::fs::read_to_string(&t).expect("trace");
+    assert!(trace.contains("\"droppedEvents\": 0"), "{trace}");
+    let truncated = dir.join("truncated.json");
+    std::fs::write(&truncated, trace.replace("\"droppedEvents\": 0", "\"droppedEvents\": 3"))
+        .expect("write truncated");
+
+    let out = gnnavigate().arg("trace-diff").args([&t, &truncated]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "truncated input must exit 2, not gate");
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(table.contains("refusing to gate"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_diff_rejects_bad_invocations() {
+    let out = gnnavigate().args(["trace-diff", "only-one.json"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two"));
+
+    let out = gnnavigate()
+        .args(["trace-diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/a.json"));
+
+    let out = gnnavigate().args(["trace-diff", "--bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown trace-diff flag"));
+}
+
+#[test]
+fn flame_weight_wall_differs_from_sim() {
+    let dir = tmpdir("flame-weight");
+    let (t, f_sim) = (dir.join("t.json"), dir.join("sim.txt"));
+    pipeline_run(&t, &f_sim, &[]);
+    let f_wall = dir.join("wall.txt");
+    pipeline_run(&dir.join("t2.json"), &f_wall, &["--flame-weight", "wall"]);
+    let sim = std::fs::read_to_string(&f_sim).expect("sim flame");
+    let wall = std::fs::read_to_string(&f_wall).expect("wall flame");
+    // Wall weighting includes wall-only spans (profiler workers…)
+    // that the sim-weighted view excludes, and vice versa: the
+    // simulated phase spans carry no wall duration.
+    assert!(
+        wall.lines().any(|l| l.starts_with("profiler.worker-")),
+        "profiler workers missing from wall view:\n{wall}"
+    );
+    assert!(!sim.lines().any(|l| l.starts_with("profiler.worker-")), "{sim}");
+    assert!(
+        sim.lines().any(|l| l.starts_with("phase.")),
+        "simulated phases missing from sim view:\n{sim}"
+    );
+    assert!(!wall.lines().any(|l| l.starts_with("phase.")), "{wall}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -130,6 +130,10 @@ pub trait Layer: std::fmt::Debug + Send {
     fn backward(&mut self, g: &Graph, grad_out: &Matrix, scratch: &mut ScratchArena) -> Matrix;
     /// Parameters in a stable order.
     fn params_mut(&mut self) -> Vec<ParamRef<'_>>;
+    /// Streams the parameters to `f` in the same stable order as
+    /// [`Layer::params_mut`], without allocating a `Vec` — the
+    /// training hot path drives the optimizer through this form.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(ParamRef<'_>));
     /// Total scalar parameter count (`|Φ|` contribution).
     fn param_count(&self) -> usize;
     /// Clears all parameter gradients.
@@ -174,16 +178,16 @@ struct AggTask<'a> {
 
 /// Carves the row-major `n x d` output `out` into one [`AggTask`] per
 /// schedule group (heavy groups additionally split into [`FEAT_TILE`]
-/// column tiles when `d` is wide), weighted for
-/// [`gnnav_par::par_for_weighted_tasks`]. Group boundaries come from
-/// the graph's cached degree schedule, so tasks are a pure function of
-/// the graph and `d` — never of the thread count.
+/// column tiles when `d` is wide), streamed to `emit` weighted for
+/// [`gnnav_par::par_for_weighted_tasks_lazy`]. Group boundaries come
+/// from the graph's cached degree schedule, so tasks are a pure
+/// function of the graph and `d` — never of the thread count.
 fn schedule_tasks<'a>(
     groups: &[AggGroup],
     d: usize,
     out: &'a mut [f32],
-) -> Vec<(u64, AggTask<'a>)> {
-    let mut tasks = Vec::with_capacity(groups.len());
+    emit: &mut dyn FnMut(u64, AggTask<'a>),
+) {
     let mut rest = out;
     for grp in groups {
         let (win, tail) = rest.split_at_mut(grp.len() * d);
@@ -196,22 +200,21 @@ fn schedule_tasks<'a>(
                 let (tile, row_tail) = row.split_at_mut(j1 - j0);
                 row = row_tail;
                 let task = AggTask { v0: grp.start as usize, j0, j1, dst: tile };
-                tasks.push((grp.work * (j1 - j0) as u64, task));
+                emit(grp.work * (j1 - j0) as u64, task);
                 j0 = j1;
             }
         } else {
             let task = AggTask { v0: grp.start as usize, j0: 0, j1: d, dst: win };
-            tasks.push((grp.work * d as u64, task));
+            emit(grp.work * d as u64, task);
         }
     }
-    tasks
 }
 
 /// Carves `a` and `b` into per-group mutable windows along the
 /// schedule's group boundaries, where node `i`'s data spans
-/// `a_off(i)..a_off(i+1)` in `a` (resp. `b_off` in `b`). Returns
-/// weighted `(v0, v1, a_window, b_window)` tasks for
-/// [`gnnav_par::par_for_weighted_tasks`].
+/// `a_off(i)..a_off(i+1)` in `a` (resp. `b_off` in `b`). Streams
+/// weighted `(v0, v1, a_window, b_window)` tasks to `emit` for
+/// [`gnnav_par::par_for_weighted_tasks_lazy`].
 #[allow(clippy::type_complexity)]
 fn split_two_by_groups<'a>(
     groups: &[AggGroup],
@@ -219,19 +222,18 @@ fn split_two_by_groups<'a>(
     a_off: impl Fn(usize) -> usize,
     b: &'a mut [f32],
     b_off: impl Fn(usize) -> usize,
-) -> Vec<(u64, (usize, usize, &'a mut [f32], &'a mut [f32]))> {
-    let mut tasks = Vec::with_capacity(groups.len());
+    emit: &mut dyn FnMut(u64, (usize, usize, &'a mut [f32], &'a mut [f32])),
+) {
     let mut a = a;
     let mut b = b;
     for grp in groups {
         let (v0, v1) = (grp.start as usize, grp.end as usize);
         let (ha, ta) = a.split_at_mut(a_off(v1) - a_off(v0));
         let (hb, tb) = b.split_at_mut(b_off(v1) - b_off(v0));
-        tasks.push((grp.work, (v0, v1, ha, hb)));
+        emit(grp.work, (v0, v1, ha, hb));
         a = ta;
         b = tb;
     }
-    tasks
 }
 
 /// Symmetric-normalized GCN aggregation with self-loops:
@@ -263,21 +265,27 @@ pub fn gcn_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
         return;
     }
     let inv_sqrt = g.gcn_inv_sqrt();
-    let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
-    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
-        let w = task.j1 - task.j0;
-        for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
-            let v = (task.v0 + lv) as u32;
-            let cv = inv_sqrt[v as usize];
-            // Self-loop term first, then neighbors ascending — the
-            // same per-element accumulation order as the serial
-            // kernel, whatever the grouping or column tiling.
-            axpy1(dst, cv * cv, &x.row(v as usize)[task.j0..task.j1]);
-            for &u in g.neighbors(v) {
-                axpy1(dst, cv * inv_sqrt[u as usize], &x.row(u as usize)[task.j0..task.j1]);
+    let groups = &g.agg_schedule().fwd.groups;
+    let out = out.as_mut_slice();
+    gnnav_par::par_for_weighted_tasks_lazy(
+        groups.len(),
+        |emit| schedule_tasks(groups, d, out, emit),
+        AGG_GRAIN_WORK,
+        |task| {
+            let w = task.j1 - task.j0;
+            for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
+                let v = (task.v0 + lv) as u32;
+                let cv = inv_sqrt[v as usize];
+                // Self-loop term first, then neighbors ascending — the
+                // same per-element accumulation order as the serial
+                // kernel, whatever the grouping or column tiling.
+                axpy1(dst, cv * cv, &x.row(v as usize)[task.j0..task.j1]);
+                for &u in g.neighbors(v) {
+                    axpy1(dst, cv * inv_sqrt[u as usize], &x.row(u as usize)[task.j0..task.j1]);
+                }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Mean aggregation: `out[v] = mean_{u ∈ N(v)} x[u]` (zero for
@@ -303,27 +311,33 @@ pub fn mean_aggregate_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     if n == 0 || d == 0 {
         return;
     }
-    let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
-    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
-        let w = task.j1 - task.j0;
-        for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
-            let v = (task.v0 + lv) as u32;
-            let neigh = g.neighbors(v);
-            if neigh.is_empty() {
-                // Isolated node: the row stays exactly zero.
-                continue;
-            }
-            let inv = 1.0 / neigh.len() as f32;
-            for &u in neigh {
-                for (o, &s) in dst.iter_mut().zip(&x.row(u as usize)[task.j0..task.j1]) {
-                    *o += s;
+    let groups = &g.agg_schedule().fwd.groups;
+    let out = out.as_mut_slice();
+    gnnav_par::par_for_weighted_tasks_lazy(
+        groups.len(),
+        |emit| schedule_tasks(groups, d, out, emit),
+        AGG_GRAIN_WORK,
+        |task| {
+            let w = task.j1 - task.j0;
+            for (lv, dst) in task.dst.chunks_mut(w).enumerate() {
+                let v = (task.v0 + lv) as u32;
+                let neigh = g.neighbors(v);
+                if neigh.is_empty() {
+                    // Isolated node: the row stays exactly zero.
+                    continue;
+                }
+                let inv = 1.0 / neigh.len() as f32;
+                for &u in neigh {
+                    for (o, &s) in dst.iter_mut().zip(&x.row(u as usize)[task.j0..task.j1]) {
+                        *o += s;
+                    }
+                }
+                for o in dst.iter_mut() {
+                    *o *= inv;
                 }
             }
-            for o in dst.iter_mut() {
-                *o *= inv;
-            }
-        }
-    });
+        },
+    );
 }
 
 /// Transpose of [`mean_aggregate`]: node `u` receives
@@ -355,19 +369,25 @@ pub fn mean_aggregate_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matr
     }
     let t = g.transpose_csr();
     // Backward gathers walk in-edges, so grouping follows in-degrees.
-    let tasks = schedule_tasks(&g.agg_schedule().bwd.groups, d, out.as_mut_slice());
-    gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
-        let w = task.j1 - task.j0;
-        for (lu, dst) in task.dst.chunks_mut(w).enumerate() {
-            let u = (task.v0 + lu) as u32;
-            for &v in t.in_sources(u) {
-                // Every in-source has at least the edge v -> u, so
-                // degree(v) >= 1 and the divide is finite.
-                let inv = 1.0 / g.degree(v) as f32;
-                axpy1(dst, inv, &grad_out.row(v as usize)[task.j0..task.j1]);
+    let groups = &g.agg_schedule().bwd.groups;
+    let out = out.as_mut_slice();
+    gnnav_par::par_for_weighted_tasks_lazy(
+        groups.len(),
+        |emit| schedule_tasks(groups, d, out, emit),
+        AGG_GRAIN_WORK,
+        |task| {
+            let w = task.j1 - task.j0;
+            for (lu, dst) in task.dst.chunks_mut(w).enumerate() {
+                let u = (task.v0 + lu) as u32;
+                for &v in t.in_sources(u) {
+                    // Every in-source has at least the edge v -> u, so
+                    // degree(v) >= 1 and the divide is finite.
+                    let inv = 1.0 / g.degree(v) as f32;
+                    axpy1(dst, inv, &grad_out.row(v as usize)[task.j0..task.j1]);
+                }
             }
-        }
-    });
+        },
+    );
 }
 
 /// GCN layer: `out = GcnAgg(g, x) · W + b`.
@@ -430,6 +450,10 @@ impl Layer for GcnLayer {
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
         vec![ParamRef::Linear(&mut self.lin)]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        f(ParamRef::Linear(&mut self.lin));
     }
 
     fn param_count(&self) -> usize {
@@ -519,6 +543,11 @@ impl Layer for SageLayer {
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
         vec![ParamRef::Linear(&mut self.lin_self), ParamRef::Linear(&mut self.lin_neigh)]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        f(ParamRef::Linear(&mut self.lin_self));
+        f(ParamRef::Linear(&mut self.lin_neigh));
     }
 
     fn param_count(&self) -> usize {
@@ -693,23 +722,32 @@ impl Layer for GatLayer {
             let pre = &pre;
             let alpha_off = &alpha_off;
             let groups = &g.agg_schedule().fwd.groups;
-            let mut tasks = Vec::with_capacity(groups.len());
-            let mut rest = alpha.as_mut_slice();
-            for grp in groups {
-                let (v0, v1) = (grp.start as usize, grp.end as usize);
-                let (win, tail) = rest.split_at_mut(alpha_off[v1] - alpha_off[v0]);
-                rest = tail;
-                tasks.push((grp.work, (v0, v1, win)));
-            }
-            gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_SPAN, |(v0, v1, alpha_run)| {
-                let mut cursor = 0usize;
-                for v in v0..v1 {
-                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
-                    let count = end - start;
-                    neighborhood_softmax(&pre[start..end], &mut alpha_run[cursor..cursor + count]);
-                    cursor += count;
-                }
-            });
+            let alpha_out = alpha.as_mut_slice();
+            gnnav_par::par_for_weighted_tasks_lazy(
+                groups.len(),
+                |emit| {
+                    let mut rest = alpha_out;
+                    for grp in groups {
+                        let (v0, v1) = (grp.start as usize, grp.end as usize);
+                        let (win, tail) = rest.split_at_mut(alpha_off[v1] - alpha_off[v0]);
+                        rest = tail;
+                        emit(grp.work, (v0, v1, win));
+                    }
+                },
+                AGG_GRAIN_SPAN,
+                |(v0, v1, alpha_run)| {
+                    let mut cursor = 0usize;
+                    for v in v0..v1 {
+                        let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                        let count = end - start;
+                        neighborhood_softmax(
+                            &pre[start..end],
+                            &mut alpha_run[cursor..cursor + count],
+                        );
+                        cursor += count;
+                    }
+                },
+            );
         }
 
         // Pass 2: out[v] = Σ α z[u] + bias over neighbors then self,
@@ -721,22 +759,28 @@ impl Layer for GatLayer {
             let z = &z;
             let alpha = &alpha;
             let alpha_off = &alpha_off;
-            let tasks = schedule_tasks(&g.agg_schedule().fwd.groups, d, out.as_mut_slice());
-            gnnav_par::par_for_weighted_tasks(tasks, AGG_GRAIN_WORK, |task| {
-                let w = task.j1 - task.j0;
-                for (lv, out_row) in task.dst.chunks_mut(w).enumerate() {
-                    let v = task.v0 + lv;
-                    let (start, end) = (alpha_off[v], alpha_off[v + 1]);
-                    let aspan = &alpha[start..end];
-                    for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
-                        axpy1(out_row, aspan[i], &z.row(u as usize)[task.j0..task.j1]);
+            let groups = &g.agg_schedule().fwd.groups;
+            let out = out.as_mut_slice();
+            gnnav_par::par_for_weighted_tasks_lazy(
+                groups.len(),
+                |emit| schedule_tasks(groups, d, out, emit),
+                AGG_GRAIN_WORK,
+                |task| {
+                    let w = task.j1 - task.j0;
+                    for (lv, out_row) in task.dst.chunks_mut(w).enumerate() {
+                        let v = task.v0 + lv;
+                        let (start, end) = (alpha_off[v], alpha_off[v + 1]);
+                        let aspan = &alpha[start..end];
+                        for (i, &u) in g.neighbors(v as u32).iter().enumerate() {
+                            axpy1(out_row, aspan[i], &z.row(u as usize)[task.j0..task.j1]);
+                        }
+                        axpy1(out_row, aspan[aspan.len() - 1], &z.row(v)[task.j0..task.j1]);
+                        for (o, &b) in out_row.iter_mut().zip(&bias[task.j0..task.j1]) {
+                            *o += b;
+                        }
                     }
-                    axpy1(out_row, aspan[aspan.len() - 1], &z.row(v)[task.j0..task.j1]);
-                    for (o, &b) in out_row.iter_mut().zip(&bias[task.j0..task.j1]) {
-                        *o += b;
-                    }
-                }
-            });
+                },
+            );
         }
         scratch.recycle_raw(s_l);
         scratch.recycle_raw(s_r);
@@ -769,15 +813,14 @@ impl Layer for GatLayer {
         // per-destination score gradient ds_r[v]. Carved along the
         // forward schedule's group boundaries.
         {
-            let tasks = split_two_by_groups(
-                &g.agg_schedule().fwd.groups,
-                &mut dpre,
-                |i| alpha_off[i],
-                &mut ds_r,
-                |i| i,
-            );
-            gnnav_par::par_for_weighted_tasks(
-                tasks,
+            let groups = &g.agg_schedule().fwd.groups;
+            let dpre_out = dpre.as_mut_slice();
+            let dsr_out = ds_r.as_mut_slice();
+            gnnav_par::par_for_weighted_tasks_lazy(
+                groups.len(),
+                |emit| {
+                    split_two_by_groups(groups, dpre_out, |i| alpha_off[i], dsr_out, |i| i, emit)
+                },
                 AGG_GRAIN_SPAN,
                 |(v0, _v1, dpre_run, dsr_run)| {
                     let mut cursor = 0usize;
@@ -815,15 +858,12 @@ impl Layer for GatLayer {
         // reduction, so a row must stay within one task.
         {
             let t = g.transpose_csr();
-            let tasks = split_two_by_groups(
-                &g.agg_schedule().bwd.groups,
-                dz.as_mut_slice(),
-                |i| i * d,
-                &mut ds_l,
-                |i| i,
-            );
-            gnnav_par::par_for_weighted_tasks(
-                tasks,
+            let groups = &g.agg_schedule().bwd.groups;
+            let dz_out = dz.as_mut_slice();
+            let dsl_out = ds_l.as_mut_slice();
+            gnnav_par::par_for_weighted_tasks_lazy(
+                groups.len(),
+                |emit| split_two_by_groups(groups, dz_out, |i| i * d, dsl_out, |i| i, emit),
                 AGG_GRAIN_SPAN,
                 |(u0, _u1, dz_run, dsl_run)| {
                     for (lu, dsl) in dsl_run.iter_mut().enumerate() {
@@ -893,6 +933,12 @@ impl Layer for GatLayer {
             ParamRef::Vector(&mut self.att_l),
             ParamRef::Vector(&mut self.att_r),
         ]
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        f(ParamRef::Linear(&mut self.lin));
+        f(ParamRef::Vector(&mut self.att_l));
+        f(ParamRef::Vector(&mut self.att_r));
     }
 
     fn param_count(&self) -> usize {
@@ -993,6 +1039,12 @@ impl Layer for MultiHeadGatLayer {
 
     fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
         self.heads.iter_mut().flat_map(|h| h.params_mut()).collect()
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        for h in &mut self.heads {
+            h.for_each_param(f);
+        }
     }
 
     fn param_count(&self) -> usize {

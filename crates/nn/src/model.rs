@@ -285,6 +285,15 @@ impl GnnModel {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 
+    /// Streams all parameters to `f` in the same stable order as
+    /// [`GnnModel::params_mut`], without allocating. Pair with
+    /// `Adam::step_with` for an allocation-free optimizer step.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        for layer in &mut self.layers {
+            layer.for_each_param(f);
+        }
+    }
+
     /// The model's scratch arena. Matrices returned by
     /// [`GnnModel::forward`] borrow pooled storage; hand them (and any
     /// loss-gradient buffers) back here when done so the next batch

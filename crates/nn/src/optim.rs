@@ -56,24 +56,45 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let mut slot = 0usize;
         for p in params.iter_mut() {
-            match p {
-                ParamRef::Linear(lin) => {
-                    let (w, gw) = (lin.w.as_mut_slice(), lin.gw.as_slice());
-                    self.update_slot(slot, w, gw, bc1, bc2);
-                    slot += 1;
-                    if !lin.b.is_empty() {
-                        // Clones avoid simultaneous &mut borrows of the
-                        // same struct's fields through the enum.
-                        let gb = lin.gb.clone();
-                        self.update_slot(slot, &mut lin.b, &gb, bc1, bc2);
-                    }
-                    slot += 1;
+            let p = match p {
+                ParamRef::Linear(lin) => ParamRef::Linear(lin),
+                ParamRef::Vector(vp) => ParamRef::Vector(vp),
+            };
+            self.apply_param(&mut slot, p, bc1, bc2);
+        }
+    }
+
+    /// Like [`Adam::step`], but streams parameters from `visit` (for
+    /// example `GnnModel::for_each_param_mut`) instead of collecting
+    /// them into a `Vec` first — the training hot path uses this form
+    /// so a steady-state step performs zero heap allocations.
+    pub fn step_with(&mut self, visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_>))) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut slot = 0usize;
+        visit(&mut |p| self.apply_param(&mut slot, p, bc1, bc2));
+    }
+
+    /// Updates one parameter, advancing the moment-buffer slot cursor
+    /// exactly as the stable traversal order dictates.
+    fn apply_param(&mut self, slot: &mut usize, p: ParamRef<'_>, bc1: f32, bc2: f32) {
+        match p {
+            ParamRef::Linear(lin) => {
+                // Destructuring splits the borrows, so the bias update
+                // reads `gb` directly instead of cloning it.
+                let crate::layers::LinearParam { w, b, gw, gb } = lin;
+                self.update_slot(*slot, w.as_mut_slice(), gw.as_slice(), bc1, bc2);
+                *slot += 1;
+                if !b.is_empty() {
+                    self.update_slot(*slot, b, gb, bc1, bc2);
                 }
-                ParamRef::Vector(vp) => {
-                    let g = vp.g.clone();
-                    self.update_slot(slot, &mut vp.v, &g, bc1, bc2);
-                    slot += 1;
-                }
+                *slot += 1;
+            }
+            ParamRef::Vector(vp) => {
+                let crate::layers::VecParam { v, g } = vp;
+                self.update_slot(*slot, v, g, bc1, bc2);
+                *slot += 1;
             }
         }
     }

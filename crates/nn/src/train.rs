@@ -42,7 +42,7 @@ pub fn train_step(
     let loss = softmax_cross_entropy_into(&logits, labels, target_rows, &mut grad);
     model.zero_grad();
     model.backward(g, &grad);
-    opt.step(&mut model.params_mut());
+    opt.step_with(|f| model.for_each_param_mut(f));
     model.recycle(grad);
     model.recycle(logits);
     loss

@@ -544,6 +544,78 @@ mod tests {
     }
 
     #[test]
+    fn hostile_names_survive_chrome_export() {
+        // Escaping audit: every string that reaches the exporter —
+        // span names, track names, arg keys, arg string values —
+        // must be escaped, or one hostile name corrupts the whole
+        // trace file.
+        let hostile = "q\"uote\\back\nnew\tta\u{1}b";
+        let j = Journal::new();
+        j.enable(true);
+        let args: Args = vec![
+            (Cow::Owned(format!("k{hostile}")), ArgValue::Str(format!("v{hostile}"))),
+            (Cow::Borrowed("n"), ArgValue::F64(0.5)),
+        ];
+        j.span_complete(
+            format!("span{hostile}"),
+            format!("track{hostile}"),
+            0.0,
+            Some(1.0),
+            Some(0.0),
+            Some(2.0),
+            args.clone(),
+        );
+        j.instant(format!("i{hostile}"), format!("track{hostile}"), None, args);
+        j.counter(format!("c{hostile}"), format!("track{hostile}"), 1.0, None);
+        let trace = j.snapshot().to_chrome_trace();
+        let doc = parse(&trace).expect("hostile names must still parse");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).expect("array");
+        // The hostile content round-trips intact through the escape.
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("span event");
+        assert_eq!(
+            span.get("name").and_then(Value::as_str),
+            Some(format!("span{hostile}").as_str())
+        );
+        let arg = span
+            .get("args")
+            .and_then(|a| a.get(&format!("k{hostile}")))
+            .and_then(Value::as_str)
+            .expect("hostile arg key");
+        assert_eq!(arg, format!("v{hostile}"));
+        // Track name appears escaped in thread metadata.
+        let thread_names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+            .collect();
+        assert!(thread_names.iter().any(|n| n == &format!("track{hostile}")), "{thread_names:?}");
+    }
+
+    #[test]
+    fn hostile_names_round_trip_through_importer() {
+        let hostile = "a\"b\\c\nd";
+        let j = Journal::new();
+        j.enable(true);
+        j.span_complete(
+            format!("s{hostile}"),
+            format!("t{hostile}"),
+            0.0,
+            None,
+            Some(0.0),
+            Some(5.0),
+            Vec::new(),
+        );
+        let imported =
+            crate::tree::import_chrome_trace(&j.snapshot().to_chrome_trace()).expect("import");
+        assert_eq!(imported.events.len(), 1);
+        assert_eq!(imported.events[0].name, format!("s{hostile}"));
+        assert_eq!(imported.events[0].track, format!("t{hostile}"));
+    }
+
+    #[test]
     fn set_capacity_trims_existing_overflow() {
         let j = Journal::new();
         j.enable(true);

@@ -14,6 +14,14 @@
 //!   instants, counter samples) with dual wall/simulated timestamps,
 //!   exportable as Chrome trace-event JSON (see [`journal`]).
 //!
+//! On top of the journal sit the trace analytics: [`tree`] rebuilds
+//! the span forest (from a live snapshot or a saved `--trace-out`
+//! file), [`critical`] extracts the critical path and per-epoch phase
+//! attribution behind `gnnavigate --trace-summary`, [`flame`] exports
+//! flamegraph folded stacks, and [`tracediff`] powers the
+//! `gnnavigate trace-diff` regression gate. [`alloc`] meters the
+//! process allocator behind the same enable switch.
+//!
 //! [`Registry::span`] gives hierarchical RAII wall-clock timers: spans
 //! started while another span is open on the same thread record under
 //! the dotted path of their ancestors (`backend.execute.epoch`).
@@ -61,10 +69,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+pub mod alloc;
+pub mod critical;
 pub mod diff;
+pub mod flame;
 pub mod journal;
 pub mod json;
 pub mod names;
+pub mod tracediff;
+pub mod tree;
 
 pub use journal::{ArgValue, Event, EventKind, Journal, JournalSnapshot};
 
@@ -260,8 +273,15 @@ impl Registry {
     /// Turns recording on or off. While off, every recording method
     /// returns after a single relaxed atomic load. The [`Journal`] has
     /// its own switch ([`Journal::enable`]).
+    ///
+    /// On the [`global`] registry this also toggles the process-wide
+    /// allocation tracker ([`alloc::set_tracking`]); isolated
+    /// registries leave process state alone.
     pub fn enable(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
+        if std::ptr::eq(self, global()) {
+            alloc::set_tracking(on);
+        }
     }
 
     /// Whether recording is on.
@@ -839,6 +859,81 @@ mod tests {
         // One bucket spans a 10^(1/8) ≈ 1.33x range; allow 2 buckets.
         assert!((0.28..0.9).contains(&h.p50), "p50 {}", h.p50);
         assert!((0.7..=1.0).contains(&h.p95), "p95 {}", h.p95);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        // A pre-registered but never-observed histogram must not
+        // divide by its zero count.
+        let r = Registry::new();
+        r.enable(true);
+        let _handle = r.histogram("empty");
+        let h = r.snapshot().histograms["empty"];
+        assert_eq!(h.count, 0);
+        assert_eq!((h.p50, h.p95, h.p99), (0.0, 0.0, 0.0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_return_it() {
+        let r = Registry::new();
+        r.enable(true);
+        r.observe("one", 0.125);
+        let h = r.snapshot().histograms["one"];
+        assert_eq!(h.count, 1);
+        // Every quantile of a one-sample distribution is the sample,
+        // up to one bucket (10^(1/8) ≈ 1.33x) of interpolation.
+        for q in [h.p50, h.p95, h.p99] {
+            assert!((0.125..=0.125 * 1.34).contains(&q), "{q}");
+            assert!(q >= h.min && q <= h.max);
+        }
+    }
+
+    #[test]
+    fn quantiles_on_saturated_single_bucket_stay_in_bucket() {
+        // Many observations of one value land in one bucket; all
+        // quantiles must stay inside it (clamped to [min, max]).
+        let r = Registry::new();
+        r.enable(true);
+        for _ in 0..10_000 {
+            r.observe("flat", 2e-3);
+        }
+        let h = r.snapshot().histograms["flat"];
+        assert_eq!(h.count, 10_000);
+        assert_eq!(h.min, 2e-3);
+        assert_eq!(h.max, 2e-3);
+        for q in [h.p50, h.p95, h.p99] {
+            assert_eq!(q, 2e-3, "clamped to the degenerate [min, max]");
+        }
+    }
+
+    #[test]
+    fn edge_case_histograms_round_trip_v2_and_v1() {
+        let r = Registry::new();
+        r.enable(true);
+        let _empty = r.histogram("edge.empty");
+        r.observe("edge.one", 0.125);
+        for _ in 0..100 {
+            r.observe("edge.flat", 2e-3);
+        }
+        let snap = r.snapshot();
+        // v2: lossless for the summary fields.
+        let back = Snapshot::from_json(&snap.to_json()).expect("v2 parse");
+        assert_eq!(back, snap);
+        // v1 (no percentile fields): counts and extremes survive,
+        // percentiles read back as zero.
+        let v1 = snap
+            .to_json()
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace(", \"p50\": ", ", \"q50\": ")
+            .replace(", \"p95\": ", ", \"q95\": ")
+            .replace(", \"p99\": ", ", \"q99\": ");
+        let old = Snapshot::from_json(&v1).expect("v1 parse");
+        assert_eq!(old.histograms["edge.one"].count, 1);
+        assert_eq!(old.histograms["edge.one"].min, 0.125);
+        assert_eq!(old.histograms["edge.one"].p50, 0.0);
+        assert_eq!(old.histograms["edge.flat"].count, 100);
+        assert_eq!(old.histograms["edge.empty"].count, 0);
     }
 
     #[test]

@@ -64,6 +64,11 @@
 //! | `adapt.drift_score` | gauge | ratio | `AdaptiveRunner::run`, one/epoch |
 //! | `adapt.switches` | counter | switches | `AdaptiveRunner::run`, one/switch |
 //! | `adapt.reexplore_ms` | gauge | wall ms | `AdaptiveRunner::run` (last re-exploration) |
+//! | `alloc.allocs` | gauge | allocations | `RuntimeBackend::execute` (last run, tracking on) |
+//! | `alloc.frees` | gauge | frees | `RuntimeBackend::execute` (last run, tracking on) |
+//! | `alloc.alloc_bytes` | gauge | bytes | `RuntimeBackend::execute` (last run, tracking on) |
+//! | `alloc.peak_bytes` | gauge | bytes | `RuntimeBackend::execute` (last run, tracking on) |
+//! | `alloc.steady_state_allocs_per_epoch` | counter | allocations | `RuntimeBackend::execute`; gated at 0 in CI |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -71,6 +76,9 @@
 //! |---|---|---|---|
 //! | `epoch` | `backend` | span (wall + sim) | `RuntimeBackend::execute`, one/epoch |
 //! | `sample` / `transfer` / `replace` / `compute` | `phase.<name>` | span (sim only) | `RuntimeBackend::execute`, one/epoch |
+//! | `recovery` | `phase.recovery` | span (sim only) | `RuntimeBackend::execute`, one/epoch with recovery time |
+//! | `migration` | `phase.migration` | span (sim only) | `ExecutionSession::switch_config`, one/switch |
+//! | `alloc` | `backend` | instant | `RuntimeBackend::execute`, one/run with tracking on |
 //! | `backend.epoch.hit_rate` | `backend` | counter sample | `RuntimeBackend::execute`, one/epoch |
 //! | `profile.config` | `profiler.worker-<i>` | span (wall) | `Profiler::profile`, one/config |
 //! | `candidate` | `explorer` | instant | `DfsExplorer::run`, one/evaluation |
@@ -221,6 +229,23 @@ pub const ADAPT_SWITCHES: &str = "adapt.switches";
 /// deterministic baselines because adaptive runs never feed them).
 pub const ADAPT_REEXPLORE_MS: &str = "adapt.reexplore_ms";
 
+// --- allocation telemetry ---------------------------------------------
+
+/// Heap allocations observed during the last run while tracking was
+/// on (gauge, delta over the run).
+pub const ALLOC_ALLOCS: &str = "alloc.allocs";
+/// Heap frees observed during the last run (gauge, delta).
+pub const ALLOC_FREES: &str = "alloc.frees";
+/// Bytes allocated during the last run (gauge, delta).
+pub const ALLOC_BYTES: &str = "alloc.alloc_bytes";
+/// High-water mark of live tracked bytes (gauge, absolute).
+pub const ALLOC_PEAK_BYTES: &str = "alloc.peak_bytes";
+/// Allocations charged to the per-batch training hot path per
+/// steady-state (post-warmup) epoch, rounded up (counter). Zero on a
+/// healthy build; pinned to zero in the committed perf baselines so
+/// any steady-state allocation regression fails `metrics-diff`.
+pub const ALLOC_STEADY_PER_EPOCH: &str = "alloc.steady_state_allocs_per_epoch";
+
 // --- fault injection --------------------------------------------------
 
 /// Total faults injected by the active `FaultPlan`.
@@ -266,3 +291,9 @@ pub const EVENT_KERNELS: &str = "kernels";
 pub const EVENT_DRIFT: &str = "drift";
 /// Per-switch instant on [`TRACK_ADAPT`].
 pub const EVENT_SWITCH: &str = "switch";
+/// Sim-time guideline-migration span on the `phase.migration` track,
+/// one per `switch_config`.
+pub const EVENT_MIGRATION: &str = "migration";
+/// Per-run allocator-telemetry instant on [`TRACK_BACKEND`] (allocs,
+/// frees, bytes, peak; emitted when tracking is on).
+pub const EVENT_ALLOC: &str = "alloc";

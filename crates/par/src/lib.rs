@@ -417,6 +417,41 @@ where
     .expect("pool worker panicked");
 }
 
+/// Lazily built form of [`par_for_weighted_tasks`]: `build` streams
+/// `(weight, task)` pairs in schedule order into the sink it is
+/// handed. When the pool cannot go parallel at all (single-thread
+/// budget or a nested region), each task runs inline as it is emitted
+/// and nothing is collected — a serial weighted region performs zero
+/// heap allocation, which the runtime's allocation-telemetry gate
+/// measures. Otherwise the tasks are collected with `len_hint`
+/// capacity and scheduled exactly as [`par_for_weighted_tasks`].
+pub fn par_for_weighted_tasks_lazy<T, F>(
+    len_hint: usize,
+    build: impl FnOnce(&mut dyn FnMut(u64, T)),
+    grain_weight: u64,
+    f: F,
+) where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if plan_width(usize::MAX, 1) <= 1 {
+        let mut any = false;
+        build(&mut |_w, task| {
+            any = true;
+            f(task);
+        });
+        // Same counter footprint as the collected path at width 1.
+        if any {
+            REGIONS.fetch_add(1, Ordering::Relaxed);
+            TASKS.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    let mut tasks = Vec::with_capacity(len_hint);
+    build(&mut |w, task| tasks.push((w, task)));
+    par_for_weighted_tasks(tasks, grain_weight, f);
+}
+
 /// Maps `f(index, &item)` over `items` in parallel, returning results
 /// in input order. Like every helper here, the output is independent
 /// of the worker count.

@@ -48,6 +48,12 @@ pub struct ExecutionOptions {
     pub fault_plan: Option<FaultPlan>,
     /// How the backend retries and degrades around faults.
     pub recovery: RecoveryPolicy,
+    /// Whether this execution writes span/instant events into the
+    /// journal (when the journal itself is enabled). Profiler probe
+    /// runs and comparison templates set this to `false` so the
+    /// exported trace carries exactly one backend timeline — the
+    /// navigated execution.
+    pub journal: bool,
 }
 
 impl Default for ExecutionOptions {
@@ -60,6 +66,7 @@ impl Default for ExecutionOptions {
             learning_rate: 0.01,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            journal: true,
         }
     }
 }

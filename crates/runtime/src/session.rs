@@ -24,6 +24,7 @@ use gnnav_graph::Dataset;
 use gnnav_hwsim::{CostModel, MemoryLedger, Platform, SimTime};
 use gnnav_nn::tensor::Matrix;
 use gnnav_nn::{train, Adam, GnnModel};
+use gnnav_obs::alloc::AllocStats;
 use gnnav_obs::names as metric;
 use gnnav_obs::{Journal, Registry, Span};
 use gnnav_sampler::{batch_targets, Sampler};
@@ -119,6 +120,10 @@ pub struct ExecutionSession<'d> {
     hot_train: Vec<u32>,
     x_buf: Vec<f32>,
     label_buf: Vec<u16>,
+    target_locals_buf: Vec<u32>,
+    alloc_run_start: AllocStats,
+    alloc_warmup_allocs: u64,
+    alloc_steady_allocs: u64,
     kernel_stats_start: gnnav_nn::tensor::KernelStats,
     par_stats_start: gnnav_par::Stats,
     phases: PhaseBreakdown,
@@ -180,7 +185,7 @@ impl<'d> ExecutionSession<'d> {
         let execute_span = metrics.span(metric::EXECUTE_WALL);
         let observing = metrics.is_enabled();
         let journal = metrics.journal();
-        let journaling = journal.is_enabled();
+        let journaling = journal.is_enabled() && opts.journal;
         let graph = dataset.graph();
         let feats = dataset.features();
         let cost = CostModel::new(platform.clone());
@@ -228,6 +233,10 @@ impl<'d> ExecutionSession<'d> {
             hot_train,
             x_buf: Vec::new(),
             label_buf: Vec::new(),
+            target_locals_buf: Vec::new(),
+            alloc_run_start: gnnav_obs::alloc::stats(),
+            alloc_warmup_allocs: 0,
+            alloc_steady_allocs: 0,
             kernel_stats_start: gnnav_nn::kernel_stats(),
             par_stats_start: gnnav_par::stats(),
             phases: PhaseBreakdown::default(),
@@ -350,6 +359,19 @@ impl<'d> ExecutionSession<'d> {
         self.ledger.set_cache_bytes(entries * self.row_bytes)?;
         self.cache = build_cache(new.cache_policy, entries, graph);
         let migration = self.cost.t_replace(entries * self.row_bytes, entries.max(1));
+        if self.journaling {
+            // The migration charge as a sim span on its own phase
+            // track, so trace analytics can attribute switch cost.
+            self.journal.span_complete(
+                metric::EVENT_MIGRATION,
+                format!("{}migration", metric::TRACK_PHASE_PREFIX),
+                self.journal.now_us(),
+                None,
+                Some(self.epoch_time_total.as_micros()),
+                Some(migration.as_micros()),
+                vec![("to".into(), new.summary().into()), ("cache_entries".into(), entries.into())],
+            );
+        }
         self.epoch_time_total += migration;
 
         self.sampler = new.build_sampler(graph)?;
@@ -391,6 +413,7 @@ impl<'d> ExecutionSession<'d> {
         // loop itself stays untouched.
         let epoch_span = observing.then(|| self.metrics.span(metric::EVENT_EPOCH));
         let epoch_wall_us = journaling.then(|| self.journal.now_us());
+        let epoch_recovery_us_start = self.recovery.recovery_sim.as_micros();
         let epoch_sim_start = self.epoch_time_total;
         let epoch_phases_start = self.phases;
         let epoch_stats_start = self.cache_stats_total();
@@ -410,6 +433,11 @@ impl<'d> ExecutionSession<'d> {
         }
         let batches = batch_targets(&epoch_targets, self.config.batch_size, &mut self.rng);
         self.n_iter = batches.len();
+        // Grow the loss history outside the metered hot window so a
+        // steady-state epoch never reallocates it mid-batch.
+        if self.opts.train {
+            self.loss_history.reserve(batches.len());
+        }
         for (bi, targets) in batches.iter().enumerate() {
             let batch_site = self.total_batches as u64;
 
@@ -615,10 +643,26 @@ impl<'d> ExecutionSession<'d> {
                 self.opts.train && self.opts.train_batches_cap.is_none_or(|cap| bi < cap);
             if train_this {
                 let train_started = observing.then(Instant::now);
+                // Batch preparation: build the subgraph's cached kernel
+                // structures (transpose + degree schedule) eagerly so
+                // the lazy init doesn't land inside the allocation-
+                // metered hot path below. GCN additionally reads the
+                // cached degree norms.
+                mb.subgraph.agg_schedule();
+                if self.config.model == gnnav_nn::ModelKind::Gcn {
+                    mb.subgraph.gcn_inv_sqrt();
+                }
+                // Allocator window around the per-batch hot path:
+                // epoch 0 is warm-up (buffers grow to shape), later
+                // epochs must stay allocation-free — the delta feeds
+                // the gated `alloc.steady_state_allocs_per_epoch`.
+                let alloc_t0 = gnnav_obs::alloc::is_tracking().then(gnnav_obs::alloc::stats);
                 feats.gather_into(&mb.nodes, &mut self.x_buf);
                 let x =
                     Matrix::from_vec(mb.num_nodes(), feats.dim(), std::mem::take(&mut self.x_buf));
                 feats.gather_labels_into(&mb.nodes, &mut self.label_buf);
+                self.target_locals_buf.clear();
+                self.target_locals_buf.extend(0..mb.targets_len as u32);
                 let step_site = self.train_steps;
                 self.train_steps += 1;
                 let mut loss = train::train_step(
@@ -627,7 +671,7 @@ impl<'d> ExecutionSession<'d> {
                     &mb.subgraph,
                     &x,
                     &self.label_buf,
-                    &mb.target_locals(),
+                    &self.target_locals_buf,
                 );
                 self.x_buf = x.into_vec();
                 if self.inject_fault(FaultKind::NanLoss, step_site, 0).is_some() {
@@ -662,6 +706,14 @@ impl<'d> ExecutionSession<'d> {
                     }
                 } else {
                     self.loss_history.push(loss);
+                }
+                if let Some(t0) = alloc_t0 {
+                    let d = gnnav_obs::alloc::stats().delta_since(&t0);
+                    if epoch == 0 {
+                        self.alloc_warmup_allocs += d.allocs;
+                    } else {
+                        self.alloc_steady_allocs += d.allocs;
+                    }
                 }
                 if let Some(t0) = train_started {
                     self.wall_train += t0.elapsed();
@@ -724,6 +776,20 @@ impl<'d> ExecutionSession<'d> {
                         None,
                         Some(sim0),
                         Some(sim_delta * 1e6),
+                        Vec::new(),
+                    );
+                }
+                // Backoff pauses and ladder work get their own phase
+                // track so recovery time is attributed, not residual.
+                let recovery_us = self.recovery.recovery_sim.as_micros() - epoch_recovery_us_start;
+                if recovery_us > 0.0 {
+                    self.journal.span_complete(
+                        metric::EVENT_RECOVERY,
+                        format!("{}recovery", metric::TRACK_PHASE_PREFIX),
+                        wall0,
+                        None,
+                        Some(sim0),
+                        Some(recovery_us),
                         Vec::new(),
                     );
                 }
@@ -843,6 +909,35 @@ impl<'d> ExecutionSession<'d> {
                         ("par_regions".into(), par_regions.into()),
                     ],
                 );
+            }
+            if gnnav_obs::alloc::is_tracking() {
+                let d = gnnav_obs::alloc::stats().delta_since(&self.alloc_run_start);
+                metrics.gauge_set(metric::ALLOC_ALLOCS, d.allocs as f64);
+                metrics.gauge_set(metric::ALLOC_FREES, d.frees as f64);
+                metrics.gauge_set(metric::ALLOC_BYTES, d.alloc_bytes as f64);
+                metrics.gauge_set(metric::ALLOC_PEAK_BYTES, d.peak_bytes as f64);
+                // Ceiling division so even a single steady-state
+                // allocation trips the zero-pinned perf gate.
+                let steady_epochs = self.epochs_run.saturating_sub(1).max(1) as u64;
+                metrics.add(
+                    metric::ALLOC_STEADY_PER_EPOCH,
+                    self.alloc_steady_allocs.div_ceil(steady_epochs),
+                );
+                if self.journaling {
+                    self.journal.instant(
+                        metric::EVENT_ALLOC,
+                        metric::TRACK_BACKEND,
+                        Some(self.epoch_time_total.as_micros()),
+                        vec![
+                            ("allocs".into(), d.allocs.into()),
+                            ("frees".into(), d.frees.into()),
+                            ("alloc_bytes".into(), d.alloc_bytes.into()),
+                            ("peak_bytes".into(), d.peak_bytes.into()),
+                            ("warmup_allocs".into(), self.alloc_warmup_allocs.into()),
+                            ("steady_allocs".into(), self.alloc_steady_allocs.into()),
+                        ],
+                    );
+                }
             }
         }
         Ok(ExecutionReport {

@@ -1,0 +1,72 @@
+//! End-to-end allocation telemetry: after the warm-up epoch, the
+//! per-batch training hot path must perform zero heap allocations,
+//! and the backend must surface that as the gated
+//! `alloc.steady_state_allocs_per_epoch` counter plus `alloc.*`
+//! gauges and an `alloc` journal instant.
+//!
+//! This lives in its own integration-test binary (own process):
+//! allocator counters are process-wide, and unit tests running in
+//! parallel threads would bleed into the measurement windows.
+
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_obs::names as metric;
+use gnnav_runtime::{ExecutionOptions, RuntimeBackend, TrainingConfig};
+
+#[test]
+fn steady_state_training_performs_zero_allocations_per_epoch() {
+    // Single-threaded so no worker thread allocates inside the
+    // metered windows — the same pin the perf baselines use.
+    std::env::set_var("GNNAV_THREADS", "1");
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.01).expect("load");
+    let config = TrainingConfig {
+        batch_size: 64,
+        fanouts: vec![5, 5],
+        hidden_dim: 16,
+        ..TrainingConfig::default()
+    };
+    let opts = ExecutionOptions { epochs: 3, ..Default::default() };
+
+    let obs = gnnav_obs::global();
+    obs.enable(true);
+    obs.journal().enable(true);
+    assert!(gnnav_obs::alloc::is_tracking(), "global enable must switch alloc tracking on");
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    backend.execute(&dataset, &config, &opts).expect("run");
+    obs.enable(false);
+    obs.journal().enable(false);
+
+    let snap = obs.snapshot();
+    let steady = snap
+        .counters
+        .get(metric::ALLOC_STEADY_PER_EPOCH)
+        .expect("steady-state alloc counter emitted");
+    assert_eq!(*steady, 0, "steady-state epochs must not allocate in the training hot path");
+    // The run as a whole does allocate (warm-up, sampling, caches…):
+    // the gauges must show real traffic, proving the windows measured
+    // a live allocator rather than a stubbed one.
+    let allocs = snap.gauges.get(metric::ALLOC_ALLOCS).expect("alloc.allocs gauge");
+    assert!(*allocs > 0.0, "whole-run allocation gauge should be nonzero, got {allocs}");
+    let peak = snap.gauges.get(metric::ALLOC_PEAK_BYTES).expect("alloc.peak_bytes gauge");
+    assert!(*peak > 0.0, "peak live bytes should be nonzero, got {peak}");
+
+    // The journal carries the per-run `alloc` instant on the backend
+    // track with the warmup/steady split.
+    let journal = obs.journal().snapshot();
+    let instant = journal
+        .events
+        .iter()
+        .find(|e| e.name == metric::EVENT_ALLOC && e.track == metric::TRACK_BACKEND)
+        .expect("alloc journal instant");
+    let steady_arg = instant
+        .args
+        .iter()
+        .find(|(k, _)| k.as_ref() == "steady_allocs")
+        .map(|(_, v)| v.clone())
+        .expect("steady_allocs arg");
+    assert_eq!(
+        steady_arg,
+        gnnav_obs::journal::ArgValue::U64(0),
+        "steady_allocs arg should be zero"
+    );
+}
