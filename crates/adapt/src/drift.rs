@@ -100,6 +100,19 @@ impl DriftDetector {
         self.observed
     }
 
+    /// The detector's mutable state `(ewma, streak, observed)`, for
+    /// checkpointing.
+    pub fn state(&self) -> (Option<f64>, u32, u64) {
+        (self.ewma, self.streak, self.observed)
+    }
+
+    /// Restores state captured by [`DriftDetector::state`].
+    pub fn restore(&mut self, ewma: Option<f64>, streak: u32, observed: u64) {
+        self.ewma = ewma;
+        self.streak = streak;
+        self.observed = observed;
+    }
+
     /// Clears the EWMA, streak, and warmup state — called after a
     /// guideline switch, when the prediction baseline changes.
     pub fn reset(&mut self) {

@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod drift;
+pub mod durable;
 pub mod runner;
 
 pub use drift::{DriftConfig, DriftDetector, DriftVerdict};
+pub use durable::AdaptiveCheckpoint;
 pub use runner::{AdaptOptions, AdaptiveReport, AdaptiveRunner, SwitchPlan};
 
 use std::error::Error;

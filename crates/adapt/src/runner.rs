@@ -46,7 +46,7 @@ impl Default for AdaptOptions {
 }
 
 impl AdaptOptions {
-    fn validate(&self) -> Result<(), AdaptError> {
+    pub(crate) fn validate(&self) -> Result<(), AdaptError> {
         let d = &self.drift;
         if !(d.threshold.is_finite() && d.threshold > 0.0) {
             return Err(AdaptError::InvalidOptions(format!(
@@ -152,8 +152,8 @@ pub struct AdaptiveReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AdaptiveRunner {
-    platform: Platform,
-    opts: AdaptOptions,
+    pub(crate) platform: Platform,
+    pub(crate) opts: AdaptOptions,
 }
 
 impl AdaptiveRunner {
@@ -192,105 +192,138 @@ impl AdaptiveRunner {
         constraints: &RuntimeConstraints,
     ) -> Result<AdaptiveReport, AdaptError> {
         self.opts.validate()?;
+        let mut state = self.cold_state(dataset, exploration, exec_opts)?;
+        while state.session.epochs_run() < exec_opts.epochs {
+            self.step_epoch(&mut state, dataset, profile_db, constraints, exec_opts.epochs)?;
+        }
+        state.into_report()
+    }
+
+    /// Opens a fresh adaptive loop on the explored guideline.
+    pub(crate) fn cold_state<'d>(
+        &self,
+        dataset: &'d Dataset,
+        exploration: &ExplorationResult,
+        exec_opts: &ExecutionOptions,
+    ) -> Result<AdaptState<'d>, AdaptError> {
         let metrics = gnnav_obs::global();
-        let journal = metrics.journal();
         if metrics.is_enabled() {
             // Register the switch counter at zero so clean adaptive
             // runs still expose the series.
             metrics.add(metric::ADAPT_SWITCHES, 0);
         }
-
-        let priority = exploration.guideline.priority;
-        let mut session = ExecutionSession::new(
+        let session = ExecutionSession::new(
             self.platform.clone(),
             dataset,
             &exploration.guideline.config,
             exec_opts,
         )?;
-        let mut predicted = exploration.guideline.estimate;
-        let mut seeds = front_configs(exploration, session.config());
-        let mut detector = DriftDetector::new(self.opts.drift.clone());
-        let mut observed: Vec<ProfileRecord> = Vec::with_capacity(exec_opts.epochs);
-        let mut switches: Vec<SwitchPlan> = Vec::new();
-        let mut drift_scores = Vec::with_capacity(exec_opts.epochs);
-        let mut audit: Vec<AuditRecord> = Vec::new();
-        let mut reexplorations = 0u32;
-        let mut seen_degradations = 0usize;
+        let seeds = front_configs(exploration, session.config());
+        Ok(AdaptState {
+            session,
+            priority: exploration.guideline.priority,
+            predicted: exploration.guideline.estimate,
+            seeds,
+            detector: DriftDetector::new(self.opts.drift.clone()),
+            observed: Vec::with_capacity(exec_opts.epochs),
+            switches: Vec::new(),
+            drift_scores: Vec::with_capacity(exec_opts.epochs),
+            audit: Vec::new(),
+            reexplorations: 0,
+            seen_degradations: 0,
+        })
+    }
 
-        for epoch in 0..exec_opts.epochs {
-            let stats = session.run_epoch()?;
-            observed.push(observed_record(dataset, &self.platform, session.config(), &stats));
+    /// Runs one epoch of the adaptive loop: execute, score drift,
+    /// re-explore and possibly switch. The epoch index is taken from
+    /// the session itself so a resumed loop continues where the
+    /// checkpoint left off.
+    pub(crate) fn step_epoch(
+        &self,
+        state: &mut AdaptState<'_>,
+        dataset: &Dataset,
+        profile_db: &ProfileDb,
+        constraints: &RuntimeConstraints,
+        total_epochs: usize,
+    ) -> Result<(), AdaptError> {
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        let epoch = state.session.epochs_run();
+        let stats = state.session.run_epoch()?;
+        state.observed.push(observed_record(
+            dataset,
+            &self.platform,
+            state.session.config(),
+            &stats,
+        ));
 
-            let verdict = detector.observe(
-                &EpochSignal {
-                    time_s: predicted.time_s,
-                    hit_rate: predicted.hit_rate,
-                    mem_bytes: predicted.mem_bytes,
-                },
-                &EpochSignal {
-                    time_s: stats.sim_s,
-                    hit_rate: stats.hit_rate,
-                    mem_bytes: stats.peak_mem_bytes as f64,
-                },
+        let verdict = state.detector.observe(
+            &EpochSignal {
+                time_s: state.predicted.time_s,
+                hit_rate: state.predicted.hit_rate,
+                mem_bytes: state.predicted.mem_bytes,
+            },
+            &EpochSignal {
+                time_s: stats.sim_s,
+                hit_rate: stats.hit_rate,
+                mem_bytes: stats.peak_mem_bytes as f64,
+            },
+        );
+        state.drift_scores.push(verdict.ewma);
+        if metrics.is_enabled() {
+            metrics.gauge_set(metric::ADAPT_DRIFT_SCORE, verdict.ewma);
+        }
+        if journal.is_enabled() {
+            journal.instant(
+                metric::EVENT_DRIFT,
+                metric::TRACK_ADAPT,
+                Some(state.session.sim_time_total().as_secs() * 1e6),
+                vec![
+                    ("epoch".into(), (epoch as u64).into()),
+                    ("score".into(), verdict.score.into()),
+                    ("ewma".into(), verdict.ewma.into()),
+                    ("triggered".into(), verdict.triggered.into()),
+                ],
             );
-            drift_scores.push(verdict.ewma);
-            if metrics.is_enabled() {
-                metrics.gauge_set(metric::ADAPT_DRIFT_SCORE, verdict.ewma);
-            }
-            if journal.is_enabled() {
-                journal.instant(
-                    metric::EVENT_DRIFT,
-                    metric::TRACK_ADAPT,
-                    Some(session.sim_time_total().as_secs() * 1e6),
-                    vec![
-                        ("epoch".into(), (epoch as u64).into()),
-                        ("score".into(), verdict.score.into()),
-                        ("ewma".into(), verdict.ewma.into()),
-                        ("triggered".into(), verdict.triggered.into()),
-                    ],
-                );
-            }
-
-            // A recovery-ladder degradation means the config we are
-            // executing is no longer the config we planned — re-explore
-            // even if the drift band has not caught up yet.
-            let degradations = session.recovery().degradations.len();
-            let degraded = degradations > seen_degradations;
-            seen_degradations = degradations;
-
-            let remaining = exec_opts.epochs - (epoch + 1);
-            if (verdict.triggered || degraded)
-                && remaining > 0
-                && (switches.len() as u32) < self.opts.max_switches
-            {
-                reexplorations += 1;
-                let switched = self.reexplore(
-                    dataset,
-                    &mut session,
-                    profile_db,
-                    &observed,
-                    &mut seeds,
-                    priority,
-                    constraints,
-                    exec_opts.epochs,
-                    remaining,
-                    epoch,
-                    verdict.ewma,
-                    &mut audit,
-                )?;
-                if let Some(plan) = switched {
-                    predicted = plan.predicted;
-                    switches.push(plan);
-                }
-                // Whether we switched (new baseline) or stayed (the
-                // refreshed search endorsed the current config), the
-                // drift band restarts: a cooldown against thrashing.
-                detector.reset();
-            }
         }
 
-        let report = session.finish()?;
-        Ok(AdaptiveReport { report, switches, drift_scores, reexplorations, audit })
+        // A recovery-ladder degradation means the config we are
+        // executing is no longer the config we planned — re-explore
+        // even if the drift band has not caught up yet.
+        let degradations = state.session.recovery().degradations.len();
+        let degraded = degradations > state.seen_degradations;
+        state.seen_degradations = degradations;
+
+        let remaining = total_epochs - (epoch + 1);
+        if (verdict.triggered || degraded)
+            && remaining > 0
+            && (state.switches.len() as u32) < self.opts.max_switches
+        {
+            state.reexplorations += 1;
+            let switched = self.reexplore(
+                dataset,
+                &mut state.session,
+                profile_db,
+                &state.observed,
+                &mut state.seeds,
+                state.priority,
+                constraints,
+                total_epochs,
+                remaining,
+                epoch,
+                verdict.ewma,
+                &mut state.audit,
+            )?;
+            if let Some(plan) = switched {
+                state.predicted = plan.predicted;
+                state.switches.push(plan);
+            }
+            // Whether we switched (new baseline) or stayed (the
+            // refreshed search endorsed the current config), the
+            // drift band restarts: a cooldown against thrashing.
+            state.detector.reset();
+        }
+        Ok(())
     }
 
     /// One incremental re-exploration: warm-start refit on observed
@@ -407,6 +440,48 @@ impl AdaptiveRunner {
             drift_ewma,
             reexplore_wall_ms,
         }))
+    }
+}
+
+/// The adaptive loop's full mutable state, shared between the plain
+/// and durable drivers. Everything here (minus the borrowed session's
+/// dataset) is captured by an adaptive checkpoint.
+pub(crate) struct AdaptState<'d> {
+    /// The running (possibly switched/degraded) training session.
+    pub session: ExecutionSession<'d>,
+    /// The exploration priority, fixed for the run.
+    pub priority: Priority,
+    /// Prediction for the currently running guideline (drift baseline).
+    pub predicted: PerfEstimate,
+    /// Seed configs of the next re-exploration.
+    pub seeds: Vec<TrainingConfig>,
+    /// The EWMA drift detector.
+    pub detector: DriftDetector,
+    /// Observed epochs, as warm-start profile records.
+    pub observed: Vec<ProfileRecord>,
+    /// Switches performed so far.
+    pub switches: Vec<SwitchPlan>,
+    /// Per-epoch drift EWMAs.
+    pub drift_scores: Vec<f64>,
+    /// Audit records appended by the adaptive layer.
+    pub audit: Vec<AuditRecord>,
+    /// Re-explorations performed.
+    pub reexplorations: u32,
+    /// Degradation count already accounted for.
+    pub seen_degradations: usize,
+}
+
+impl AdaptState<'_> {
+    /// Finishes the session and assembles the adaptive report.
+    pub(crate) fn into_report(self) -> Result<AdaptiveReport, AdaptError> {
+        let report = self.session.finish()?;
+        Ok(AdaptiveReport {
+            report,
+            switches: self.switches,
+            drift_scores: self.drift_scores,
+            reexplorations: self.reexplorations,
+            audit: self.audit,
+        })
     }
 }
 

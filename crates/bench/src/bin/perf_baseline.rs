@@ -25,7 +25,9 @@ use gnnav_hwsim::Platform;
 use gnnav_nn::{Adam, GnnModel, Matrix, ModelKind};
 use gnnav_obs::names as metric;
 use gnnav_obs::Snapshot;
-use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+use gnnav_runtime::{
+    DesignSpace, DurabilityOptions, ExecutionOptions, RuntimeBackend, TrainingConfig,
+};
 use std::path::Path;
 
 const SCALE: f64 = 0.02;
@@ -37,7 +39,7 @@ const SEED: u64 = 0x7A51;
 /// baseline. `alloc.steady_state_allocs_per_epoch` rides along: the
 /// training hot path's zero-allocation steady state is a gated
 /// invariant, not just a claim.
-const PINNED_ZERO: [&str; 10] = [
+const PINNED_ZERO: [&str; 17] = [
     metric::FAULTS_INJECTED,
     metric::BACKEND_RETRIES,
     metric::BACKEND_DEGRADATIONS,
@@ -48,7 +50,23 @@ const PINNED_ZERO: [&str; 10] = [
     metric::EXPLORER_FALLBACKS,
     metric::EXPLORER_NONFINITE,
     metric::ALLOC_STEADY_PER_EPOCH,
+    // The baseline workloads run on the ephemeral path: nothing may
+    // touch the durable store. The checkpoint cost that *is* gated
+    // rides along under `bench.checkpoint.*` (see `durable_probe`).
+    metric::STORE_WAL_APPENDS,
+    metric::STORE_WAL_REPLAYED,
+    metric::STORE_WAL_TORN_TRUNCATED,
+    metric::STORE_WAL_CRC_FAILURES,
+    metric::STORE_CHECKPOINT_WRITES,
+    metric::STORE_CHECKPOINT_RESUMES,
+    metric::STORE_CHECKPOINT_REJECTED,
 ];
+
+/// Per-epoch checkpoint write cost, measured by `durable_probe` in an
+/// isolated metrics window and folded into `BENCH_backend.json` under
+/// these names (so the `store.*` series proper stay pinned at zero).
+const BENCH_CHECKPOINT_WRITES: &str = "bench.checkpoint.writes";
+const BENCH_CHECKPOINT_BYTES_PER_WRITE: &str = "bench.checkpoint.bytes_per_write";
 
 fn assert_clean(name: &str, snapshot: &Snapshot) {
     for key in PINNED_ZERO {
@@ -69,12 +87,38 @@ fn deterministic(snapshot: Snapshot) -> Snapshot {
     kept
 }
 
+/// Runs the backend workload once on the durable path in a throwaway
+/// checkpoint directory and returns `(writes, bytes_per_write)` — the
+/// per-epoch checkpoint write cost. Measured in its own metrics window
+/// so the `store.*` series stay zero-pinned on the snapshot proper.
+fn durable_probe(dataset: &Dataset) -> (u64, u64) {
+    let metrics = gnnav_obs::global();
+    metrics.reset();
+    let dir = std::env::temp_dir().join(format!("gnnav-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend = RuntimeBackend::new(Platform::default_rtx4090());
+    let opts = ExecutionOptions { epochs: 2, seed: SEED, ..Default::default() };
+    let dur = DurabilityOptions::new(&dir, 1);
+    backend
+        .execute_durable(dataset, &TrainingConfig::default(), &opts, &dur)
+        .expect("durable backend run");
+    let snap = metrics.snapshot();
+    let writes = snap.counters.get(metric::STORE_CHECKPOINT_WRITES).copied().unwrap_or(0);
+    let bytes = snap.gauges.get(metric::STORE_CHECKPOINT_BYTES).copied().unwrap_or(0.0) as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(writes > 0, "durable probe wrote no checkpoints");
+    (writes, bytes)
+}
+
 fn backend_baseline(dataset: &Dataset) -> Snapshot {
+    let (ckpt_writes, ckpt_bytes) = durable_probe(dataset);
     let metrics = gnnav_obs::global();
     metrics.reset();
     let backend = RuntimeBackend::new(Platform::default_rtx4090());
     let opts = ExecutionOptions { epochs: 2, seed: SEED, ..Default::default() };
     backend.execute(dataset, &TrainingConfig::default(), &opts).expect("backend run");
+    metrics.add(BENCH_CHECKPOINT_WRITES, ckpt_writes);
+    metrics.add(BENCH_CHECKPOINT_BYTES_PER_WRITE, ckpt_bytes);
     deterministic(metrics.snapshot())
 }
 
@@ -175,7 +219,10 @@ fn main() {
     ] {
         assert_clean(name, &snapshot);
         let path = out_dir.join(name);
-        std::fs::write(&path, snapshot.to_json()).expect("write baseline");
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!(
             "{} written ({} counters, {} gauges)",
             path.display(),

@@ -50,6 +50,34 @@ impl CacheStats {
     }
 }
 
+/// Serializable snapshot of a cache's observable state, for
+/// checkpoint/resume. `resident` is in the policy's canonical order
+/// (FIFO queue front→back, LRU MRU→LRU, LFU/static ascending id);
+/// the `freq`/`heap`/`seq` fields are LFU-only and empty elsewhere.
+///
+/// Restoring a snapshot onto a freshly built cache of the same
+/// policy, capacity, and graph reproduces the original's observable
+/// behavior exactly: every subsequent lookup/update/eviction decision
+/// matches what the snapshotted instance would have done.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Capacity the snapshot was taken at (restore sanity check).
+    pub capacity: usize,
+    /// Resident node ids in canonical per-policy order.
+    pub resident: Vec<NodeId>,
+    /// LFU per-node access-frequency table.
+    pub freq: Vec<u32>,
+    /// LFU lazy-heap entries `(freq, seq, node)`. All entries are
+    /// distinct (`seq` is unique), so pop order — and therefore
+    /// eviction behavior — is a pure function of this multiset,
+    /// independent of internal heap layout.
+    pub heap: Vec<(u32, u64, NodeId)>,
+    /// LFU reindex sequence counter.
+    pub seq: u64,
+    /// Cumulative stats at snapshot time.
+    pub stats: CacheStats,
+}
+
 /// A device feature cache.
 ///
 /// Implementations store node *ids* (each standing for one resident
@@ -88,6 +116,32 @@ pub trait Cache: std::fmt::Debug + Send {
 
     /// Cumulative statistics.
     fn stats(&self) -> CacheStats;
+
+    /// Captures the cache's observable state for checkpointing.
+    fn snapshot(&self) -> CacheSnapshot;
+
+    /// Restores state captured by [`Cache::snapshot`] from a cache of
+    /// the same policy, capacity, and graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch (wrong capacity, node id
+    /// out of range) without modifying the cache.
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String>;
+}
+
+/// Shared restore sanity checks.
+fn check_snapshot(snap: &CacheSnapshot, capacity: usize, num_nodes: usize) -> Result<(), String> {
+    if snap.capacity != capacity {
+        return Err(format!(
+            "snapshot capacity {} does not match cache capacity {capacity}",
+            snap.capacity
+        ));
+    }
+    if let Some(&v) = snap.resident.iter().find(|&&v| v as usize >= num_nodes) {
+        return Err(format!("snapshot resident node {v} out of range (graph has {num_nodes})"));
+    }
+    Ok(())
 }
 
 /// Builds a cache of `capacity` entries with the given policy.
@@ -162,6 +216,16 @@ impl Cache for NoCache {
     fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot { capacity: 0, stats: self.stats, ..CacheSnapshot::default() }
+    }
+
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String> {
+        check_snapshot(snap, 0, self.num_nodes)?;
+        self.stats = snap.stats;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -234,6 +298,27 @@ impl Cache for StaticDegreeCache {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn snapshot(&self) -> CacheSnapshot {
+        // The entry set is a pure function of (graph, capacity), so
+        // only the stats are mutable state; entries ride along for
+        // the restore sanity check.
+        CacheSnapshot {
+            capacity: self.capacity,
+            resident: self.entries.clone(),
+            stats: self.stats,
+            ..CacheSnapshot::default()
+        }
+    }
+
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String> {
+        check_snapshot(snap, self.capacity, self.resident.len())?;
+        if snap.resident != self.entries {
+            return Err("static-degree snapshot resident set does not match graph".into());
+        }
+        self.stats = snap.stats;
+        Ok(())
     }
 }
 
@@ -321,6 +406,27 @@ impl Cache for FifoCache {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            capacity: self.capacity,
+            resident: self.queue.iter().copied().collect(),
+            stats: self.stats,
+            ..CacheSnapshot::default()
+        }
+    }
+
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String> {
+        check_snapshot(snap, self.capacity, self.resident.len())?;
+        self.resident.iter_mut().for_each(|r| *r = false);
+        self.queue.clear();
+        for &v in &snap.resident {
+            self.queue.push_back(v);
+            self.resident[v as usize] = true;
+        }
+        self.stats = snap.stats;
+        Ok(())
     }
 }
 
@@ -466,6 +572,33 @@ impl Cache for LruCache {
     fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            capacity: self.capacity,
+            resident: Cache::resident(self),
+            stats: self.stats,
+            ..CacheSnapshot::default()
+        }
+    }
+
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String> {
+        check_snapshot(snap, self.capacity, self.resident.len())?;
+        self.resident.iter_mut().for_each(|r| *r = false);
+        self.prev.iter_mut().for_each(|p| *p = NIL);
+        self.next.iter_mut().for_each(|n| *n = NIL);
+        self.head = NIL;
+        self.tail = NIL;
+        // `resident` is MRU→LRU; rebuilding front-first in reverse
+        // order reconstructs the exact recency list.
+        for &v in snap.resident.iter().rev() {
+            self.push_front(v);
+            self.resident[v as usize] = true;
+        }
+        self.len = snap.resident.len();
+        self.stats = snap.stats;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -579,6 +712,42 @@ impl Cache for LfuCache {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn snapshot(&self) -> CacheSnapshot {
+        // The lazy heap's entries are all distinct (unique `seq`), so
+        // its pop sequence is determined by the entry multiset alone;
+        // capturing the entries in internal order and re-heapifying on
+        // restore reproduces eviction behavior exactly.
+        CacheSnapshot {
+            capacity: self.capacity,
+            resident: Cache::resident(self),
+            freq: self.freq.clone(),
+            heap: self.heap.iter().map(|Reverse(t)| *t).collect(),
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    fn restore(&mut self, snap: &CacheSnapshot) -> Result<(), String> {
+        check_snapshot(snap, self.capacity, self.resident.len())?;
+        if snap.freq.len() != self.freq.len() {
+            return Err(format!(
+                "LFU snapshot frequency table covers {} nodes, cache has {}",
+                snap.freq.len(),
+                self.freq.len()
+            ));
+        }
+        self.freq.copy_from_slice(&snap.freq);
+        self.resident.iter_mut().for_each(|r| *r = false);
+        for &v in &snap.resident {
+            self.resident[v as usize] = true;
+        }
+        self.heap = snap.heap.iter().map(|&t| Reverse(t)).collect();
+        self.seq = snap.seq;
+        self.len = snap.resident.len();
+        self.stats = snap.stats;
+        Ok(())
     }
 }
 

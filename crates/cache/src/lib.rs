@@ -28,7 +28,7 @@ pub mod cache;
 pub mod policy;
 
 pub use cache::{
-    build_cache, entries_for_budget, Cache, CacheStats, FifoCache, LfuCache, LookupOutcome,
-    LruCache, NoCache, StaticDegreeCache,
+    build_cache, entries_for_budget, Cache, CacheSnapshot, CacheStats, FifoCache, LfuCache,
+    LookupOutcome, LruCache, NoCache, StaticDegreeCache,
 };
 pub use policy::{CachePolicy, ParsePolicyError};

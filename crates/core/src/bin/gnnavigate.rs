@@ -44,6 +44,17 @@ OPTIONS:
     --seed <N>                     pipeline seed (profiling + exploration)
     --fault-plan <PATH>            inject deterministic faults from a JSON plan
                                    (chaos testing; see EXPERIMENTS.md)
+    --profile-db <PATH>            durable WAL-backed profile store: configs it
+                                   already covers are not re-profiled; fresh
+                                   records are appended (see docs/DURABILITY.md)
+    --checkpoint-dir <PATH>        write crash-safe training checkpoints into
+                                   this directory while applying the guideline
+    --checkpoint-every <N>         checkpoint every N completed epochs
+                                   (requires --checkpoint-dir)  [default: 1]
+    --resume                       resume from the newest valid checkpoint in
+                                   --checkpoint-dir; cold-starts when none
+                                   survives. A killed run resumed this way ends
+                                   with a byte-identical report
     --adapt                        apply the guideline adaptively: watch drift
                                    against the estimate, re-explore, and switch
                                    guidelines mid-training
@@ -88,6 +99,10 @@ struct Args {
     epochs: Option<usize>,
     seed: Option<u64>,
     fault_plan: Option<std::path::PathBuf>,
+    profile_db: Option<std::path::PathBuf>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
     adapt: bool,
     drift_threshold: Option<f64>,
     metrics_out: Option<std::path::PathBuf>,
@@ -112,6 +127,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         epochs: None,
         seed: None,
         fault_plan: None,
+        profile_db: None,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
         adapt: false,
         drift_threshold: None,
         metrics_out: None,
@@ -203,6 +222,22 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--fault-plan" => {
                 args.fault_plan = Some(value("--fault-plan")?.into());
             }
+            "--profile-db" => {
+                args.profile_db = Some(value("--profile-db")?.into());
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
+            }
+            "--checkpoint-every" => {
+                let n: usize = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be >= 1".into());
+                }
+                args.checkpoint_every = Some(n);
+            }
+            "--resume" => args.resume = true,
             "--adapt" => args.adapt = true,
             "--drift-threshold" => {
                 let t: f64 = value("--drift-threshold")?
@@ -239,6 +274,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.checkpoint_dir.is_none() {
+        if args.checkpoint_every.is_some() {
+            return Err("--checkpoint-every requires --checkpoint-dir".into());
+        }
+        if args.resume {
+            return Err("--resume requires --checkpoint-dir".into());
         }
     }
     Ok(args)
@@ -399,8 +442,7 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         options.seed = s;
     }
     if let Some(path) = &args.fault_plan {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let plan = gnnavigator::faults::FaultPlan::from_json(&text)
+        let plan = gnnavigator::faults::FaultPlan::load(path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!(
             "fault plan loaded from {} (seed {}, {} spec(s))",
@@ -412,8 +454,34 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         options.apply_exec.fault_plan = Some(plan);
     }
     let mut nav = Navigator::new(dataset, args.platform, args.model).with_options(options);
+    if let Some(path) = &args.profile_db {
+        let store = gnnavigator::estimator::ProfileStore::open(path)?;
+        let rec = store.recovery();
+        if !rec.is_clean() {
+            eprintln!(
+                "warning: profile db {} recovered: {} torn record(s) truncated, \
+                 {} record(s) failed CRC and were dropped",
+                path.display(),
+                rec.torn_truncated,
+                rec.crc_failures
+            );
+        }
+        if store.undecodable() > 0 {
+            eprintln!(
+                "warning: profile db {} holds {} undecodable record(s) \
+                 (foreign version?); they are ignored",
+                path.display(),
+                store.undecodable()
+            );
+        }
+        eprintln!("profile db {}: {} record(s) loaded", path.display(), store.len());
+        nav = nav.with_profile_store(store);
+    }
     eprintln!("profiling design space + fitting gray-box estimator...");
     nav.prepare()?;
+    if let Some(store) = nav.profile_store() {
+        eprintln!("profile db now holds {} record(s)", store.len());
+    }
     eprintln!("exploring guidelines...");
     let result = nav.generate_guideline(args.priority, &args.constraints)?;
     println!("\nguideline: {}", result.guideline.config.summary());
@@ -425,13 +493,31 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("warning: {reason}");
     }
 
+    let durability = args.checkpoint_dir.as_ref().map(|dir| {
+        let d = gnnavigator::runtime::DurabilityOptions {
+            dir: dir.clone(),
+            every: args.checkpoint_every.unwrap_or(1),
+            resume: args.resume,
+        };
+        eprintln!(
+            "durability: checkpointing into {} every {} epoch(s){}",
+            d.dir.display(),
+            d.every,
+            if d.resume { ", resuming from the newest valid checkpoint" } else { "" }
+        );
+        d
+    });
+
     let mut adapt_audit = Vec::new();
     let guided = if args.adapt {
         let mut adapt = gnnavigator::adapt::AdaptOptions::default();
         if let Some(t) = args.drift_threshold {
             adapt.drift.threshold = t;
         }
-        let outcome = nav.apply_adaptive(&result, &args.constraints, adapt)?;
+        let outcome = match &durability {
+            Some(d) => nav.apply_adaptive_durable(&result, &args.constraints, adapt, d)?,
+            None => nav.apply_adaptive(&result, &args.constraints, adapt)?,
+        };
         if outcome.switches.is_empty() {
             if outcome.reexplorations == 0 {
                 eprintln!(
@@ -462,7 +548,10 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         adapt_audit = outcome.audit;
         outcome.report
     } else {
-        nav.apply(&result.guideline)?
+        match &durability {
+            Some(d) => nav.apply_durable(&result.guideline, d)?,
+            None => nav.apply(&result.guideline)?,
+        }
     };
     let rec = &guided.recovery;
     if !rec.is_clean() {
@@ -511,7 +600,8 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         println!("\nmetrics:\n{}", metrics.snapshot().to_table());
     }
     if let Some(path) = &args.metrics_out {
-        std::fs::write(path, metrics.snapshot().to_json())?;
+        std::fs::write(path, metrics.snapshot().to_json())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("metrics written to {}", path.display());
     }
     if tracing {
@@ -524,7 +614,8 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         if let Some(path) = &args.trace_out {
-            std::fs::write(path, journal.to_chrome_trace())?;
+            std::fs::write(path, journal.to_chrome_trace())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
             eprintln!(
                 "chrome trace written to {} (open in https://ui.perfetto.dev)",
                 path.display()
@@ -534,7 +625,8 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             std::fs::write(
                 path,
                 gnnavigator::obs::flame::folded_stacks(&journal, args.flame_weight),
-            )?;
+            )
+            .map_err(|e| format!("{}: {e}", path.display()))?;
             eprintln!(
                 "folded stacks ({}-weighted) written to {}",
                 args.flame_weight.label(),
@@ -548,7 +640,8 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &args.audit_out {
         let mut audit = result.audit.clone();
         audit.extend(adapt_audit);
-        std::fs::write(path, gnnavigator::explorer::audit_to_json(&audit))?;
+        std::fs::write(path, gnnavigator::explorer::audit_to_json(&audit))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("decision audit ({} records) written to {}", audit.len(), path.display());
     }
     Ok(())

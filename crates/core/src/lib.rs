@@ -66,6 +66,8 @@ pub use gnnav_obs as obs;
 pub use gnnav_runtime as runtime;
 /// Unified sampling abstraction.
 pub use gnnav_sampler as sampler;
+/// Crash-safe durable storage: WAL, checkpoints, corruption tools.
+pub use gnnav_store as store;
 
 pub use gnnav_explorer::{Guideline, Priority, RuntimeConstraints};
 pub use gnnav_runtime::{Template, TrainingConfig};
@@ -88,6 +90,8 @@ pub enum NavigatorError {
     Explorer(gnnav_explorer::ExplorerError),
     /// Adaptive execution failed.
     Adapt(gnnav_adapt::AdaptError),
+    /// A durable-store operation (profile store, checkpoint) failed.
+    Store(gnnav_store::StoreError),
     /// A pipeline step failed with a contextual message.
     Pipeline(String),
 }
@@ -102,6 +106,7 @@ impl fmt::Display for NavigatorError {
             NavigatorError::Estimator(e) => write!(f, "estimator error: {e}"),
             NavigatorError::Explorer(e) => write!(f, "explorer error: {e}"),
             NavigatorError::Adapt(e) => write!(f, "adaptive execution error: {e}"),
+            NavigatorError::Store(e) => write!(f, "store error: {e}"),
             NavigatorError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
@@ -114,6 +119,7 @@ impl Error for NavigatorError {
             NavigatorError::Estimator(e) => Some(e),
             NavigatorError::Explorer(e) => Some(e),
             NavigatorError::Adapt(e) => Some(e),
+            NavigatorError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -140,6 +146,12 @@ impl From<gnnav_explorer::ExplorerError> for NavigatorError {
 impl From<gnnav_adapt::AdaptError> for NavigatorError {
     fn from(e: gnnav_adapt::AdaptError) -> Self {
         NavigatorError::Adapt(e)
+    }
+}
+
+impl From<gnnav_store::StoreError> for NavigatorError {
+    fn from(e: gnnav_store::StoreError) -> Self {
+        NavigatorError::Store(e)
     }
 }
 

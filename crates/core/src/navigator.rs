@@ -12,13 +12,14 @@
 
 use crate::NavigatorError;
 use gnnav_adapt::{AdaptOptions, AdaptiveReport, AdaptiveRunner};
-use gnnav_estimator::{GrayBoxEstimator, ProfileDb, Profiler};
+use gnnav_estimator::{profile_fingerprint, GrayBoxEstimator, ProfileDb, ProfileStore, Profiler};
 use gnnav_explorer::{ExplorationResult, Explorer, Guideline, Priority, RuntimeConstraints};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
 use gnnav_runtime::{
-    DesignSpace, ExecutionOptions, ExecutionReport, RuntimeBackend, Template, TrainingConfig,
+    DesignSpace, DurabilityOptions, ExecutionOptions, ExecutionReport, RuntimeBackend, Template,
+    TrainingConfig,
 };
 
 /// Tunables of the navigator pipeline.
@@ -101,6 +102,7 @@ pub struct Navigator {
     options: NavigatorOptions,
     estimator: Option<GrayBoxEstimator>,
     profile_db: ProfileDb,
+    profile_store: Option<ProfileStore>,
 }
 
 impl Navigator {
@@ -116,6 +118,7 @@ impl Navigator {
             options: NavigatorOptions::default(),
             estimator: None,
             profile_db: ProfileDb::new(),
+            profile_store: None,
         }
     }
 
@@ -123,6 +126,21 @@ impl Navigator {
     pub fn with_options(mut self, options: NavigatorOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Attaches a durable [`ProfileStore`]: [`Navigator::prepare`]
+    /// skips every configuration the store already covers and appends
+    /// each freshly profiled record, so repeat invocations against the
+    /// same store re-profile nothing and still fit on a byte-identical
+    /// database.
+    pub fn with_profile_store(mut self, store: ProfileStore) -> Self {
+        self.profile_store = Some(store);
+        self
+    }
+
+    /// The attached profile store, if any.
+    pub fn profile_store(&self) -> Option<&ProfileStore> {
+        self.profile_store.as_ref()
     }
 
     /// The dataset under navigation.
@@ -151,7 +169,13 @@ impl Navigator {
         let profiler = Profiler::new(self.backend.clone(), self.options.profile_exec.clone());
         let configs =
             self.options.space.sample(self.options.profile_samples, self.model, self.options.seed);
-        let db = profiler.profile(&self.dataset, &configs)?;
+        let db = Self::profile_with_store(
+            &profiler,
+            &self.platform,
+            self.profile_store.as_mut(),
+            &self.dataset,
+            &configs,
+        )?;
         self.profile_db.merge(db);
         if self.options.augmentation_graphs > 0 {
             let aug_configs = self.options.space.sample(
@@ -159,20 +183,87 @@ impl Navigator {
                 self.model,
                 self.options.seed ^ 0xA06,
             );
-            let aug = profiler
-                .profile_augmentation(
-                    self.options.augmentation_graphs,
+            // The augmentation loop mirrors
+            // `Profiler::profile_augmentation` graph for graph (same
+            // degrees and seeds), regenerating each synthetic dataset
+            // so its fingerprints can be checked against the store.
+            let seed = self.options.seed ^ 0x9999;
+            for i in 0..self.options.augmentation_graphs {
+                let dataset = Dataset::synthetic(
                     self.options.augmentation_nodes,
-                    &aug_configs,
-                    self.options.seed ^ 0x9999,
+                    3 + (i % 5),
+                    64,
+                    16,
+                    seed.wrapping_add(i as u64),
                 )
                 .map_err(|e| NavigatorError::Pipeline(e.to_string()))?;
-            self.profile_db.merge(aug);
+                let aug = Self::profile_with_store(
+                    &profiler,
+                    &self.platform,
+                    self.profile_store.as_mut(),
+                    &dataset,
+                    &aug_configs,
+                )?;
+                self.profile_db.merge(aug);
+            }
         }
         let mut estimator = GrayBoxEstimator::new();
         estimator.fit(&self.profile_db)?;
         self.estimator = Some(estimator);
         Ok(self.estimator.as_ref().expect("just set"))
+    }
+
+    /// Profiles `configs` on `dataset`, pulling already-covered
+    /// records from the store and appending fresh ones, so the
+    /// returned database is in config order either way — a warm run
+    /// assembles the byte-identical database of the cold run without
+    /// executing a single redundant sweep config.
+    fn profile_with_store(
+        profiler: &Profiler,
+        platform: &Platform,
+        store: Option<&mut ProfileStore>,
+        dataset: &Dataset,
+        configs: &[TrainingConfig],
+    ) -> Result<ProfileDb, NavigatorError> {
+        let Some(store) = store else {
+            return Ok(profiler.profile(dataset, configs)?);
+        };
+        let fps: Vec<u64> =
+            configs.iter().map(|c| profile_fingerprint(dataset, platform, c)).collect();
+        let uncovered: Vec<usize> =
+            (0..configs.len()).filter(|&i| !store.contains(fps[i])).collect();
+        let mut fresh: std::collections::HashMap<usize, gnnav_estimator::ProfileRecord> =
+            std::collections::HashMap::new();
+        if !uncovered.is_empty() {
+            let cfgs: Vec<TrainingConfig> = uncovered.iter().map(|&i| configs[i].clone()).collect();
+            let db = profiler.profile(dataset, &cfgs)?;
+            // Fresh records come back in subset order; configs that
+            // failed to execute (infeasible points) leave gaps, so
+            // match sequentially by config equality.
+            let mut j = 0usize;
+            for rec in db.records() {
+                while j < uncovered.len() && configs[uncovered[j]] != rec.context.config {
+                    j += 1;
+                }
+                if j == uncovered.len() {
+                    break;
+                }
+                store.insert(rec)?;
+                fresh.insert(uncovered[j], rec.clone());
+                j += 1;
+            }
+        }
+        let mut db = ProfileDb::new();
+        for (i, fp) in fps.iter().enumerate() {
+            if let Some(r) = fresh.get(&i) {
+                db.push(r.clone());
+            } else if let Some(r) = store.get(*fp) {
+                db.push(r.clone());
+            }
+            // Neither stored nor freshly profiled: the config failed
+            // to execute — skipped exactly like a cold sweep skips it.
+        }
+        Ok(db)
     }
 
     /// Generates the guideline for one priority.
@@ -248,6 +339,60 @@ impl Navigator {
         )?)
     }
 
+    /// Applies a guideline with crash-safe checkpointing: the run
+    /// writes an atomic checkpoint every `dur.every` epochs into
+    /// `dur.dir` and, with `dur.resume`, continues from the latest
+    /// valid checkpoint instead of epoch 0. A run killed at any epoch
+    /// boundary and resumed this way produces the byte-identical
+    /// [`ExecutionReport`] of an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and checkpoint-store failures.
+    pub fn apply_durable(
+        &self,
+        guideline: &Guideline,
+        dur: &DurabilityOptions,
+    ) -> Result<ExecutionReport, NavigatorError> {
+        Ok(self.backend.execute_durable(
+            &self.dataset,
+            &guideline.config,
+            &self.options.apply_exec,
+            dur,
+        )?)
+    }
+
+    /// [`Navigator::apply_adaptive`] with crash-safe checkpointing:
+    /// drift state, guideline switches, and the underlying training
+    /// session all checkpoint together, so a killed adaptive run
+    /// resumes mid-training with its drift history intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NavigatorError::NotPrepared`] before
+    /// [`Navigator::prepare`]; otherwise propagates backend, refit,
+    /// re-exploration, and checkpoint-store failures.
+    pub fn apply_adaptive_durable(
+        &self,
+        exploration: &ExplorationResult,
+        constraints: &RuntimeConstraints,
+        adapt: AdaptOptions,
+        dur: &DurabilityOptions,
+    ) -> Result<AdaptiveReport, NavigatorError> {
+        if self.estimator.is_none() {
+            return Err(NavigatorError::NotPrepared);
+        }
+        let runner = AdaptiveRunner::new(self.platform.clone(), adapt);
+        Ok(runner.run_durable(
+            &self.dataset,
+            exploration,
+            &self.profile_db,
+            &self.options.apply_exec,
+            constraints,
+            dur,
+        )?)
+    }
+
     /// Runs a baseline template under the same execution options, for
     /// comparison rows.
     ///
@@ -314,6 +459,41 @@ mod tests {
             nav.generate_guideline(Priority::Balance, &RuntimeConstraints::none()),
             Err(NavigatorError::NotPrepared)
         ));
+    }
+
+    #[test]
+    fn warm_prepare_reuses_store_and_matches_cold_guideline() {
+        let dir = std::env::temp_dir().join(format!("gnnav-nav-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let db_path = dir.join("profiles.db");
+        let _ = std::fs::remove_file(&db_path);
+
+        let store = ProfileStore::open(&db_path).expect("open cold");
+        let mut cold = fast_navigator().with_profile_store(store);
+        cold.prepare().expect("cold prepare");
+        let cold_guideline = cold
+            .generate_guideline(Priority::Balance, &RuntimeConstraints::none())
+            .expect("cold explore")
+            .guideline;
+        let stored = cold.profile_store().expect("store").len();
+        assert_eq!(stored, cold.profile_db().len(), "every profiled record persisted");
+
+        let store = ProfileStore::open(&db_path).expect("open warm");
+        assert_eq!(store.len(), stored, "records survive reopen");
+        let mut warm = fast_navigator().with_profile_store(store);
+        warm.prepare().expect("warm prepare");
+        assert_eq!(
+            warm.profile_store().expect("store").len(),
+            stored,
+            "warm prepare appends nothing — every config was covered"
+        );
+        let warm_guideline = warm
+            .generate_guideline(Priority::Balance, &RuntimeConstraints::none())
+            .expect("warm explore")
+            .guideline;
+        assert_eq!(warm_guideline.config, cold_guideline.config, "same fit, same guideline");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -293,6 +293,10 @@ fn sample_args(flag: &str) -> Option<Vec<&'static str>> {
         "--epochs" => vec!["1"],
         "--seed" => vec!["1"],
         "--fault-plan" => vec!["plan.json"],
+        "--profile-db" => vec!["profiles.db"],
+        "--checkpoint-dir" => vec!["ckpts"],
+        "--checkpoint-every" => vec!["2"],
+        "--resume" => vec![],
         "--adapt" => vec![],
         "--drift-threshold" => vec!["0.5"],
         "--metrics-out" => vec!["metrics.json"],
@@ -362,6 +366,75 @@ fn readme_flag_table_matches_help() {
         undocumented.is_empty(),
         "--help knows flags the README flag table omits: {undocumented:?}"
     );
+}
+
+#[test]
+fn warm_profile_db_invocation_performs_zero_redundant_profiling() {
+    use gnnavigator::obs::json::{parse, Value};
+
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-psdb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let db = dir.join("profiles.db");
+
+    let run = |metrics_name: &str| {
+        let metrics_path = dir.join(metrics_name);
+        let out = gnnavigate()
+            .args(["--dataset", "RD2", "--scale", "0.01", "--seed", "3"])
+            .args(["--profile-samples", "12", "--explore-budget", "200"])
+            .arg("--profile-db")
+            .arg(&db)
+            .arg("--metrics-out")
+            .arg(&metrics_path)
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let guideline = stdout
+            .lines()
+            .find(|l| l.starts_with("guideline:"))
+            .expect("guideline line")
+            .to_string();
+        let json = std::fs::read_to_string(&metrics_path).expect("metrics written");
+        let doc = parse(&json).expect("metrics parse");
+        let profiled = doc
+            .get("counters")
+            .and_then(|c| c.get("profiler.records"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        (guideline, profiled)
+    };
+
+    let (cold_guideline, cold_profiled) = run("cold.json");
+    assert!(cold_profiled > 0.0, "cold run must profile ({cold_profiled})");
+    let (warm_guideline, warm_profiled) = run("warm.json");
+    assert_eq!(warm_profiled, 0.0, "warm run must not profile a single config");
+    assert_eq!(warm_guideline, cold_guideline, "warm run reaches the cold guideline");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durability_flags_require_checkpoint_dir() {
+    let out = gnnavigate().args(["--checkpoint-every", "2"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires --checkpoint-dir"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = gnnavigate().arg("--resume").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --checkpoint-dir"));
+}
+
+#[test]
+fn checkpoint_every_zero_is_rejected() {
+    let out = gnnavigate()
+        .args(["--checkpoint-dir", "ckpts", "--checkpoint-every", "0"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must be >= 1"));
 }
 
 #[test]

@@ -27,6 +27,7 @@ pub mod estimator;
 pub mod features;
 pub mod memory;
 pub mod profile;
+pub mod store;
 pub mod time;
 
 pub use accuracy::AccuracyEstimator;
@@ -35,6 +36,7 @@ pub use context::Context;
 pub use estimator::{GrayBoxEstimator, PerfEstimate, ValidationReport};
 pub use memory::MemoryEstimator;
 pub use profile::{ProfileDb, ProfileRecord, Profiler};
+pub use store::{fingerprint_of, profile_fingerprint, ProfileStore};
 pub use time::{HitRatePredictor, TimeEstimator};
 
 use std::error::Error;

@@ -54,17 +54,33 @@ pub enum FaultKind {
     /// The training loss of a step is forced to NaN, exercising the
     /// backend's NaN guard. Site = global training step.
     NanLoss,
+    /// The training process "dies" at an epoch boundary: the durable
+    /// driver returns a typed error without finishing, leaving only
+    /// the checkpoints written so far. Site = epoch index; attempt =
+    /// the lineage's persisted kill count, so `duration_attempts`
+    /// bounds how many times the same run may be killed.
+    ProcessKill,
+    /// The last durable write is torn: `magnitude` trailing bytes are
+    /// truncated from the just-written store file. Site = epoch index.
+    TornWrite,
+    /// One stored byte is corrupted: the byte at offset `magnitude`
+    /// (modulo file length) of the just-written store file gets a bit
+    /// flipped. Site = epoch index.
+    BitFlip,
 }
 
 impl FaultKind {
     /// Every kind, in schedule/tag order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::TransientOom,
         FaultKind::LinkDegrade,
         FaultKind::SamplerFailure,
         FaultKind::WorkerCrash,
         FaultKind::Straggler,
         FaultKind::NanLoss,
+        FaultKind::ProcessKill,
+        FaultKind::TornWrite,
+        FaultKind::BitFlip,
     ];
 
     /// Stable label used in JSON plans, metric names, and journal args.
@@ -76,6 +92,9 @@ impl FaultKind {
             FaultKind::WorkerCrash => "worker_crash",
             FaultKind::Straggler => "straggler",
             FaultKind::NanLoss => "nan_loss",
+            FaultKind::ProcessKill => "process_kill",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::BitFlip => "bit_flip",
         }
     }
 
@@ -94,6 +113,9 @@ impl FaultKind {
             FaultKind::WorkerCrash => 0x04,
             FaultKind::Straggler => 0x05,
             FaultKind::NanLoss => 0x06,
+            FaultKind::ProcessKill => 0x07,
+            FaultKind::TornWrite => 0x08,
+            FaultKind::BitFlip => 0x09,
         }
     }
 }
@@ -229,6 +251,15 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Loads and parses a plan from a JSON file, tagging I/O failures
+    /// with the offending path.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<FaultPlan, FaultError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FaultError::Io(path.to_path_buf(), e.to_string()))?;
+        FaultPlan::from_json(&text)
+    }
+
     /// Parses a plan from its JSON form (see [`to_json`](Self::to_json)
     /// for the schema) and validates it.
     pub fn from_json(input: &str) -> Result<FaultPlan, FaultError> {
@@ -258,6 +289,21 @@ impl FaultPlan {
             .ok_or_else(|| FaultError::Parse("missing 'faults' array".into()))?;
         let mut specs = Vec::with_capacity(faults.len());
         for (i, f) in faults.iter().enumerate() {
+            // Reject unknown keys loudly: a typoed "magntiude" must
+            // not silently fall back to the default.
+            const KNOWN_KEYS: [&str; 6] =
+                ["kind", "probability", "magnitude", "from", "until", "duration_attempts"];
+            match f {
+                Value::Obj(map) => {
+                    if let Some(key) = map.keys().find(|k| !KNOWN_KEYS.contains(&k.as_str())) {
+                        return Err(FaultError::Parse(format!(
+                            "fault {i}: unknown key '{key}' (known keys: {})",
+                            KNOWN_KEYS.join(", ")
+                        )));
+                    }
+                }
+                _ => return Err(FaultError::Parse(format!("fault {i}: not a JSON object"))),
+            }
             let kind_label = f
                 .get("kind")
                 .and_then(Value::as_str)
@@ -360,6 +406,8 @@ pub enum FaultError {
     Parse(String),
     /// The plan parsed but a rule is malformed.
     Invalid(String),
+    /// The plan file could not be read (path, OS error).
+    Io(std::path::PathBuf, String),
 }
 
 impl fmt::Display for FaultError {
@@ -367,6 +415,7 @@ impl fmt::Display for FaultError {
         match self {
             FaultError::Parse(m) => write!(f, "fault plan parse error: {m}"),
             FaultError::Invalid(m) => write!(f, "invalid fault plan: {m}"),
+            FaultError::Io(path, m) => write!(f, "fault plan {}: {m}", path.display()),
         }
     }
 }
@@ -602,6 +651,62 @@ mod tests {
     }
 
     #[test]
+    fn json_unknown_key_rejected_with_name() {
+        let typo =
+            r#"{"version": 1, "seed": 5, "faults": [{"kind": "nan_loss", "magntiude": 2.0}]}"#;
+        let err = FaultPlan::from_json(typo).expect_err("typoed key");
+        let msg = err.to_string();
+        assert!(msg.contains("magntiude"), "message names the bad key: {msg}");
+        assert!(msg.contains("magnitude"), "message lists the known keys: {msg}");
+
+        let non_obj = r#"{"version": 1, "seed": 5, "faults": [42]}"#;
+        assert!(FaultPlan::from_json(non_obj).is_err());
+    }
+
+    #[test]
+    fn json_probability_bounds_rejected_each_side() {
+        for p in ["-0.5", "1.5", "1e9"] {
+            let doc = format!(
+                r#"{{"version": 1, "seed": 5, "faults": [{{"kind": "bit_flip", "probability": {p}}}]}}"#
+            );
+            let err = FaultPlan::from_json(&doc).expect_err("out-of-range p");
+            assert!(err.to_string().contains("[0, 1]"), "p={p}: {err}");
+        }
+    }
+
+    #[test]
+    fn durability_kinds_round_trip_and_schedule() {
+        for kind in [FaultKind::ProcessKill, FaultKind::TornWrite, FaultKind::BitFlip] {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+            let plan = FaultPlan::new(21).with_fault(FaultSpec::new(kind).with_window(2, 3));
+            let parsed = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+            assert_eq!(parsed, plan);
+            let inj = FaultInjector::new(&plan);
+            assert_eq!(inj.schedule(kind, 0..8), vec![(2, 1.0)]);
+        }
+        // The three kinds draw from separated schedules.
+        let plan = FaultPlan::new(33)
+            .with_fault(FaultSpec::new(FaultKind::TornWrite).with_probability(0.5))
+            .with_fault(FaultSpec::new(FaultKind::BitFlip).with_probability(0.5));
+        let inj = FaultInjector::new(&plan);
+        assert_ne!(
+            inj.schedule(FaultKind::TornWrite, 0..512),
+            inj.schedule(FaultKind::BitFlip, 0..512)
+        );
+    }
+
+    #[test]
+    fn process_kill_duration_bounds_lineage_kills() {
+        // duration_attempts(1) kills a lineage exactly once: attempt 0
+        // (first life) fires, attempt 1 (after one resume) is clean.
+        let plan = FaultPlan::new(4)
+            .with_fault(FaultSpec::new(FaultKind::ProcessKill).with_duration_attempts(1));
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.would_inject(FaultKind::ProcessKill, 3, 0).is_some());
+        assert_eq!(inj.would_inject(FaultKind::ProcessKill, 3, 1), None);
+    }
+
+    #[test]
     fn validate_rejects_malformed_specs() {
         let bad_prob =
             FaultPlan::new(0).with_fault(FaultSpec::new(FaultKind::NanLoss).with_probability(-0.1));
@@ -613,5 +718,47 @@ mod tests {
             FaultPlan::new(0).with_fault(FaultSpec::new(FaultKind::NanLoss).with_window(5, 5));
         assert!(matches!(empty_window.validate(), Err(FaultError::Invalid(_))));
         assert!(FaultPlan::new(0).validate().is_ok());
+    }
+
+    #[test]
+    fn load_names_the_missing_file() {
+        let path = std::env::temp_dir().join("gnnav-faults-no-such-plan.json");
+        let err = FaultPlan::load(&path).expect_err("missing file must fail");
+        let FaultError::Io(p, msg) = &err else { panic!("expected Io, got {err:?}") };
+        assert_eq!(p, &path);
+        assert!(!msg.is_empty());
+        assert!(err.to_string().contains("gnnav-faults-no-such-plan.json"), "{err}");
+    }
+
+    #[test]
+    fn load_names_an_unreadable_path() {
+        // A directory is not readable as a file; the error still names it.
+        let dir = std::env::temp_dir().join(format!("gnnav-faults-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let err = FaultPlan::load(&dir).expect_err("directory must fail");
+        assert!(matches!(&err, FaultError::Io(p, _) if p == &dir), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_surfaces_malformed_json_as_parse_error() {
+        let path =
+            std::env::temp_dir().join(format!("gnnav-faults-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{not json").expect("write");
+        let err = FaultPlan::load(&path).expect_err("malformed JSON must fail");
+        assert!(matches!(err, FaultError::Parse(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_round_trips_a_written_plan() {
+        let path =
+            std::env::temp_dir().join(format!("gnnav-faults-rt-{}.json", std::process::id()));
+        let plan = FaultPlan::new(7)
+            .with_fault(FaultSpec::new(FaultKind::LinkDegrade).with_probability(0.5));
+        std::fs::write(&path, plan.to_json()).expect("write");
+        let loaded = FaultPlan::load(&path).expect("load");
+        assert_eq!(loaded, plan);
+        std::fs::remove_file(&path).ok();
     }
 }

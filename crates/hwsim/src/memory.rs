@@ -124,6 +124,14 @@ impl MemoryLedger {
     pub fn peak_bytes(&self) -> usize {
         self.peak
     }
+
+    /// Restores a previously observed peak (checkpoint resume): the
+    /// recorded high-water mark becomes the max of the current and
+    /// restored values, so a resumed run reports the same peak as an
+    /// uninterrupted one.
+    pub fn restore_peak(&mut self, peak_bytes: usize) {
+        self.peak = self.peak.max(peak_bytes);
+    }
 }
 
 #[cfg(test)]

@@ -294,6 +294,65 @@ impl GnnModel {
         }
     }
 
+    /// Flattens every parameter scalar into one vector, in the stable
+    /// [`GnnModel::params_mut`] traversal order (weights before bias
+    /// per linear parameter). Used by checkpointing.
+    pub fn param_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.for_each_param_mut(&mut |p| match p {
+            ParamRef::Linear(lin) => {
+                out.extend_from_slice(lin.w.as_slice());
+                out.extend_from_slice(&lin.b);
+            }
+            ParamRef::Vector(vp) => out.extend_from_slice(&vp.v),
+        });
+        out
+    }
+
+    /// Restores every parameter scalar from a vector captured by
+    /// [`GnnModel::param_vector`] on an identically shaped model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if `flat` does not hold
+    /// exactly [`GnnModel::param_count`] scalars.
+    pub fn load_param_vector(&mut self, flat: &[f32]) -> Result<(), String> {
+        if flat.len() != self.param_count() {
+            return Err(format!(
+                "parameter vector holds {} scalars, model expects {}",
+                flat.len(),
+                self.param_count()
+            ));
+        }
+        let mut pos = 0usize;
+        self.for_each_param_mut(&mut |p| match p {
+            ParamRef::Linear(lin) => {
+                let w = lin.w.as_mut_slice();
+                w.copy_from_slice(&flat[pos..pos + w.len()]);
+                pos += w.len();
+                let b_len = lin.b.len();
+                lin.b.copy_from_slice(&flat[pos..pos + b_len]);
+                pos += b_len;
+            }
+            ParamRef::Vector(vp) => {
+                let v_len = vp.v.len();
+                vp.v.copy_from_slice(&flat[pos..pos + v_len]);
+                pos += v_len;
+            }
+        });
+        Ok(())
+    }
+
+    /// The dropout-mask RNG state, for checkpointing.
+    pub fn dropout_rng_state(&self) -> [u64; 4] {
+        self.dropout_rng.state()
+    }
+
+    /// Restores the dropout-mask RNG stream position.
+    pub fn set_dropout_rng_state(&mut self, s: [u64; 4]) {
+        self.dropout_rng = StdRng::from_state(s);
+    }
+
     /// The model's scratch arena. Matrices returned by
     /// [`GnnModel::forward`] borrow pooled storage; hand them (and any
     /// loss-gradient buffers) back here when done so the next batch

@@ -120,6 +120,37 @@ impl Adam {
     }
 }
 
+/// A snapshot of an [`Adam`] instance's mutable state, for
+/// checkpointing. Moment buffers are keyed by traversal-order slot
+/// (see [`Adam`]), so a snapshot only restores correctly onto the
+/// same model shape it was captured from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Current learning rate (recovery guards may have annealed it).
+    pub lr: f32,
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment buffers, per slot.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment buffers, per slot.
+    pub v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Captures the optimizer's mutable state.
+    pub fn state(&self) -> AdamState {
+        AdamState { lr: self.lr, t: self.t, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Restores state captured by [`Adam::state`].
+    pub fn restore(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
 /// Plain SGD, used as a baseline and in tests.
 #[derive(Debug, Clone)]
 pub struct Sgd {

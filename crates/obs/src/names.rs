@@ -69,6 +69,14 @@
 //! | `alloc.alloc_bytes` | gauge | bytes | `RuntimeBackend::execute` (last run, tracking on) |
 //! | `alloc.peak_bytes` | gauge | bytes | `RuntimeBackend::execute` (last run, tracking on) |
 //! | `alloc.steady_state_allocs_per_epoch` | counter | allocations | `RuntimeBackend::execute`; gated at 0 in CI |
+//! | `store.wal.appends` | counter | records | `Wal::append` |
+//! | `store.wal.replayed` | counter | records | `Wal::open` recovery scan |
+//! | `store.wal.torn_truncated` | counter | tails | `Wal::open` recovery scan |
+//! | `store.wal.crc_failures` | counter | records | `Wal::open` recovery scan |
+//! | `store.checkpoint.writes` | counter | checkpoints | `write_checkpoint` |
+//! | `store.checkpoint.resumes` | counter | checkpoints | `read_checkpoint` (verified) |
+//! | `store.checkpoint.rejected` | counter | checkpoints | `read_checkpoint` (damaged) |
+//! | `store.checkpoint.bytes` | gauge | bytes | durable drivers (last write) |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -89,6 +97,10 @@
 //! | `kernels` | `backend` | instant | `RuntimeBackend::execute`, one/run |
 //! | `drift` | `adapt` | instant | `AdaptiveRunner::run`, one/epoch with drift verdict |
 //! | `switch` | `adapt` | instant | `AdaptiveRunner::run`, one/guideline switch |
+//! | `wal.recovery` | `store` | instant | `Wal::open`, when the scan found damage |
+//! | `checkpoint` | `store` | instant | `write_checkpoint`, one/write |
+//! | `resume` | `store` | instant | `read_checkpoint`, one/verified read |
+//! | `kill` | `store` | instant | durable drivers, one/ProcessKill fired |
 
 // --- runtime backend -------------------------------------------------
 
@@ -253,6 +265,26 @@ pub const FAULTS_INJECTED: &str = "faults.injected";
 /// Per-kind injected-fault counter prefix (`faults.injected.<kind>`).
 pub const FAULTS_INJECTED_PREFIX: &str = "faults.injected.";
 
+// --- durability store ------------------------------------------------
+
+/// WAL records appended durably.
+pub const STORE_WAL_APPENDS: &str = "store.wal.appends";
+/// WAL records replayed intact by the recovery scan.
+pub const STORE_WAL_REPLAYED: &str = "store.wal.replayed";
+/// Torn WAL tails truncated by the recovery scan.
+pub const STORE_WAL_TORN_TRUNCATED: &str = "store.wal.torn_truncated";
+/// WAL records dropped on CRC failure by the recovery scan.
+pub const STORE_WAL_CRC_FAILURES: &str = "store.wal.crc_failures";
+/// Checkpoint files written atomically.
+pub const STORE_CHECKPOINT_WRITES: &str = "store.checkpoint.writes";
+/// Checkpoint files read and verified for resume.
+pub const STORE_CHECKPOINT_RESUMES: &str = "store.checkpoint.resumes";
+/// Checkpoint files rejected (bad magic, version, or checksum).
+pub const STORE_CHECKPOINT_REJECTED: &str = "store.checkpoint.rejected";
+/// Encoded size of the last checkpoint payload (gauge, bytes) — the
+/// per-epoch durability cost pinned in the perf baselines.
+pub const STORE_CHECKPOINT_BYTES: &str = "store.checkpoint.bytes";
+
 // --- journal tracks and events ---------------------------------------
 
 /// Journal track for per-epoch backend events.
@@ -269,6 +301,9 @@ pub const TRACK_EXPLORER: &str = "explorer";
 pub const TRACK_FAULTS: &str = "faults";
 /// Journal track for adaptive-training drift and switch events.
 pub const TRACK_ADAPT: &str = "adapt";
+/// Journal track for durability events (WAL recovery, checkpoints,
+/// resumes, simulated kills).
+pub const TRACK_STORE: &str = "store";
 
 /// Per-epoch span event on [`TRACK_BACKEND`] (wall + sim clocks).
 pub const EVENT_EPOCH: &str = "epoch";
@@ -297,3 +332,13 @@ pub const EVENT_MIGRATION: &str = "migration";
 /// Per-run allocator-telemetry instant on [`TRACK_BACKEND`] (allocs,
 /// frees, bytes, peak; emitted when tracking is on).
 pub const EVENT_ALLOC: &str = "alloc";
+/// WAL-recovery instant on [`TRACK_STORE`] (emitted when the scan
+/// found damage).
+pub const EVENT_WAL_RECOVERY: &str = "wal.recovery";
+/// Checkpoint-write instant on [`TRACK_STORE`].
+pub const EVENT_CHECKPOINT: &str = "checkpoint";
+/// Verified checkpoint-read instant on [`TRACK_STORE`].
+pub const EVENT_RESUME: &str = "resume";
+/// Simulated process-kill instant on [`TRACK_STORE`], one per
+/// `ProcessKill` fault fired by a durable driver.
+pub const EVENT_KILL: &str = "kill";

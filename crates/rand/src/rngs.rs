@@ -20,6 +20,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The full generator state, for checkpointing. Restoring via
+    /// [`StdRng::from_state`] continues the stream exactly where
+    /// [`StdRng::state`] captured it.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a captured [`StdRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod config;
 pub mod perf;
 pub mod report;
@@ -25,6 +26,7 @@ pub mod templates;
 pub use backend::{
     DegradationStep, ExecutionOptions, ExecutionReport, RecoveryLog, RecoveryPolicy, RuntimeBackend,
 };
+pub use checkpoint::{DurabilityOptions, SessionCheckpoint};
 pub use config::{SamplerKind, TrainingConfig};
 pub use perf::{Perf, PhaseBreakdown};
 pub use report::{write_perf_csv, write_perf_jsonl, PERF_CSV_HEADER};
@@ -56,6 +58,14 @@ pub enum RuntimeError {
         /// Rendered final error.
         last_error: String,
     },
+    /// A durable-store operation (checkpoint or WAL I/O) failed.
+    Store(gnnav_store::StoreError),
+    /// An injected `ProcessKill` fault ended the run at this epoch
+    /// boundary; the caller may resume from the last checkpoint.
+    Killed {
+        /// The epoch boundary (zero-based) where the kill fired.
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -68,6 +78,10 @@ impl fmt::Display for RuntimeError {
                 f,
                 "retries exhausted after {attempts} attempt(s) during {what}: {last_error}"
             ),
+            RuntimeError::Store(e) => write!(f, "store error: {e}"),
+            RuntimeError::Killed { epoch } => {
+                write!(f, "simulated process kill at epoch boundary {epoch}")
+            }
         }
     }
 }
@@ -77,8 +91,17 @@ impl Error for RuntimeError {
         match self {
             RuntimeError::Graph(e) => Some(e),
             RuntimeError::Hw(e) => Some(e),
-            RuntimeError::InvalidConfig(_) | RuntimeError::RetriesExhausted { .. } => None,
+            RuntimeError::Store(e) => Some(e),
+            RuntimeError::InvalidConfig(_)
+            | RuntimeError::RetriesExhausted { .. }
+            | RuntimeError::Killed { .. } => None,
         }
+    }
+}
+
+impl From<gnnav_store::StoreError> for RuntimeError {
+    fn from(e: gnnav_store::StoreError) -> Self {
+        RuntimeError::Store(e)
     }
 }
 

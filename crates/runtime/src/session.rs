@@ -391,6 +391,97 @@ impl<'d> ExecutionSession<'d> {
         Ok(migration)
     }
 
+    /// Captures the session's complete mutable state at the current
+    /// epoch boundary (see [`SessionCheckpoint`](crate::SessionCheckpoint)
+    /// for the determinism contract). `&mut` only because flattening
+    /// the model parameters walks them through `for_each_param_mut`;
+    /// observable state is unchanged.
+    pub fn checkpoint(&mut self) -> crate::SessionCheckpoint {
+        crate::SessionCheckpoint {
+            config: self.config.clone(),
+            eff_config: self.eff_config.clone(),
+            cache_entries: self.cache_entries,
+            micro_batch: self.micro_batch,
+            fanout_reduced: self.fanout_reduced,
+            params: self.model.param_vector(),
+            dropout_rng: self.model.dropout_rng_state(),
+            opt: self.opt.state(),
+            rng: self.rng.state(),
+            cache: self.cache.snapshot(),
+            stats_carry: self.stats_carry,
+            peak_mem_bytes: self.ledger.peak_bytes(),
+            phases: self.phases,
+            epoch_time_total: self.epoch_time_total,
+            total_nodes: self.total_nodes,
+            total_edges: self.total_edges,
+            total_batches: self.total_batches,
+            n_iter: self.n_iter,
+            loss_history: self.loss_history.clone(),
+            recovery: self.recovery.clone(),
+            evictions: self.evictions,
+            epochs_run: self.epochs_run,
+            train_steps: self.train_steps,
+            faults_injected: self.injector.as_ref().map_or(0, |inj| inj.injected),
+        }
+    }
+
+    /// Reconstructs a session from a checkpoint: builds a fresh
+    /// session for the checkpointed config, then overwrites every
+    /// piece of mutable state the checkpoint captured. The resumed
+    /// session continues exactly where [`checkpoint`](Self::checkpoint)
+    /// left off.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`new`](Self::new), plus
+    /// [`RuntimeError::InvalidConfig`] when the checkpoint does not
+    /// fit `dataset` (wrong parameter count, out-of-range cache
+    /// nodes).
+    pub fn resume(
+        platform: Platform,
+        dataset: &'d Dataset,
+        opts: &ExecutionOptions,
+        ckpt: &crate::SessionCheckpoint,
+    ) -> Result<Self, RuntimeError> {
+        let mut s = ExecutionSession::new(platform, dataset, &ckpt.config, opts)?;
+        let graph = dataset.graph();
+        s.model.load_param_vector(&ckpt.params).map_err(RuntimeError::InvalidConfig)?;
+        s.model.set_dropout_rng_state(ckpt.dropout_rng);
+        s.opt.restore(ckpt.opt.clone());
+        s.rng = StdRng::from_state(ckpt.rng);
+        s.eff_config = ckpt.eff_config.clone();
+        // Ladder state: the cache may have been shrunk below the
+        // config's nominal size, and fanouts may have been reduced.
+        if ckpt.cache_entries != s.cache_entries {
+            s.ledger.set_cache_bytes(ckpt.cache_entries * s.row_bytes)?;
+            s.cache = build_cache(s.config.cache_policy, ckpt.cache_entries, graph);
+            s.cache_entries = ckpt.cache_entries;
+        }
+        s.cache.restore(&ckpt.cache).map_err(RuntimeError::InvalidConfig)?;
+        if ckpt.fanout_reduced {
+            s.sampler = s.eff_config.build_sampler(graph)?;
+        }
+        s.micro_batch = ckpt.micro_batch;
+        s.fanout_reduced = ckpt.fanout_reduced;
+        s.stats_carry = ckpt.stats_carry;
+        s.ledger.restore_peak(ckpt.peak_mem_bytes);
+        s.phases = ckpt.phases;
+        s.epoch_time_total = ckpt.epoch_time_total;
+        s.total_nodes = ckpt.total_nodes;
+        s.total_edges = ckpt.total_edges;
+        s.total_batches = ckpt.total_batches;
+        s.n_iter = ckpt.n_iter;
+        s.loss_history = ckpt.loss_history.clone();
+        s.recovery = ckpt.recovery.clone();
+        s.evictions = ckpt.evictions;
+        s.epochs_run = ckpt.epochs_run;
+        s.train_steps = ckpt.train_steps;
+        if let Some(inj) = s.injector.as_mut() {
+            inj.injected = ckpt.faults_injected;
+        }
+        Ok(s)
+    }
+
     /// Runs one epoch (sampling, transfer, cache update, compute, and
     /// — when enabled — training) and returns what it observed.
     ///

@@ -1,0 +1,81 @@
+//! Storage-corruption applicators for the chaos harness.
+//!
+//! These implement the on-disk effect of the `TornWrite` and
+//! `BitFlip` fault kinds: given offsets derived from a deterministic
+//! fault draw, they damage a stored file exactly the way a torn write
+//! or a flipped cell would. They are production code (the durable
+//! driver applies them when a fault plan schedules storage faults),
+//! so they surface typed errors rather than panicking.
+
+use crate::StoreError;
+use std::path::Path;
+
+/// Truncates `path` by `tail_bytes`, simulating a torn write that
+/// only partially reached the platter. Truncating more bytes than the
+/// file holds empties it. Returns the new length.
+///
+/// # Errors
+///
+/// Propagates I/O failures with the path.
+pub fn torn_write(path: &Path, tail_bytes: u64) -> Result<u64, StoreError> {
+    let len = std::fs::metadata(path).map_err(|e| StoreError::io(path, e))?.len();
+    let new_len = len.saturating_sub(tail_bytes.max(1));
+    let f =
+        std::fs::OpenOptions::new().write(true).open(path).map_err(|e| StoreError::io(path, e))?;
+    f.set_len(new_len).map_err(|e| StoreError::io(path, e))?;
+    Ok(new_len)
+}
+
+/// Flips bit `bit % 8` of byte `offset % len` in `path`, simulating a
+/// corrupted storage cell. A zero-length file is left untouched.
+///
+/// # Errors
+///
+/// Propagates I/O failures with the path.
+pub fn bit_flip(path: &Path, offset: u64, bit: u32) -> Result<(), StoreError> {
+    let mut bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let i = (offset % bytes.len() as u64) as usize;
+    bytes[i] ^= 1u8 << (bit % 8);
+    std::fs::write(path, &bytes).map_err(|e| StoreError::io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(tag: &str, content: &[u8]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("gnnav-store-corrupt-{tag}-{}", std::process::id()));
+        std::fs::write(&path, content).expect("write");
+        path
+    }
+
+    #[test]
+    fn torn_write_truncates() {
+        let p = tmpfile("torn", b"0123456789");
+        assert_eq!(torn_write(&p, 4).expect("torn"), 6);
+        assert_eq!(std::fs::read(&p).expect("read"), b"012345");
+        // Over-truncation empties, never errors.
+        assert_eq!(torn_write(&p, 1000).expect("torn"), 0);
+    }
+
+    #[test]
+    fn bit_flip_flips_one_bit() {
+        let p = tmpfile("flip", &[0u8; 8]);
+        bit_flip(&p, 3, 2).expect("flip");
+        let bytes = std::fs::read(&p).expect("read");
+        assert_eq!(bytes[3], 0b100);
+        assert_eq!(bytes.iter().map(|&b| b.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_typed() {
+        let p = std::env::temp_dir().join("gnnav-store-no-such-file");
+        let err = bit_flip(&p, 0, 0).expect_err("missing");
+        assert!(err.to_string().contains("gnnav-store-no-such-file"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Write-ahead log segments: versioned, CRC-framed, torn-tail
+//! tolerant.
+//!
+//! # Byte layout (format v1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GNVW"
+//! 4       4     format version (u32 LE, currently 1)
+//! 8       ...   records, back to back:
+//!               u32 LE  payload length
+//!               u32 LE  CRC-32 of payload
+//!               [len]   payload bytes
+//! ```
+//!
+//! Writes go through write-temp-then-atomic-rename, so a crash at any
+//! instant leaves either the previous segment or the new one — never
+//! a half-written file visible under the real name. The recovery scan
+//! in [`Wal::open`] tolerates the two corruptions that escape that
+//! guarantee on real storage: a *torn tail* (the file ends inside a
+//! record frame) is truncated away, and a record whose payload fails
+//! its CRC is skipped. Both are loud: metered as
+//! `store.wal.torn_truncated` / `store.wal.crc_failures` and
+//! journaled on the `store` track.
+
+use crate::crc::crc32;
+use crate::StoreError;
+use gnnav_obs::names as metric;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL segment.
+pub const WAL_MAGIC: [u8; 4] = *b"GNVW";
+/// Format version this build reads and writes.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+/// Bytes of the segment header (magic + version).
+pub const WAL_HEADER_LEN: usize = 8;
+/// Bytes of a record frame before its payload (length + CRC).
+pub const WAL_FRAME_LEN: usize = 8;
+
+/// What the recovery scan found while opening a segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records replayed intact.
+    pub replayed: u64,
+    /// Torn tails truncated (0 or 1 per open).
+    pub torn_truncated: u64,
+    /// Records dropped on checksum failure.
+    pub crc_failures: u64,
+}
+
+impl RecoveryStats {
+    /// Whether the segment was fully intact.
+    pub fn is_clean(&self) -> bool {
+        self.torn_truncated == 0 && self.crc_failures == 0
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a
+/// sibling `.tmp` file first and is renamed over the target, so
+/// readers only ever observe a complete file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| StoreError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+}
+
+/// One append-only segment of CRC-framed records.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    /// Live payloads, in append order.
+    records: Vec<Vec<u8>>,
+    /// The current on-disk byte image (header + frames).
+    image: Vec<u8>,
+    recovery: RecoveryStats,
+}
+
+impl Wal {
+    /// Opens (or creates) the segment at `path`, running the recovery
+    /// scan. Torn tails are truncated on disk immediately; CRC-failed
+    /// records are dropped from the in-memory view and removed from
+    /// disk at the next append or [`Wal::compact`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, foreign magic, or an unsupported format version.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Wal, StoreError> {
+        let path = path.into();
+        let metrics = gnnav_obs::global();
+        let raw = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut wal = Wal {
+                    path,
+                    records: Vec::new(),
+                    image: Vec::new(),
+                    recovery: RecoveryStats::default(),
+                };
+                wal.rewrite()?;
+                return Ok(wal);
+            }
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        if raw.len() < WAL_HEADER_LEN || raw[..4] != WAL_MAGIC {
+            return Err(StoreError::BadMagic { path });
+        }
+        let version = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+        if version != WAL_FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                path,
+                found: version,
+                expected: WAL_FORMAT_VERSION,
+            });
+        }
+        let mut records = Vec::new();
+        let mut stats = RecoveryStats::default();
+        let mut pos = WAL_HEADER_LEN;
+        let mut good_end = pos;
+        while pos < raw.len() {
+            if raw.len() - pos < WAL_FRAME_LEN {
+                // The file ends inside a frame header: torn tail.
+                stats.torn_truncated += 1;
+                break;
+            }
+            let len =
+                u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
+            let want = u32::from_le_bytes([raw[pos + 4], raw[pos + 5], raw[pos + 6], raw[pos + 7]]);
+            let start = pos + WAL_FRAME_LEN;
+            if raw.len() - start < len {
+                // The file ends inside this record's payload.
+                stats.torn_truncated += 1;
+                break;
+            }
+            let payload = &raw[start..start + len];
+            if crc32(payload) == want {
+                records.push(payload.to_vec());
+                stats.replayed += 1;
+            } else {
+                stats.crc_failures += 1;
+            }
+            pos = start + len;
+            good_end = pos;
+        }
+        if metrics.is_enabled() {
+            metrics.add(metric::STORE_WAL_REPLAYED, stats.replayed);
+            metrics.add(metric::STORE_WAL_TORN_TRUNCATED, stats.torn_truncated);
+            metrics.add(metric::STORE_WAL_CRC_FAILURES, stats.crc_failures);
+            let journal = metrics.journal();
+            if journal.is_enabled() && !stats.is_clean() {
+                journal.instant(
+                    metric::EVENT_WAL_RECOVERY,
+                    metric::TRACK_STORE,
+                    None,
+                    vec![
+                        ("path".into(), path.display().to_string().into()),
+                        ("replayed".into(), stats.replayed.into()),
+                        ("torn_truncated".into(), stats.torn_truncated.into()),
+                        ("crc_failures".into(), stats.crc_failures.into()),
+                    ],
+                );
+            }
+        }
+        let mut wal = Wal { path, records, image: raw, recovery: stats };
+        if stats.torn_truncated > 0 {
+            // Drop the torn frame from disk right away so a subsequent
+            // crash-free reader sees a clean segment. CRC-failed
+            // records keep their disk bytes until the next rewrite —
+            // they are already excluded from the in-memory view.
+            wal.image.truncate(good_end);
+            atomic_write(&wal.path, &wal.image)?;
+        }
+        Ok(wal)
+    }
+
+    /// The segment path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Live record payloads, in append order.
+    pub fn records(&self) -> &[Vec<u8>] {
+        &self.records
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the segment holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// What the opening recovery scan found.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(WAL_FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    /// Rebuilds the on-disk image from the live records and writes it
+    /// atomically.
+    fn rewrite(&mut self) -> Result<(), StoreError> {
+        let mut image =
+            Vec::with_capacity(WAL_HEADER_LEN + self.records.iter().map(Vec::len).sum::<usize>());
+        image.extend_from_slice(&WAL_MAGIC);
+        image.extend_from_slice(&WAL_FORMAT_VERSION.to_le_bytes());
+        for r in &self.records {
+            image.extend_from_slice(&Wal::frame(r));
+        }
+        atomic_write(&self.path, &image)?;
+        self.image = image;
+        Ok(())
+    }
+
+    /// Appends one record durably.
+    ///
+    /// If the opening scan dropped CRC-failed records, the first
+    /// append rewrites the whole segment (purging the dead bytes);
+    /// otherwise the new frame is appended to the existing image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the in-memory view is only updated on
+    /// success.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        if self.recovery.crc_failures > 0 {
+            self.records.push(payload.to_vec());
+            self.rewrite()?;
+            self.recovery.crc_failures = 0;
+        } else {
+            let mut image = std::mem::take(&mut self.image);
+            image.extend_from_slice(&Wal::frame(payload));
+            if let Err(e) = atomic_write(&self.path, &image) {
+                // Keep the in-memory image consistent with the last
+                // durable on-disk state (minus the unwritten frame).
+                image.truncate(image.len() - Wal::frame(payload).len());
+                self.image = image;
+                return Err(e);
+            }
+            self.image = image;
+            self.records.push(payload.to_vec());
+        }
+        let metrics = gnnav_obs::global();
+        if metrics.is_enabled() {
+            metrics.add(metric::STORE_WAL_APPENDS, 1);
+        }
+        Ok(())
+    }
+
+    /// Rewrites the segment keeping only records for which `keep`
+    /// returns `true`, compacting away dead bytes. Returns the number
+    /// of records dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn compact(
+        &mut self,
+        mut keep: impl FnMut(usize, &[u8]) -> bool,
+    ) -> Result<usize, StoreError> {
+        let before = self.records.len();
+        let mut idx = 0usize;
+        let kept: Vec<Vec<u8>> = self
+            .records
+            .drain(..)
+            .filter(|r| {
+                let k = keep(idx, r);
+                idx += 1;
+                k
+            })
+            .collect();
+        self.records = kept;
+        self.rewrite()?;
+        self.recovery.crc_failures = 0;
+        Ok(before - self.records.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gnnav-store-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("seg.wal");
+        let mut wal = Wal::open(&path).expect("open");
+        wal.append(b"alpha").expect("append");
+        wal.append(b"beta").expect("append");
+        drop(wal);
+        let wal = Wal::open(&path).expect("reopen");
+        assert_eq!(wal.records(), &[b"alpha".to_vec(), b"beta".to_vec()]);
+        assert!(wal.recovery().is_clean());
+        assert_eq!(wal.recovery().replayed, 2);
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_survivors_kept() {
+        let dir = tmpdir("torn");
+        let path = dir.join("seg.wal");
+        let mut wal = Wal::open(&path).expect("open");
+        wal.append(b"keep-me").expect("append");
+        wal.append(b"the-last-record-gets-torn").expect("append");
+        drop(wal);
+        let len = std::fs::metadata(&path).expect("meta").len();
+        // Chop 5 bytes off the final record's payload.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open rw");
+        f.set_len(len - 5).expect("truncate");
+        drop(f);
+        let wal = Wal::open(&path).expect("recover");
+        assert_eq!(wal.records(), &[b"keep-me".to_vec()]);
+        assert_eq!(wal.recovery().torn_truncated, 1);
+        assert_eq!(wal.recovery().replayed, 1);
+        // The torn frame is gone from disk: a second open is clean.
+        let again = Wal::open(&path).expect("clean reopen");
+        assert!(again.recovery().is_clean());
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn bit_flip_drops_exactly_the_damaged_record() {
+        let dir = tmpdir("flip");
+        let path = dir.join("seg.wal");
+        let mut wal = Wal::open(&path).expect("open");
+        wal.append(b"first").expect("append");
+        wal.append(b"second").expect("append");
+        wal.append(b"third").expect("append");
+        drop(wal);
+        // Flip one bit inside record 1's payload ("second"): it sits
+        // after the header (8) + record 0's frame (8 + 5).
+        let mut bytes = std::fs::read(&path).expect("read");
+        let off = WAL_HEADER_LEN + WAL_FRAME_LEN + 5 + WAL_FRAME_LEN + 2;
+        bytes[off] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+        let wal = Wal::open(&path).expect("recover");
+        assert_eq!(wal.records(), &[b"first".to_vec(), b"third".to_vec()]);
+        assert_eq!(wal.recovery().crc_failures, 1);
+        assert_eq!(wal.recovery().replayed, 2);
+    }
+
+    #[test]
+    fn append_after_crc_failure_purges_dead_bytes() {
+        let dir = tmpdir("purge");
+        let path = dir.join("seg.wal");
+        let mut wal = Wal::open(&path).expect("open");
+        wal.append(b"aaaa").expect("append");
+        wal.append(b"bbbb").expect("append");
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let off = WAL_HEADER_LEN + WAL_FRAME_LEN + 1; // inside "aaaa"
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+        let mut wal = Wal::open(&path).expect("recover");
+        assert_eq!(wal.recovery().crc_failures, 1);
+        wal.append(b"cccc").expect("append rewrites");
+        drop(wal);
+        let wal = Wal::open(&path).expect("reopen");
+        assert!(wal.recovery().is_clean(), "dead bytes purged on append");
+        assert_eq!(wal.records(), &[b"bbbb".to_vec(), b"cccc".to_vec()]);
+    }
+
+    #[test]
+    fn compact_keeps_selected_records() {
+        let dir = tmpdir("compact");
+        let path = dir.join("seg.wal");
+        let mut wal = Wal::open(&path).expect("open");
+        for i in 0..6u8 {
+            wal.append(&[i]).expect("append");
+        }
+        let dropped = wal.compact(|i, _| i % 2 == 0).expect("compact");
+        assert_eq!(dropped, 3);
+        drop(wal);
+        let wal = Wal::open(&path).expect("reopen");
+        assert_eq!(wal.records(), &[vec![0u8], vec![2], vec![4]]);
+    }
+
+    #[test]
+    fn foreign_file_rejected_with_path() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("not-a-wal.bin");
+        std::fs::write(&path, b"JSON{}!!").expect("write");
+        let err = Wal::open(&path).expect_err("bad magic");
+        assert!(matches!(err, StoreError::BadMagic { .. }));
+        assert!(err.to_string().contains("not-a-wal.bin"));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let dir = tmpdir("version");
+        let path = dir.join("seg.wal");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        let err = Wal::open(&path).expect_err("version");
+        assert!(matches!(err, StoreError::VersionMismatch { found: 99, .. }));
+    }
+}
