@@ -19,7 +19,7 @@
 //! stable enough to gate.
 
 use gnnav_estimator::{GrayBoxEstimator, Profiler};
-use gnnav_explorer::{Explorer, Priority, RuntimeConstraints};
+use gnnav_explorer::{explore_fingerprint, ExploreCache, Explorer, Priority, RuntimeConstraints};
 use gnnav_graph::{Dataset, DatasetId, FeatureSpec, Features, GraphBuilder};
 use gnnav_hwsim::Platform;
 use gnnav_nn::{Adam, GnnModel, Matrix, ModelKind};
@@ -67,6 +67,17 @@ const PINNED_ZERO: [&str; 17] = [
 /// these names (so the `store.*` series proper stay pinned at zero).
 const BENCH_CHECKPOINT_WRITES: &str = "bench.checkpoint.writes";
 const BENCH_CHECKPOINT_BYTES_PER_WRITE: &str = "bench.checkpoint.bytes_per_write";
+
+/// Repeat-navigation cost, measured by `navigation_probe` in an
+/// isolated metrics window and folded into `BENCH_explorer.json`:
+/// a warm run against the exploration-result cache must evaluate zero
+/// candidates (`warm_evaluated` pinned at 0, `cache_hits` at 1) while
+/// the cold run's effort and cache writes are gated alongside.
+const BENCH_NAV_COLD_EVALUATED: &str = "bench.navigation.cold_evaluated";
+const BENCH_NAV_WARM_EVALUATED: &str = "bench.navigation.warm_evaluated";
+const BENCH_NAV_CACHE_HITS: &str = "bench.navigation.cache_hits";
+const BENCH_NAV_CACHE_MISSES: &str = "bench.navigation.cache_misses";
+const BENCH_NAV_CACHE_INSERTS: &str = "bench.navigation.cache_inserts";
 
 fn assert_clean(name: &str, snapshot: &Snapshot) {
     for key in PINNED_ZERO {
@@ -122,6 +133,72 @@ fn backend_baseline(dataset: &Dataset) -> Snapshot {
     deterministic(metrics.snapshot())
 }
 
+/// Runs the exploration workload cold (fresh DSE appended to a
+/// throwaway exploration-result cache) and warm (served back from it)
+/// in an isolated metrics window, asserting the repeat-navigation
+/// contract: zero candidates evaluated on the warm path, a
+/// byte-identical result, and a warm wall time that beats the cold
+/// exploration outright. Returns the `bench.navigation.*` counters to
+/// fold into `BENCH_explorer.json`.
+fn navigation_probe(dataset: &Dataset, estimator: &GrayBoxEstimator) -> [(&'static str, u64); 5] {
+    let metrics = gnnav_obs::global();
+    metrics.reset();
+    let dir = std::env::temp_dir().join(format!("gnnav-bench-ecache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let mut cache = ExploreCache::open(dir.join("explore.wal")).expect("open cache");
+
+    let explorer = Explorer::new(estimator, 300).with_seed(SEED);
+    let platform = Platform::default_rtx4090();
+    let constraints = RuntimeConstraints::none();
+    let fingerprint = explore_fingerprint(
+        dataset,
+        &platform,
+        ModelKind::Sage,
+        &DesignSpace::standard(),
+        Priority::Balance,
+        &constraints,
+        explorer.budget(),
+        explorer.seed(),
+        "perf_baseline",
+    );
+
+    let counter =
+        |name: &str| gnnav_obs::global().snapshot().counters.get(name).copied().unwrap_or(0);
+    let cold_t0 = std::time::Instant::now();
+    assert!(cache.lookup(fingerprint).is_none(), "throwaway cache must start cold");
+    let cold = explorer
+        .explore(dataset, &platform, ModelKind::Sage, Priority::Balance, &constraints)
+        .expect("cold explore");
+    cache.insert(fingerprint, &cold).expect("insert");
+    let cold_wall = cold_t0.elapsed();
+    let cold_evaluated = counter(metric::EXPLORER_EVALUATED);
+
+    let warm_t0 = std::time::Instant::now();
+    let warm = cache.lookup(fingerprint).expect("warm hit").clone();
+    let warm_wall = warm_t0.elapsed();
+    let warm_evaluated = counter(metric::EXPLORER_EVALUATED) - cold_evaluated;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        format!("{warm:?}"),
+        format!("{cold:?}"),
+        "cached result must round-trip byte-identically"
+    );
+    assert_eq!(warm_evaluated, 0, "warm navigation must not evaluate a single candidate");
+    assert!(
+        warm_wall * 10 < cold_wall,
+        "warm navigation ({warm_wall:?}) must beat cold exploration ({cold_wall:?}) outright"
+    );
+    [
+        (BENCH_NAV_COLD_EVALUATED, cold_evaluated),
+        (BENCH_NAV_WARM_EVALUATED, warm_evaluated),
+        (BENCH_NAV_CACHE_HITS, cache.hits()),
+        (BENCH_NAV_CACHE_MISSES, cache.misses()),
+        (BENCH_NAV_CACHE_INSERTS, cache.inserts()),
+    ]
+}
+
 fn explorer_baseline(dataset: &Dataset) -> Snapshot {
     let metrics = gnnav_obs::global();
     metrics.reset();
@@ -150,7 +227,14 @@ fn explorer_baseline(dataset: &Dataset) -> Snapshot {
             &RuntimeConstraints::none(),
         )
         .expect("explore");
-    deterministic(metrics.snapshot())
+    let mut snapshot = deterministic(metrics.snapshot());
+    // The repeat-navigation probe runs in its own metrics window (the
+    // baseline snapshot above is already taken); only its gated
+    // counters are folded in.
+    for (name, value) in navigation_probe(dataset, &estimator) {
+        snapshot.counters.insert(name.to_string(), value);
+    }
+    snapshot
 }
 
 /// A fixed training workload over all three model kinds, recording the

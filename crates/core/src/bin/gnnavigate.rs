@@ -47,6 +47,10 @@ OPTIONS:
     --profile-db <PATH>            durable WAL-backed profile store: configs it
                                    already covers are not re-profiled; fresh
                                    records are appended (see docs/DURABILITY.md)
+    --explore-cache <DIR>          durable WAL-backed exploration-result cache:
+                                   a repeat invocation with identical inputs
+                                   skips the DSE and returns the byte-identical
+                                   guideline; fresh explorations are appended
     --checkpoint-dir <PATH>        write crash-safe training checkpoints into
                                    this directory while applying the guideline
     --checkpoint-every <N>         checkpoint every N completed epochs
@@ -100,6 +104,7 @@ struct Args {
     seed: Option<u64>,
     fault_plan: Option<std::path::PathBuf>,
     profile_db: Option<std::path::PathBuf>,
+    explore_cache: Option<std::path::PathBuf>,
     checkpoint_dir: Option<std::path::PathBuf>,
     checkpoint_every: Option<usize>,
     resume: bool,
@@ -128,6 +133,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         seed: None,
         fault_plan: None,
         profile_db: None,
+        explore_cache: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
@@ -224,6 +230,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--profile-db" => {
                 args.profile_db = Some(value("--profile-db")?.into());
+            }
+            "--explore-cache" => {
+                args.explore_cache = Some(value("--explore-cache")?.into());
             }
             "--checkpoint-dir" => {
                 args.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
@@ -477,6 +486,30 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("profile db {}: {} record(s) loaded", path.display(), store.len());
         nav = nav.with_profile_store(store);
     }
+    if let Some(dir) = &args.explore_cache {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let cache = gnnavigator::ExploreCache::open(dir.join("explore.wal"))?;
+        let rec = cache.recovery();
+        if !rec.is_clean() {
+            eprintln!(
+                "warning: explore cache {} recovered: {} torn result(s) truncated, \
+                 {} result(s) failed CRC and were dropped",
+                dir.display(),
+                rec.torn_truncated,
+                rec.crc_failures
+            );
+        }
+        if cache.undecodable() > 0 {
+            eprintln!(
+                "warning: explore cache {} holds {} undecodable result(s) \
+                 (foreign version?); they are ignored",
+                dir.display(),
+                cache.undecodable()
+            );
+        }
+        eprintln!("explore cache {}: {} result(s) loaded", dir.display(), cache.len());
+        nav = nav.with_explore_cache(cache);
+    }
     eprintln!("profiling design space + fitting gray-box estimator...");
     nav.prepare()?;
     if let Some(store) = nav.profile_store() {
@@ -484,6 +517,13 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     eprintln!("exploring guidelines...");
     let result = nav.generate_guideline(args.priority, &args.constraints)?;
+    if let Some(cache) = nav.explore_cache() {
+        if cache.hits() > 0 {
+            eprintln!("explore cache hit: exploration skipped, cached result returned");
+        } else {
+            eprintln!("explore cache miss: fresh exploration appended");
+        }
+    }
     println!("\nguideline: {}", result.guideline.config.summary());
     println!(
         "explored {} candidates ({} rejected by constraints, {} subtrees pruned)",

@@ -69,7 +69,7 @@ pub use gnnav_sampler as sampler;
 /// Crash-safe durable storage: WAL, checkpoints, corruption tools.
 pub use gnnav_store as store;
 
-pub use gnnav_explorer::{Guideline, Priority, RuntimeConstraints};
+pub use gnnav_explorer::{ExploreCache, Guideline, Priority, RuntimeConstraints};
 pub use gnnav_runtime::{Template, TrainingConfig};
 pub use navigator::{Navigator, NavigatorOptions};
 

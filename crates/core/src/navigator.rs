@@ -13,7 +13,10 @@
 use crate::NavigatorError;
 use gnnav_adapt::{AdaptOptions, AdaptiveReport, AdaptiveRunner};
 use gnnav_estimator::{profile_fingerprint, GrayBoxEstimator, ProfileDb, ProfileStore, Profiler};
-use gnnav_explorer::{ExplorationResult, Explorer, Guideline, Priority, RuntimeConstraints};
+use gnnav_explorer::{
+    explore_fingerprint, ExplorationResult, ExploreCache, Explorer, Guideline, Priority,
+    RuntimeConstraints,
+};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
@@ -103,6 +106,9 @@ pub struct Navigator {
     estimator: Option<GrayBoxEstimator>,
     profile_db: ProfileDb,
     profile_store: Option<ProfileStore>,
+    // RefCell: `generate_guideline` is `&self`, but a lookup/insert
+    // must meter the cache and append to its log.
+    explore_cache: Option<std::cell::RefCell<ExploreCache>>,
 }
 
 impl Navigator {
@@ -119,6 +125,7 @@ impl Navigator {
             estimator: None,
             profile_db: ProfileDb::new(),
             profile_store: None,
+            explore_cache: None,
         }
     }
 
@@ -141,6 +148,22 @@ impl Navigator {
     /// The attached profile store, if any.
     pub fn profile_store(&self) -> Option<&ProfileStore> {
         self.profile_store.as_ref()
+    }
+
+    /// Attaches a durable [`ExploreCache`]:
+    /// [`Navigator::generate_guideline`] fingerprints every exploration
+    /// input and serves a cached [`ExplorationResult`] when the
+    /// fingerprint matches, skipping the DSE entirely — a repeat
+    /// invocation returns the byte-identical guideline in
+    /// sub-millisecond time. Fresh explorations are appended.
+    pub fn with_explore_cache(mut self, cache: ExploreCache) -> Self {
+        self.explore_cache = Some(std::cell::RefCell::new(cache));
+        self
+    }
+
+    /// The attached exploration cache, if any.
+    pub fn explore_cache(&self) -> Option<std::cell::Ref<'_, ExploreCache>> {
+        self.explore_cache.as_ref().map(|c| c.borrow())
     }
 
     /// The dataset under navigation.
@@ -266,12 +289,32 @@ impl Navigator {
         Ok(db)
     }
 
+    /// Everything the fitted estimator depends on beyond the dataset
+    /// and platform (already fingerprinted directly): sweep size,
+    /// augmentation shape, sampling seed, and profiling mode. Folded
+    /// into the exploration-cache fingerprint so differently-fitted
+    /// estimators never share cache entries.
+    fn estimator_salt(&self) -> String {
+        format!(
+            "samples={} aug={}x{} seed={:#x} profile_exec={:?}",
+            self.options.profile_samples,
+            self.options.augmentation_graphs,
+            self.options.augmentation_nodes,
+            self.options.seed,
+            self.options.profile_exec,
+        )
+    }
+
     /// Generates the guideline for one priority.
+    ///
+    /// With an attached [`ExploreCache`], a fingerprint hit returns the
+    /// cached result without running the DSE; a miss explores and
+    /// appends the fresh result.
     ///
     /// # Errors
     ///
     /// Returns [`NavigatorError::NotPrepared`] before
-    /// [`Navigator::prepare`], or exploration failures.
+    /// [`Navigator::prepare`], or exploration / cache-append failures.
     pub fn generate_guideline(
         &self,
         priority: Priority,
@@ -280,7 +323,33 @@ impl Navigator {
         let estimator = self.estimator.as_ref().ok_or(NavigatorError::NotPrepared)?;
         let explorer = Explorer::new(estimator, self.options.explore_budget)
             .with_space(self.options.space.clone());
-        Ok(explorer.explore(&self.dataset, &self.platform, self.model, priority, constraints)?)
+        let fingerprint = self.explore_cache.as_ref().map(|_| {
+            explore_fingerprint(
+                &self.dataset,
+                &self.platform,
+                self.model,
+                &self.options.space,
+                priority,
+                constraints,
+                explorer.budget(),
+                explorer.seed(),
+                &self.estimator_salt(),
+            )
+        });
+        if let (Some(cache), Some(fp)) = (&self.explore_cache, fingerprint) {
+            if let Some(result) = cache.borrow_mut().lookup(fp) {
+                return Ok(result.clone());
+            }
+        }
+        let result =
+            explorer.explore(&self.dataset, &self.platform, self.model, priority, constraints)?;
+        if let (Some(cache), Some(fp)) = (&self.explore_cache, fingerprint) {
+            cache
+                .borrow_mut()
+                .insert(fp, &result)
+                .map_err(|e| NavigatorError::Pipeline(e.to_string()))?;
+        }
+        Ok(result)
     }
 
     /// Generates guidelines for every priority preset (the Bal /
@@ -492,6 +561,59 @@ mod tests {
             .expect("warm explore")
             .guideline;
         assert_eq!(warm_guideline.config, cold_guideline.config, "same fit, same guideline");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_guideline_served_from_explore_cache_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("gnnav-nav-ecache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cache_path = dir.join("explore.wal");
+        let _ = std::fs::remove_file(&cache_path);
+
+        let cache = ExploreCache::open(&cache_path).expect("open cold");
+        let mut cold = fast_navigator().with_explore_cache(cache);
+        cold.prepare().expect("cold prepare");
+        let cold_result =
+            cold.generate_guideline(Priority::Balance, &RuntimeConstraints::none()).expect("cold");
+        {
+            let cache = cold.explore_cache().expect("cache");
+            assert_eq!(cache.hits(), 0, "cold run cannot hit");
+            assert_eq!(cache.misses(), 1);
+            assert_eq!(cache.inserts(), 1);
+        }
+        // Same navigator, second call: served from the in-memory index.
+        let again =
+            cold.generate_guideline(Priority::Balance, &RuntimeConstraints::none()).expect("again");
+        assert_eq!(cold.explore_cache().expect("cache").hits(), 1);
+        assert_eq!(format!("{again:?}"), format!("{cold_result:?}"));
+
+        // Fresh process equivalent: reopen the log, re-prepare, and the
+        // exploration is skipped outright — byte-identical result,
+        // zero candidates evaluated by this navigator.
+        let cache = ExploreCache::open(&cache_path).expect("open warm");
+        assert_eq!(cache.len(), 1, "result survives reopen");
+        let mut warm = fast_navigator().with_explore_cache(cache);
+        warm.prepare().expect("warm prepare");
+        let warm_result =
+            warm.generate_guideline(Priority::Balance, &RuntimeConstraints::none()).expect("warm");
+        {
+            let cache = warm.explore_cache().expect("cache");
+            assert_eq!(cache.hits(), 1, "warm run served from cache");
+            assert_eq!(cache.misses(), 0);
+            assert_eq!(cache.inserts(), 0, "nothing re-explored, nothing appended");
+        }
+        assert_eq!(format!("{warm_result:?}"), format!("{cold_result:?}"), "byte-identical");
+
+        // A different priority is a different fingerprint: no false hit.
+        let _ = warm
+            .generate_guideline(Priority::ExTimeMemory, &RuntimeConstraints::none())
+            .expect("other priority");
+        let cache = warm.explore_cache().expect("cache");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.inserts(), 1);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

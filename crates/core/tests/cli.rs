@@ -294,6 +294,7 @@ fn sample_args(flag: &str) -> Option<Vec<&'static str>> {
         "--seed" => vec!["1"],
         "--fault-plan" => vec!["plan.json"],
         "--profile-db" => vec!["profiles.db"],
+        "--explore-cache" => vec!["ecache"],
         "--checkpoint-dir" => vec!["ckpts"],
         "--checkpoint-every" => vec!["2"],
         "--resume" => vec![],
@@ -409,6 +410,63 @@ fn warm_profile_db_invocation_performs_zero_redundant_profiling() {
     let (warm_guideline, warm_profiled) = run("warm.json");
     assert_eq!(warm_profiled, 0.0, "warm run must not profile a single config");
     assert_eq!(warm_guideline, cold_guideline, "warm run reaches the cold guideline");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_explore_cache_invocation_skips_dse_with_identical_stdout() {
+    use gnnavigator::obs::json::{parse, Value};
+
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-ecache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let db = dir.join("profiles.db");
+    let cache = dir.join("ecache");
+
+    // --profile-db keeps the estimator inputs identical between the
+    // runs, so the exploration fingerprint matches and the second run
+    // hits the cache.
+    let run = |metrics_name: &str| {
+        let metrics_path = dir.join(metrics_name);
+        let out = gnnavigate()
+            .args(["--dataset", "RD2", "--scale", "0.01", "--seed", "3"])
+            .args(["--profile-samples", "12", "--explore-budget", "200"])
+            .arg("--profile-db")
+            .arg(&db)
+            .arg("--explore-cache")
+            .arg(&cache)
+            .arg("--metrics-out")
+            .arg(&metrics_path)
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let json = std::fs::read_to_string(&metrics_path).expect("metrics written");
+        let doc = parse(&json).expect("metrics parse");
+        let counter = |name: &str| {
+            doc.get("counters").and_then(|c| c.get(name)).and_then(Value::as_f64).unwrap_or(0.0)
+        };
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        (
+            stdout,
+            stderr,
+            counter("explorer.candidates.evaluated"),
+            counter("explorer.cache.hits"),
+            counter("explorer.cache.inserts"),
+        )
+    };
+
+    let (cold_stdout, cold_stderr, cold_evaluated, cold_hits, cold_inserts) = run("cold.json");
+    assert!(cold_evaluated > 0.0, "cold run must explore ({cold_evaluated})");
+    assert_eq!(cold_hits, 0.0, "cold run cannot hit an empty cache");
+    assert_eq!(cold_inserts, 1.0, "cold run appends its result");
+    assert!(cold_stderr.contains("explore cache miss"), "{cold_stderr}");
+
+    let (warm_stdout, warm_stderr, warm_evaluated, warm_hits, warm_inserts) = run("warm.json");
+    assert_eq!(warm_evaluated, 0.0, "warm run must not evaluate a single candidate");
+    assert!(warm_hits >= 1.0, "warm run must be served from the cache");
+    assert_eq!(warm_inserts, 0.0, "warm run appends nothing");
+    assert!(warm_stderr.contains("explore cache hit"), "{warm_stderr}");
+    assert_eq!(warm_stdout, cold_stdout, "cached guideline must be byte-identical on stdout");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -4,9 +4,13 @@
 //! and (2) "pre-determined settings in runtime" — dataset statistics
 //! and the hardware platform. [`Context`] bundles exactly that.
 
+use crate::estimator::PerfEstimate;
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
+use gnnav_runtime::checkpoint::put_config;
 use gnnav_runtime::{SamplerKind, TrainingConfig};
+use gnnav_store::ByteWriter;
+use std::collections::HashMap;
 
 /// One candidate to estimate: configuration ⊕ dataset stats ⊕
 /// platform.
@@ -165,6 +169,97 @@ impl Context {
     }
 }
 
+/// The canonical byte encoding of a configuration — the memo key used
+/// by [`PredictionContext`]. `TrainingConfig` carries `f64` axes, so
+/// it has no `Hash`/`Eq`; the checkpoint codec's little-endian
+/// raw-bit encoding is exact and stable instead.
+pub(crate) fn config_key(config: &TrainingConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_config(&mut w, config);
+    w.finish()
+}
+
+/// Reusable per-(dataset, platform) prediction inputs plus a per-run
+/// memo of completed predictions.
+///
+/// [`Context::new`] recomputes `dataset.stats()` — an O(|V| + |E|)
+/// edge scan — on every call, which dominates prediction cost when an
+/// explorer queries hundreds of candidates against one dataset. A
+/// `PredictionContext` hoists that work: build it once, then
+/// [`context`](Self::context) assembles a candidate [`Context`] in
+/// O(1).
+///
+/// The memo backs
+/// [`GrayBoxEstimator::predict_batch`](crate::GrayBoxEstimator::predict_batch):
+/// predictions are pure given the context, so a configuration seen
+/// twice within one exploration is served from the memo without
+/// re-predicting.
+#[derive(Debug, Clone)]
+pub struct PredictionContext {
+    num_nodes: f64,
+    num_edges: f64,
+    avg_degree: f64,
+    skew: f64,
+    intra_fraction: f64,
+    feat_dim: f64,
+    num_classes: f64,
+    num_train: f64,
+    platform: Platform,
+    memo: HashMap<Vec<u8>, PerfEstimate>,
+}
+
+impl PredictionContext {
+    /// Precomputes the dataset statistics and platform once.
+    pub fn new(dataset: &Dataset, platform: &Platform) -> Self {
+        let stats = dataset.stats();
+        PredictionContext {
+            num_nodes: stats.num_nodes as f64,
+            num_edges: stats.num_edges as f64,
+            avg_degree: stats.degrees.mean,
+            skew: stats.degrees.skew,
+            intra_fraction: stats.intra_community_fraction.unwrap_or(0.0),
+            feat_dim: dataset.feat_dim() as f64,
+            num_classes: dataset.num_classes() as f64,
+            num_train: dataset.split().train.len() as f64,
+            platform: platform.clone(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Builds the [`Context`] for `config` without touching the
+    /// dataset — O(1), identical field for field to
+    /// `Context::new(dataset, platform, config)`.
+    pub fn context(&self, config: TrainingConfig) -> Context {
+        Context {
+            config,
+            num_nodes: self.num_nodes,
+            num_edges: self.num_edges,
+            avg_degree: self.avg_degree,
+            skew: self.skew,
+            intra_fraction: self.intra_fraction,
+            feat_dim: self.feat_dim,
+            num_classes: self.num_classes,
+            num_train: self.num_train,
+            platform: self.platform.clone(),
+        }
+    }
+
+    /// Number of memoized predictions held.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The memoized estimate for `key`, if any.
+    pub(crate) fn memo_get(&self, key: &[u8]) -> Option<PerfEstimate> {
+        self.memo.get(key).copied()
+    }
+
+    /// Memoizes `estimate` under `key`.
+    pub(crate) fn memo_put(&mut self, key: Vec<u8>, estimate: PerfEstimate) {
+        self.memo.insert(key, estimate);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +319,27 @@ mod tests {
     fn flops_proxy_positive_and_monotone() {
         let c = ctx();
         assert!(c.flops_proxy(1000.0) > c.flops_proxy(100.0));
+    }
+
+    #[test]
+    fn prediction_context_matches_context_new() {
+        let d = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+        let platform = Platform::default_rtx4090();
+        let pctx = PredictionContext::new(&d, &platform);
+        let direct = Context::new(&d, &platform, TrainingConfig::default());
+        let hoisted = pctx.context(TrainingConfig::default());
+        // Debug formatting prints every f64 exhaustively, so equality
+        // here is bit-exact field-for-field equivalence.
+        assert_eq!(format!("{hoisted:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn config_key_distinguishes_configs() {
+        let a = TrainingConfig::default();
+        let mut b = a.clone();
+        b.batch_size += 1;
+        assert_eq!(config_key(&a), config_key(&a));
+        assert_ne!(config_key(&a), config_key(&b));
     }
 
     #[test]

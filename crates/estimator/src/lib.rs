@@ -6,7 +6,10 @@
 //! estimator:
 //!
 //! - [`Context`] — everything a prediction conditions on (candidate
-//!   configuration, dataset statistics, platform).
+//!   configuration, dataset statistics, platform);
+//!   [`PredictionContext`] hoists the dataset statistics once and
+//!   memoizes per-config predictions for
+//!   [`GrayBoxEstimator::predict_batch`].
 //! - [`Profiler`]/[`ProfileDb`] — ground-truth collection over the
 //!   design space, with power-law data enhancement (§4.1).
 //! - [`BatchSizePredictor`] — Eq. 12's analytic skeleton with a
@@ -32,7 +35,7 @@ pub mod time;
 
 pub use accuracy::AccuracyEstimator;
 pub use batch_size::{BatchSizePredictor, BlackBoxBatchSize};
-pub use context::Context;
+pub use context::{Context, PredictionContext};
 pub use estimator::{GrayBoxEstimator, PerfEstimate, ValidationReport};
 pub use memory::MemoryEstimator;
 pub use profile::{ProfileDb, ProfileRecord, Profiler};

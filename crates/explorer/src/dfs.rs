@@ -4,10 +4,25 @@
 //! the depth-first-search (DFS) algorithm", querying the performance
 //! estimator at candidates and pruning subtrees whose estimated
 //! performance cannot satisfy the runtime constraints.
+//!
+//! # Wave-parallel evaluation
+//!
+//! The traversal itself is estimate-independent: pruning uses only the
+//! analytic cache-ratio bound, and budget/visited accounting counts
+//! leaves, not predictions. [`DfsExplorer::run_audited`] exploits that
+//! by expanding each restart serially into an ordered *wave* of
+//! decisions, batch-evaluating the wave's candidates through
+//! [`GrayBoxEstimator::predict_batch`] (which fans out across the
+//! `gnnav-par` pool), and then replaying the wave serially to emit
+//! journal events, audit records, and accept/reject bookkeeping in
+//! exactly the serial traversal's order. Predictions are pure given
+//! the context and the pool's chunking is static, so the outcome is
+//! byte-identical to a serial evaluation loop at every thread count.
 
 use crate::audit::{AuditAction, AuditRecord};
+use crate::pareto::{objectives, ParetoFront};
 use crate::targets::RuntimeConstraints;
-use gnnav_estimator::{Context, GrayBoxEstimator, PerfEstimate};
+use gnnav_estimator::{GrayBoxEstimator, PerfEstimate, PredictionContext};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
@@ -36,6 +51,9 @@ pub struct DfsOutcome {
     /// when nothing is accepted. Non-finite predictions are counted
     /// in [`DfsStats::rejected`] but never kept here.
     pub rejected: Vec<EvaluatedCandidate>,
+    /// Indices (into `accepted`) of the estimated Pareto front over
+    /// `(T, Γ, −Acc)`, maintained incrementally during the run.
+    pub front: Vec<usize>,
     /// Traversal statistics.
     pub stats: DfsStats,
     /// One [`AuditRecord`] per decision.
@@ -110,85 +128,38 @@ impl DfsExplorer {
     ) -> DfsOutcome {
         let mut stats = DfsStats::default();
         let mut out: Vec<EvaluatedCandidate> = Vec::new();
+        let mut rejected_keep: Vec<EvaluatedCandidate> = Vec::new();
         let mut audit: Vec<AuditRecord> = Vec::new();
-        let metrics = gnnav_obs::global();
-        let journal = metrics.journal();
-        let seed_phase = std::cell::Cell::new(true);
-        let rejected_keep = std::cell::RefCell::new(Vec::<EvaluatedCandidate>::new());
-        let mut evaluate = |config: TrainingConfig,
-                            stats: &mut DfsStats,
-                            out: &mut Vec<EvaluatedCandidate>,
-                            audit: &mut Vec<AuditRecord>| {
-            let ctx = Context::new(dataset, platform, config.clone());
-            let estimate = estimator.predict(&ctx);
-            stats.evaluated += 1;
-            // A degenerate estimator (NaN/inf prediction) must never
-            // crash or silently win the Pareto front: treat the
-            // candidate as rejected, with the defect spelled out.
-            let finite = estimate.time_s.is_finite()
-                && estimate.mem_bytes.is_finite()
-                && estimate.accuracy.is_finite();
-            let violation = if finite {
-                constraints.violation(&estimate)
-            } else {
-                if metrics.is_enabled() {
-                    metrics.add(metric::EXPLORER_NONFINITE, 1);
-                }
-                Some(format!(
-                    "estimator returned a non-finite prediction (time_s={}, mem_bytes={}, \
-                     accuracy={})",
-                    estimate.time_s, estimate.mem_bytes, estimate.accuracy
-                ))
-            };
-            let accepted = violation.is_none();
-            let reason =
-                violation.unwrap_or_else(|| "satisfies all runtime constraints".to_string());
-            if journal.is_enabled() {
-                journal.instant(
-                    metric::EVENT_CANDIDATE,
-                    metric::TRACK_EXPLORER,
-                    None,
-                    vec![
-                        ("config".into(), config.summary().into()),
-                        ("time_s".into(), estimate.time_s.into()),
-                        ("mem_bytes".into(), estimate.mem_bytes.into()),
-                        ("accuracy".into(), estimate.accuracy.into()),
-                        ("accepted".into(), accepted.into()),
-                        ("reason".into(), reason.as_str().into()),
-                    ],
-                );
-            }
-            audit.push(AuditRecord {
-                config: config.summary(),
-                estimate: Some(estimate),
-                action: if accepted { AuditAction::Accepted } else { AuditAction::Rejected },
-                reason,
-                seed_candidate: seed_phase.get(),
-            });
-            if accepted {
-                out.push(EvaluatedCandidate { config, estimate });
-            } else {
-                stats.rejected += 1;
-                if finite {
-                    rejected_keep.borrow_mut().push(EvaluatedCandidate { config, estimate });
-                }
-            }
-        };
+        let mut front = ParetoFront::new();
+        let mut pctx = PredictionContext::new(dataset, platform);
+        let mut wave: Vec<WaveStep> = Vec::new();
 
-        // Seeds: the templates of existing systems, so guidelines never
-        // lose to the approaches the explorer knows about.
+        // Wave 0 — the seeds: the templates of existing systems, so
+        // guidelines never lose to the approaches the explorer knows
+        // about.
         for seed_config in seeds {
             if seed_config.validate().is_ok() {
-                evaluate(seed_config.clone(), &mut stats, &mut out, &mut audit);
+                wave.push(WaveStep::Eval { config: seed_config.clone(), seed_candidate: true });
             }
         }
-        seed_phase.set(false);
+        self.flush_wave(
+            estimator,
+            &mut pctx,
+            constraints,
+            &mut wave,
+            &mut stats,
+            &mut out,
+            &mut rejected_keep,
+            &mut front,
+            &mut audit,
+        );
 
         // Restarted, randomized-order DFS: a budgeted DFS from one
         // root only varies the deepest axes, so the budget is split
         // across restarts, each with a freshly shuffled axis order and
         // per-axis value orders. Every restart is a plain DFS; the
-        // restarts make a bounded budget cover all axes.
+        // restarts make a bounded budget cover all axes. Each restart
+        // expands into one wave, flushed at its end.
         let mut rng = StdRng::seed_from_u64(self.seed);
         let per_restart = self.budget.div_ceil(DFS_RESTARTS).max(1);
         let mut visited = std::collections::HashSet::new();
@@ -206,7 +177,7 @@ impl DfsExplorer {
             let mut assignment = vec![0usize; self.space.num_axes()];
             let restart_budget = (self.budget - spent).min(per_restart);
             let mut restart_evals = 0usize;
-            self.dfs(
+            self.expand(
                 0,
                 &mut assignment,
                 &axis_order,
@@ -217,21 +188,154 @@ impl DfsExplorer {
                 restart_budget,
                 &mut restart_evals,
                 &mut visited,
+                &mut wave,
+            );
+            self.flush_wave(
+                estimator,
+                &mut pctx,
+                constraints,
+                &mut wave,
                 &mut stats,
                 &mut out,
+                &mut rejected_keep,
+                &mut front,
                 &mut audit,
-                &mut evaluate,
             );
             if restart_evals == 0 {
                 break; // space (or all unseen points) exhausted
             }
             spent += restart_evals;
         }
-        DfsOutcome { accepted: out, rejected: rejected_keep.into_inner(), stats, audit }
+        DfsOutcome { accepted: out, rejected: rejected_keep, front: front.indices(), stats, audit }
     }
 
+    /// Batch-evaluates one wave's candidates and replays its decision
+    /// log serially — journal events, audit records, accept/reject
+    /// bookkeeping, and the incremental Pareto front all advance in
+    /// exactly the order the serial traversal recorded them.
     #[allow(clippy::too_many_arguments)]
-    fn dfs(
+    fn flush_wave(
+        &self,
+        estimator: &GrayBoxEstimator,
+        pctx: &mut PredictionContext,
+        constraints: &RuntimeConstraints,
+        wave: &mut Vec<WaveStep>,
+        stats: &mut DfsStats,
+        out: &mut Vec<EvaluatedCandidate>,
+        rejected_keep: &mut Vec<EvaluatedCandidate>,
+        front: &mut ParetoFront,
+        audit: &mut Vec<AuditRecord>,
+    ) {
+        if wave.is_empty() {
+            return;
+        }
+        let configs: Vec<TrainingConfig> = wave
+            .iter()
+            .filter_map(|step| match step {
+                WaveStep::Eval { config, .. } => Some(config.clone()),
+                WaveStep::Prune { .. } => None,
+            })
+            .collect();
+        let estimates = estimator.predict_batch(pctx, &configs);
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        let mut next = 0usize;
+        for step in wave.drain(..) {
+            match step {
+                WaveStep::Eval { config, seed_candidate } => {
+                    let estimate = estimates[next];
+                    next += 1;
+                    stats.evaluated += 1;
+                    // A degenerate estimator (NaN/inf prediction) must
+                    // never crash or silently win the Pareto front:
+                    // treat the candidate as rejected, with the defect
+                    // spelled out.
+                    let finite = estimate.time_s.is_finite()
+                        && estimate.mem_bytes.is_finite()
+                        && estimate.accuracy.is_finite();
+                    let violation = if finite {
+                        constraints.violation(&estimate)
+                    } else {
+                        if metrics.is_enabled() {
+                            metrics.add(metric::EXPLORER_NONFINITE, 1);
+                        }
+                        Some(format!(
+                            "estimator returned a non-finite prediction (time_s={}, \
+                             mem_bytes={}, accuracy={})",
+                            estimate.time_s, estimate.mem_bytes, estimate.accuracy
+                        ))
+                    };
+                    let accepted = violation.is_none();
+                    let reason = violation
+                        .unwrap_or_else(|| "satisfies all runtime constraints".to_string());
+                    if journal.is_enabled() {
+                        journal.instant(
+                            metric::EVENT_CANDIDATE,
+                            metric::TRACK_EXPLORER,
+                            None,
+                            vec![
+                                ("config".into(), config.summary().into()),
+                                ("time_s".into(), estimate.time_s.into()),
+                                ("mem_bytes".into(), estimate.mem_bytes.into()),
+                                ("accuracy".into(), estimate.accuracy.into()),
+                                ("accepted".into(), accepted.into()),
+                                ("reason".into(), reason.as_str().into()),
+                            ],
+                        );
+                    }
+                    audit.push(AuditRecord {
+                        config: config.summary(),
+                        estimate: Some(estimate),
+                        action: if accepted {
+                            AuditAction::Accepted
+                        } else {
+                            AuditAction::Rejected
+                        },
+                        reason,
+                        seed_candidate,
+                    });
+                    if accepted {
+                        front.insert(objectives(&estimate));
+                        out.push(EvaluatedCandidate { config, estimate });
+                    } else {
+                        stats.rejected += 1;
+                        if finite {
+                            rejected_keep.push(EvaluatedCandidate { config, estimate });
+                        }
+                    }
+                }
+                WaveStep::Prune { subtree, reason } => {
+                    stats.pruned_subtrees += 1;
+                    if journal.is_enabled() {
+                        journal.instant(
+                            metric::EVENT_PRUNE,
+                            metric::TRACK_EXPLORER,
+                            None,
+                            vec![
+                                ("subtree".into(), subtree.as_str().into()),
+                                ("reason".into(), reason.as_str().into()),
+                            ],
+                        );
+                    }
+                    audit.push(AuditRecord {
+                        config: subtree,
+                        estimate: None,
+                        action: AuditAction::PrunedSubtree,
+                        reason,
+                        seed_candidate: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The serial frontier expansion of one restart: a plain DFS that
+    /// records every decision — leaf to evaluate, subtree to prune —
+    /// into `wave` without touching the estimator. Traversal order,
+    /// pruning, visited-set, and budget accounting are identical to
+    /// evaluating inline (none of them depend on estimates).
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
         &self,
         depth: usize,
         assignment: &mut Vec<usize>,
@@ -243,15 +347,7 @@ impl DfsExplorer {
         budget: usize,
         evals: &mut usize,
         visited: &mut std::collections::HashSet<Vec<usize>>,
-        stats: &mut DfsStats,
-        out: &mut Vec<EvaluatedCandidate>,
-        audit: &mut Vec<AuditRecord>,
-        evaluate: &mut impl FnMut(
-            TrainingConfig,
-            &mut DfsStats,
-            &mut Vec<EvaluatedCandidate>,
-            &mut Vec<AuditRecord>,
-        ),
+        wave: &mut Vec<WaveStep>,
     ) {
         if *evals >= budget {
             return;
@@ -261,7 +357,7 @@ impl DfsExplorer {
                 return; // already evaluated in a previous restart
             }
             if let Some(config) = self.space.config_at(assignment, model) {
-                evaluate(config, stats, out, audit);
+                wave.push(WaveStep::Eval { config, seed_candidate: false });
                 *evals += 1;
             }
             return;
@@ -279,37 +375,18 @@ impl DfsExplorer {
                     let min_row_bytes = dataset.feat_dim() as f64 * 2.0; // FP16 floor
                     let cache_lb = ratio * dataset.num_nodes() as f64 * min_row_bytes;
                     if cache_lb > max_mem {
-                        stats.pruned_subtrees += 1;
                         let subtree = format!("subtree {}={ratio}", self.space.axis_name(axis));
                         let reason = format!(
                             "cache memory lower bound {:.2} MB > max {:.2} MB",
                             cache_lb / 1e6,
                             max_mem / 1e6
                         );
-                        let journal = gnnav_obs::global().journal();
-                        if journal.is_enabled() {
-                            journal.instant(
-                                metric::EVENT_PRUNE,
-                                metric::TRACK_EXPLORER,
-                                None,
-                                vec![
-                                    ("subtree".into(), subtree.as_str().into()),
-                                    ("reason".into(), reason.as_str().into()),
-                                ],
-                            );
-                        }
-                        audit.push(AuditRecord {
-                            config: subtree,
-                            estimate: None,
-                            action: AuditAction::PrunedSubtree,
-                            reason,
-                            seed_candidate: false,
-                        });
+                        wave.push(WaveStep::Prune { subtree, reason });
                         continue;
                     }
                 }
             }
-            self.dfs(
+            self.expand(
                 depth + 1,
                 assignment,
                 axis_order,
@@ -320,16 +397,33 @@ impl DfsExplorer {
                 budget,
                 evals,
                 visited,
-                stats,
-                out,
-                audit,
-                evaluate,
+                wave,
             );
             if *evals >= budget {
                 return;
             }
         }
     }
+}
+
+/// One decision recorded during serial wave expansion and replayed in
+/// the same order after the wave's candidates are batch-evaluated.
+#[derive(Debug, Clone)]
+enum WaveStep {
+    /// A leaf (or seed) to evaluate.
+    Eval {
+        /// The candidate configuration.
+        config: TrainingConfig,
+        /// Whether it came from the template seeds.
+        seed_candidate: bool,
+    },
+    /// A subtree cut by the analytic bound.
+    Prune {
+        /// Human-readable subtree description.
+        subtree: String,
+        /// Why it was cut.
+        reason: String,
+    },
 }
 
 /// Number of DFS restarts a budget is split across.
@@ -473,8 +567,12 @@ mod tests {
             &constraints,
             &seeds,
         );
-        let DfsOutcome { accepted: cands, rejected: kept_rejected, stats, audit } = outcome;
+        let DfsOutcome { accepted: cands, rejected: kept_rejected, front, stats, audit } = outcome;
         use crate::audit::AuditAction;
+        // The incremental front matches the batch recompute over the
+        // accepted candidates.
+        let points: Vec<[f64; 3]> = cands.iter().map(|c| objectives(&c.estimate)).collect();
+        assert_eq!(front, crate::pareto::pareto_front_indices(&points));
         // Every rejection in this test is a finite constraint
         // violation, so all of them are kept as fallback material.
         assert_eq!(kept_rejected.len(), stats.rejected);

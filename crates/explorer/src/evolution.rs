@@ -10,7 +10,7 @@
 use crate::dfs::EvaluatedCandidate;
 use crate::pareto::objectives;
 use crate::targets::{Priority, RuntimeConstraints};
-use gnnav_estimator::{Context, GrayBoxEstimator};
+use gnnav_estimator::{GrayBoxEstimator, PredictionContext};
 use gnnav_graph::Dataset;
 use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
@@ -88,11 +88,13 @@ impl EvolutionarySearch {
                 + weights.w_accuracy * o[2] / norms[2].abs().max(1e-12)
         };
 
-        let evaluate = |indices: &[usize], rng: &mut StdRng, evals: &mut usize| {
-            let _ = rng;
+        // Dataset statistics are hoisted once; repeat genomes (random
+        // draws and mutations revisit points) are served from the
+        // per-run prediction memo.
+        let mut pctx = PredictionContext::new(dataset, platform);
+        let evaluate = |indices: &[usize], pctx: &mut PredictionContext, evals: &mut usize| {
             self.space.config_at(indices, model).map(|config| {
-                let ctx = Context::new(dataset, platform, config.clone());
-                let estimate = estimator.predict(&ctx);
+                let estimate = estimator.predict_batch(pctx, std::slice::from_ref(&config))[0];
                 *evals += 1;
                 EvaluatedCandidate { config, estimate }
             })
@@ -124,14 +126,14 @@ impl EvolutionarySearch {
         let mut population: Vec<(Vec<usize>, EvaluatedCandidate)> = Vec::new();
         for seed_config in seeds {
             if let Some(g) = genome_of(seed_config) {
-                if let Some(c) = evaluate(&g, &mut rng, &mut evaluations) {
+                if let Some(c) = evaluate(&g, &mut pctx, &mut evaluations) {
                     population.push((g, c));
                 }
             }
         }
         while population.len() < self.params.population && evaluations < self.params.budget {
             let g = random_genome(&mut rng);
-            if let Some(c) = evaluate(&g, &mut rng, &mut evaluations) {
+            if let Some(c) = evaluate(&g, &mut pctx, &mut evaluations) {
                 population.push((g, c));
             }
         }
@@ -157,11 +159,12 @@ impl EvolutionarySearch {
         while evaluations < self.params.budget {
             // Offspring: mutate 1-3 axes of a random survivor. Genomes
             // are drawn serially (preserving the RNG stream), then the
-            // estimator predictions — the expensive part — run across
-            // the thread pool. `par_map_indexed` returns results in
-            // draw order and `predict` is pure, so the candidate
-            // stream is identical to the serial loop's at any thread
-            // count.
+            // estimator predictions — the expensive part — run through
+            // the batched predictor, which fans fresh configs across
+            // the thread pool and serves revisits from the memo.
+            // `predict_batch` returns results in draw order and
+            // `predict` is pure, so the candidate stream is identical
+            // to the serial loop's at any thread count.
             let mut drawn: Vec<(Vec<usize>, TrainingConfig)> =
                 Vec::with_capacity(self.params.offspring);
             for _ in 0..self.params.offspring {
@@ -179,10 +182,9 @@ impl EvolutionarySearch {
                     drawn.push((child, config));
                 }
             }
-            let estimates = gnnav_par::par_map_indexed(&drawn, 4, |_, (_, config)| {
-                let ctx = Context::new(dataset, platform, config.clone());
-                estimator.predict(&ctx)
-            });
+            let configs: Vec<TrainingConfig> =
+                drawn.iter().map(|(_, config)| config.clone()).collect();
+            let estimates = estimator.predict_batch(&mut pctx, &configs);
             let mut offspring = Vec::with_capacity(drawn.len());
             for ((child, config), estimate) in drawn.into_iter().zip(estimates) {
                 let c = EvaluatedCandidate { config, estimate };

@@ -3,7 +3,6 @@
 use crate::audit::{AuditAction, AuditRecord};
 use crate::decision::{decide, Guideline};
 use crate::dfs::{DfsExplorer, DfsStats, EvaluatedCandidate};
-use crate::pareto::{objectives, pareto_front_indices};
 use crate::targets::{Priority, RuntimeConstraints};
 use crate::ExplorerError;
 use gnnav_estimator::GrayBoxEstimator;
@@ -12,7 +11,6 @@ use gnnav_hwsim::Platform;
 use gnnav_nn::ModelKind;
 use gnnav_obs::names as metric;
 use gnnav_runtime::{DesignSpace, Template};
-use std::time::Instant;
 
 /// Everything one exploration produced.
 #[derive(Debug, Clone)]
@@ -100,6 +98,17 @@ impl<'a> Explorer<'a> {
         self.estimator
     }
 
+    /// The traversal seed (part of the exploration-cache fingerprint).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The leaf-evaluation budget (part of the exploration-cache
+    /// fingerprint).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
     /// Explores and returns the guideline for `priority` under
     /// `constraints`, seeding the search with the baseline templates.
     ///
@@ -147,16 +156,39 @@ impl<'a> Explorer<'a> {
         seeds: &[gnnav_runtime::TrainingConfig],
     ) -> Result<ExplorationResult, ExplorerError> {
         let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
         let _explore_span = metrics.span(metric::EXPLORER_EXPLORE_WALL);
+        // Wall-time reporting rides the journal's monotonic clock —
+        // one epoch for every explorer event, immune to wall-clock
+        // adjustments and directly comparable across the trace.
+        let explore_t0 = journal.is_enabled().then(|| journal.now_us());
         let dfs = DfsExplorer::new(self.space.clone(), self.budget, self.seed);
         let outcome = dfs.run_audited(self.estimator, dataset, platform, model, constraints, seeds);
-        let (evaluated, rejected, stats) = (outcome.accepted, outcome.rejected, outcome.stats);
+        let (evaluated, rejected, front, stats) =
+            (outcome.accepted, outcome.rejected, outcome.front, outcome.stats);
         let mut audit = outcome.audit;
-        let points: Vec<[f64; 3]> = evaluated.iter().map(|c| objectives(&c.estimate)).collect();
-        let front = pareto_front_indices(&points);
-        let decide_started = metrics.is_enabled().then(Instant::now);
-        let decided = decide(&evaluated, priority);
-        if let Some(started) = decide_started {
+        let decided = {
+            // Recorded flat (not via `Registry::span`, which would
+            // nest the series under the enclosing explore span as
+            // `explorer.explore.explorer.decide`).
+            let decide_t0 = std::time::Instant::now();
+            let t0 = journal.is_enabled().then(|| journal.now_us());
+            let decided = decide(&evaluated, priority);
+            if let Some(t0) = t0 {
+                journal.span_complete(
+                    metric::EVENT_DECIDE,
+                    metric::TRACK_EXPLORER,
+                    t0,
+                    Some(journal.now_us() - t0),
+                    None,
+                    None,
+                    vec![("candidates".into(), (evaluated.len() as f64).into())],
+                );
+            }
+            metrics.observe_duration(metric::EXPLORER_DECIDE_WALL, decide_t0.elapsed());
+            decided
+        };
+        if metrics.is_enabled() {
             metrics.add(metric::EXPLORER_RUNS, 1);
             metrics.add(metric::EXPLORER_EVALUATED, stats.evaluated as u64);
             metrics.add(metric::EXPLORER_REJECTED, stats.rejected as u64);
@@ -166,7 +198,6 @@ impl<'a> Explorer<'a> {
             metrics.add(metric::EXPLORER_FALLBACKS, 0);
             metrics.add(metric::EXPLORER_NONFINITE, 0);
             metrics.gauge_set(metric::EXPLORER_FRONT_SIZE, front.len() as f64);
-            metrics.gauge_set(metric::EXPLORER_DECISION_LATENCY, started.elapsed().as_secs_f64());
         }
         let (guideline, action, reason, fallback) = match decided {
             Some(g) => {
@@ -203,7 +234,6 @@ impl<'a> Explorer<'a> {
                 (g, AuditAction::Fallback, reason.clone(), Some(reason))
             }
         };
-        let journal = metrics.journal();
         if journal.is_enabled() {
             journal.instant(
                 metric::EVENT_GUIDELINE,
@@ -224,6 +254,21 @@ impl<'a> Explorer<'a> {
             reason,
             seed_candidate: false,
         });
+        if let Some(t0) = explore_t0 {
+            journal.span_complete(
+                metric::EVENT_EXPLORE,
+                metric::TRACK_EXPLORER,
+                t0,
+                Some(journal.now_us() - t0),
+                None,
+                None,
+                vec![
+                    ("evaluated".into(), (stats.evaluated as f64).into()),
+                    ("pruned".into(), (stats.pruned_subtrees as f64).into()),
+                    ("front".into(), (front.len() as f64).into()),
+                ],
+            );
+        }
         Ok(ExplorationResult { guideline, evaluated, front, stats, audit, fallback })
     }
 }

@@ -7,11 +7,15 @@
 //! Pareto front over `(T, Γ, −Acc)` and scalarizes it into a
 //! [`Guideline`]. [`Explorer`] wires the pipeline end to end and
 //! seeds the search with the baseline templates so guidelines never
-//! lose to the prior systems they generalize.
+//! lose to the prior systems they generalize. [`ExploreCache`]
+//! persists whole [`ExplorationResult`]s keyed by
+//! [`explore_fingerprint`] so a repeated invocation skips the DSE
+//! entirely.
 
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cache;
 pub mod decision;
 pub mod dfs;
 pub mod evolution;
@@ -20,11 +24,12 @@ pub mod pareto;
 pub mod targets;
 
 pub use audit::{audit_to_json, AuditAction, AuditRecord};
+pub use cache::{explore_fingerprint, ExploreCache};
 pub use decision::{decide, Guideline};
 pub use dfs::{DfsExplorer, DfsOutcome, DfsStats, EvaluatedCandidate};
 pub use evolution::{EvolutionParams, EvolutionarySearch};
 pub use explorer::{ExplorationResult, Explorer};
-pub use pareto::{dominates, objectives, pareto_front_indices};
+pub use pareto::{dominates, objectives, pareto_front_indices, ParetoFront};
 pub use targets::{ExploreTargets, Priority, RuntimeConstraints};
 
 use std::error::Error;

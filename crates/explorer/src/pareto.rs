@@ -25,6 +25,9 @@ pub fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
 
 /// Indices of the Pareto-optimal points among `points` (minimization
 /// in every coordinate). Duplicate points are all kept.
+///
+/// Reference O(n²) form; the explorers maintain the same front
+/// incrementally with [`ParetoFront`] (property-tested equivalent).
 pub fn pareto_front_indices(points: &[[f64; 3]]) -> Vec<usize> {
     let mut front = Vec::new();
     'outer: for (i, p) in points.iter().enumerate() {
@@ -36,6 +39,63 @@ pub fn pareto_front_indices(points: &[[f64; 3]]) -> Vec<usize> {
         front.push(i);
     }
     front
+}
+
+/// An incrementally maintained Pareto front (minimization in every
+/// coordinate).
+///
+/// Feeding points in index order yields exactly
+/// [`pareto_front_indices`] over the same sequence, but each insert
+/// costs O(front) dominance checks instead of the O(n²) batch recompute
+/// — front members dominated by a newcomer are evicted, a newcomer
+/// dominated by the front is never admitted (dominance is transitive,
+/// so checking the surviving front suffices), and duplicates all
+/// survive (equal points never dominate each other).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront {
+    seen: usize,
+    front: Vec<(usize, [f64; 3])>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// Inserts the next point (its index is the number of points
+    /// inserted so far) and returns whether it joined the front.
+    pub fn insert(&mut self, point: [f64; 3]) -> bool {
+        let index = self.seen;
+        self.seen += 1;
+        if self.front.iter().any(|(_, q)| dominates(q, &point)) {
+            return false;
+        }
+        self.front.retain(|(_, q)| !dominates(&point, q));
+        self.front.push((index, point));
+        true
+    }
+
+    /// Points inserted so far (front members and dominated alike).
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Current front size.
+    pub fn len(&self) -> usize {
+        self.front.len()
+    }
+
+    /// Whether no point has made the front.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty()
+    }
+
+    /// The front's indices in ascending insertion order — identical to
+    /// `pareto_front_indices` over the inserted sequence.
+    pub fn indices(&self) -> Vec<usize> {
+        self.front.iter().map(|&(i, _)| i).collect()
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +143,34 @@ mod tests {
     fn duplicates_all_survive() {
         let points = vec![[1.0, 1.0, 0.0], [1.0, 1.0, 0.0]];
         assert_eq!(pareto_front_indices(&points).len(), 2);
+    }
+
+    #[test]
+    fn incremental_front_matches_batch() {
+        let points = vec![
+            [1.0, 1.0, 0.0],
+            [2.0, 2.0, 0.0], // dominated by 0
+            [0.5, 3.0, 0.0],
+            [3.0, 0.5, 0.0],
+            [1.0, 1.0, 0.0],   // duplicate of 0
+            [0.25, 0.25, 0.0], // late arrival dominating the whole front
+        ];
+        let mut inc = ParetoFront::new();
+        for &p in &points {
+            inc.insert(p);
+        }
+        assert_eq!(inc.indices(), pareto_front_indices(&points));
+        assert_eq!(inc.seen(), points.len());
+        assert_eq!(inc.len(), inc.indices().len());
+    }
+
+    #[test]
+    fn incremental_duplicates_survive() {
+        let mut inc = ParetoFront::new();
+        assert!(inc.insert([1.0, 1.0, 0.0]));
+        assert!(inc.insert([1.0, 1.0, 0.0]));
+        assert_eq!(inc.indices(), vec![0, 1]);
+        assert!(!inc.is_empty());
     }
 
     #[test]

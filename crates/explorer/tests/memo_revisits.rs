@@ -1,0 +1,83 @@
+//! Per-run prediction memoization: a configuration seen twice within
+//! one exploration is served from the memo, so `estimator.predictions`
+//! drops while the results stay unchanged.
+//!
+//! Lives in its own integration-test binary: the assertions read the
+//! process-global metrics registry, which unit tests running on
+//! parallel threads would perturb.
+
+use gnnav_estimator::{GrayBoxEstimator, Profiler};
+use gnnav_explorer::{AuditAction, Explorer, Priority, RuntimeConstraints};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, Template};
+
+fn counter(name: &str) -> u64 {
+    gnnav_obs::global().snapshot().counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn duplicate_seeds_are_memoized_not_repredicted() {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+    let profiler = Profiler::new(
+        RuntimeBackend::new(Platform::default_rtx4090()),
+        ExecutionOptions::timing_only(),
+    )
+    .with_threads(4);
+    let cfgs = DesignSpace::standard().sample(25, ModelKind::Sage, 5);
+    let db = profiler.profile(&dataset, &cfgs).expect("profile");
+    let mut est = GrayBoxEstimator::new();
+    est.fit(&db).expect("fit");
+
+    let metrics = gnnav_obs::global();
+    metrics.enable(true);
+
+    // The same seed handed in three times: one prediction, two memo
+    // hits. (DFS leaves are deduplicated by the visited set, so seeds
+    // are the only same-wave revisit source; the memo also spans
+    // waves, covering seed configs the traversal reaches again.)
+    let seed = Template::Pyg.config(ModelKind::Sage);
+    let seeds = vec![seed.clone(), seed.clone(), seed.clone()];
+    let explorer = Explorer::new(&est, 150);
+
+    let predictions_before = counter("estimator.predictions");
+    let memoized_before = counter("estimator.predictions.memoized");
+    let result = explorer
+        .explore_from(
+            &dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            Priority::Balance,
+            &RuntimeConstraints::none(),
+            &seeds,
+        )
+        .expect("explore");
+    let predictions = counter("estimator.predictions") - predictions_before;
+    let memoized = counter("estimator.predictions.memoized") - memoized_before;
+
+    assert!(result.stats.evaluated >= 3, "all three seed copies count as evaluations");
+    assert!(
+        memoized >= 2,
+        "two of the three identical seeds must be served from the memo (got {memoized})"
+    );
+    assert_eq!(
+        predictions + memoized,
+        result.stats.evaluated as u64,
+        "every evaluation is either a fresh prediction or a memo hit"
+    );
+    assert!(
+        predictions < result.stats.evaluated as u64,
+        "predictions must drop below evaluations on a run with revisits"
+    );
+
+    // Results unchanged: the three duplicate-seed audit records carry
+    // bit-identical estimates.
+    let seed_records: Vec<_> = result.audit.iter().filter(|r| r.seed_candidate).collect();
+    assert_eq!(seed_records.len(), 3);
+    let rendered: Vec<String> =
+        seed_records.iter().map(|r| format!("{:?}", r.estimate.expect("evaluated"))).collect();
+    assert_eq!(rendered[0], rendered[1]);
+    assert_eq!(rendered[0], rendered[2]);
+    assert!(seed_records.iter().all(|r| r.action != AuditAction::PrunedSubtree));
+}

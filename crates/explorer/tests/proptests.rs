@@ -1,7 +1,11 @@
-//! Property-based tests for Pareto dominance and the decision maker.
+//! Property-based tests for Pareto dominance, the incremental front,
+//! the decision maker, and the exploration-cache codec.
 
 use gnnav_estimator::PerfEstimate;
-use gnnav_explorer::{decide, dominates, pareto_front_indices, EvaluatedCandidate, Priority};
+use gnnav_explorer::{
+    decide, dominates, pareto_front_indices, AuditAction, AuditRecord, DfsStats,
+    EvaluatedCandidate, ExplorationResult, ExploreCache, Guideline, ParetoFront, Priority,
+};
 use gnnav_runtime::TrainingConfig;
 use proptest::prelude::*;
 
@@ -10,6 +14,102 @@ fn points() -> impl Strategy<Value = Vec<[f64; 3]>> {
         (0.0f64..100.0, 0.0f64..100.0, -1.0f64..0.0).prop_map(|(a, b, c)| [a, b, c]),
         1..60,
     )
+}
+
+/// Points drawn off a coarse grid: duplicates and exact ties across
+/// all three coordinates are common, exercising the equal-point paths
+/// of dominance.
+fn coarse_points() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..4, 0u8..4).prop_map(|(a, b, c)| [a as f64, b as f64, -(c as f64)]),
+        1..40,
+    )
+}
+
+fn estimates() -> impl Strategy<Value = PerfEstimate> {
+    (1e-6f64..1e3, 1e3f64..1e12, 0.0f64..1.0, 0.0f64..1e6, 0.0f64..1.0).prop_map(
+        |(time_s, mem_bytes, accuracy, batch_nodes, hit_rate)| PerfEstimate {
+            time_s,
+            mem_bytes,
+            accuracy,
+            batch_nodes,
+            hit_rate,
+        },
+    )
+}
+
+fn configs() -> impl Strategy<Value = TrainingConfig> {
+    (4u32..4096, 8u32..512, 0.0f64..1.0).prop_map(|(batch_size, hidden_dim, cache_ratio)| {
+        TrainingConfig {
+            batch_size: batch_size as usize,
+            hidden_dim: hidden_dim as usize,
+            cache_ratio,
+            ..TrainingConfig::default()
+        }
+    })
+}
+
+/// Short strings covering the interesting payload classes: empty,
+/// plain ASCII, punctuation-heavy, and multi-byte UTF-8.
+fn strings() -> impl Strategy<Value = String> {
+    (0usize..4).prop_map(|i| {
+        ["", "cfg batch=512", "mem 1.50 MB > max 0.20 MB (excess 7.5e0)", "Γ_cache ✓ ∞"][i]
+            .to_string()
+    })
+}
+
+fn audit_actions() -> impl Strategy<Value = AuditAction> {
+    (0u8..6).prop_map(|t| match t {
+        0 => AuditAction::Accepted,
+        1 => AuditAction::Rejected,
+        2 => AuditAction::PrunedSubtree,
+        3 => AuditAction::Selected,
+        4 => AuditAction::Fallback,
+        _ => AuditAction::Switched,
+    })
+}
+
+fn audit_records() -> impl Strategy<Value = AuditRecord> {
+    (strings(), (any::<bool>(), estimates()), audit_actions(), strings(), any::<bool>()).prop_map(
+        |(config, (has_estimate, estimate), action, reason, seed_candidate)| AuditRecord {
+            config,
+            estimate: has_estimate.then_some(estimate),
+            action,
+            reason,
+            seed_candidate,
+        },
+    )
+}
+
+fn priorities() -> impl Strategy<Value = Priority> {
+    (0u8..4).prop_map(|t| match t {
+        0 => Priority::Balance,
+        1 => Priority::ExTimeMemory,
+        2 => Priority::ExMemoryAccuracy,
+        _ => Priority::ExTimeAccuracy,
+    })
+}
+
+fn exploration_results() -> impl Strategy<Value = ExplorationResult> {
+    (
+        (configs(), estimates(), priorities()),
+        proptest::collection::vec((configs(), estimates()), 0..8),
+        proptest::collection::vec(0usize..64, 0..8),
+        (0usize..500, 0usize..500, 0usize..500),
+        proptest::collection::vec(audit_records(), 0..8),
+        (any::<bool>(), strings()),
+    )
+        .prop_map(|(g, evaluated, front, stats, audit, fallback)| ExplorationResult {
+            guideline: Guideline { config: g.0, estimate: g.1, priority: g.2 },
+            evaluated: evaluated
+                .into_iter()
+                .map(|(config, estimate)| EvaluatedCandidate { config, estimate })
+                .collect(),
+            front,
+            stats: DfsStats { evaluated: stats.0, rejected: stats.1, pruned_subtrees: stats.2 },
+            audit,
+            fallback: fallback.0.then_some(fallback.1),
+        })
 }
 
 proptest! {
@@ -50,6 +150,50 @@ proptest! {
         let b = [b.0, b.1, b.2];
         prop_assert!(!dominates(&a, &a));
         prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn incremental_front_equals_batch_on_random_points(pts in points()) {
+        let mut inc = ParetoFront::new();
+        for &p in &pts {
+            inc.insert(p);
+        }
+        prop_assert_eq!(inc.indices(), pareto_front_indices(&pts));
+        prop_assert_eq!(inc.seen(), pts.len());
+    }
+
+    #[test]
+    fn incremental_front_equals_batch_with_duplicates(pts in coarse_points()) {
+        let mut inc = ParetoFront::new();
+        for &p in &pts {
+            inc.insert(p);
+        }
+        prop_assert_eq!(inc.indices(), pareto_front_indices(&pts));
+        prop_assert_eq!(inc.len(), inc.indices().len());
+    }
+
+    #[test]
+    fn cache_round_trip_preserves_result_byte_for_byte(result in exploration_results()) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("gnnav-ec-prop-{}-{case}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("explore.wal");
+        let fingerprint = 0x9E3779B97F4A7C15u64.wrapping_mul(case + 1);
+        {
+            let mut cache = ExploreCache::open(&path).expect("open");
+            prop_assert!(cache.insert(fingerprint, &result).expect("insert"));
+        }
+        // Reopen: the result must survive the durable round trip with
+        // every f64 payload, audit string, and enum tag intact.
+        let mut cache = ExploreCache::open(&path).expect("reopen");
+        prop_assert!(cache.recovery().is_clean());
+        prop_assert_eq!(cache.undecodable(), 0);
+        let got = cache.lookup(fingerprint).expect("present");
+        prop_assert_eq!(format!("{got:?}"), format!("{result:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

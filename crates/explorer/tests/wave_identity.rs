@@ -1,0 +1,82 @@
+//! Wave-parallel DFS bitwise-identity harness.
+//!
+//! The wave restructuring's contract: the full [`DfsOutcome`] —
+//! accepted/rejected candidate order, incremental Pareto front,
+//! stats, and every audit record with its reason string — is
+//! byte-identical to the serial evaluation at every thread width.
+
+use gnnav_estimator::{GrayBoxEstimator, Profiler};
+use gnnav_explorer::{DfsExplorer, RuntimeConstraints};
+use gnnav_graph::{Dataset, DatasetId};
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, Template};
+
+fn fitted(dataset: &Dataset) -> GrayBoxEstimator {
+    let profiler = Profiler::new(
+        RuntimeBackend::new(Platform::default_rtx4090()),
+        ExecutionOptions::timing_only(),
+    )
+    .with_threads(4);
+    let cfgs = DesignSpace::standard().sample(25, ModelKind::Sage, 5);
+    let db = profiler.profile(dataset, &cfgs).expect("profile");
+    let mut est = GrayBoxEstimator::new();
+    est.fit(&db).expect("fit");
+    est
+}
+
+/// Debug formatting prints every f64 exhaustively and every audit
+/// string verbatim, so equal renderings mean a bit-exact outcome.
+fn outcome_at(
+    threads: usize,
+    est: &GrayBoxEstimator,
+    dataset: &Dataset,
+    constraints: &RuntimeConstraints,
+) -> String {
+    gnnav_par::with_thread_limit(threads, || {
+        let explorer = DfsExplorer::new(DesignSpace::standard(), 200, 11);
+        let seeds = vec![
+            Template::Pyg.config(ModelKind::Sage),
+            Template::PaGraphFull.config(ModelKind::Sage),
+        ];
+        let outcome = explorer.run_audited(
+            est,
+            dataset,
+            &Platform::default_rtx4090(),
+            ModelKind::Sage,
+            constraints,
+            &seeds,
+        );
+        format!("{outcome:?}")
+    })
+}
+
+#[test]
+fn dfs_outcome_identical_at_thread_widths_1_2_4_8() {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+    let est = fitted(&dataset);
+    let serial = outcome_at(1, &est, &dataset, &RuntimeConstraints::none());
+    assert!(serial.contains("Accepted"), "run produced accepted candidates");
+    for threads in [2usize, 4, 8] {
+        let parallel = outcome_at(threads, &est, &dataset, &RuntimeConstraints::none());
+        assert_eq!(serial, parallel, "outcome diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn dfs_outcome_identical_under_pruning_and_rejection() {
+    let dataset = Dataset::load_scaled(DatasetId::Reddit2, 0.02).expect("load");
+    let est = fitted(&dataset);
+    // Tight memory bound: the waves now interleave Eval and Prune
+    // steps and route candidates to the rejected list too.
+    let constraints = RuntimeConstraints {
+        max_mem_bytes: Some(0.2 * dataset.num_nodes() as f64 * dataset.feat_dim() as f64 * 2.0),
+        ..RuntimeConstraints::none()
+    };
+    let serial = outcome_at(1, &est, &dataset, &constraints);
+    assert!(serial.contains("PrunedSubtree"), "tight budget should prune");
+    for threads in [2usize, 4, 8] {
+        let parallel = outcome_at(threads, &est, &dataset, &constraints);
+        assert_eq!(serial, parallel, "outcome diverged at {threads} threads");
+    }
+}

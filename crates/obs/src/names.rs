@@ -36,6 +36,7 @@
 //! | `profiler.sweep` | histogram | wall s | span in `Profiler::profile` |
 //! | `profiler.sweep.config[.backend.execute[.epoch]]` | histogram | wall s | `span_under` on sweep workers |
 //! | `estimator.fits` / `.predictions` | counter | calls | `GrayBoxEstimator` |
+//! | `estimator.predictions.memoized` | counter | calls | `GrayBoxEstimator::predict_batch` |
 //! | `estimator.fit_wall_s` | gauge | wall s | `GrayBoxEstimator::fit` |
 //! | `estimator.mape.{time,memory,accuracy}` | gauge | ratio | `GrayBoxEstimator::fit` |
 //! | `explorer.runs` | counter | runs | `Explorer::explore` |
@@ -43,8 +44,11 @@
 //! | `explorer.candidates.rejected` | counter | candidates | `DfsExplorer::run` |
 //! | `explorer.subtrees.pruned` | counter | subtrees | `DfsExplorer::run` |
 //! | `explorer.front.size` | gauge | candidates | `Explorer::explore` |
-//! | `explorer.decision.latency_s` | gauge | wall s | `Explorer::explore` |
 //! | `explorer.explore` | histogram | wall s | span in `Explorer::explore` |
+//! | `explorer.decide` | histogram | wall s | `Explorer::explore` decision step (flat, not span-nested) |
+//! | `explorer.cache.hits` | counter | lookups | `ExploreCache::lookup` |
+//! | `explorer.cache.misses` | counter | lookups | `ExploreCache::lookup` |
+//! | `explorer.cache.inserts` | counter | results | `ExploreCache::insert` |
 //! | `faults.injected` | counter | faults | `FaultInjector::inject` |
 //! | `faults.injected.<kind>` | counter | faults | `FaultInjector::inject` |
 //! | `backend.retries` | counter | retries | `RuntimeBackend::execute` |
@@ -92,6 +96,8 @@
 //! | `candidate` | `explorer` | instant | `DfsExplorer::run`, one/evaluation |
 //! | `prune` | `explorer` | instant | `DfsExplorer::run`, one/pruned subtree |
 //! | `guideline` | `explorer` | instant | `Explorer::explore`, selected config |
+//! | `explore` / `decide` | `explorer` | span (wall) | `Explorer::explore`, one/run |
+//! | `explore.cache` | `explorer` | instant | `ExploreCache` lookup/insert |
 //! | `fault` | `faults` | instant | `FaultInjector::inject`, one/injection |
 //! | `recovery` | `backend` | instant | `RuntimeBackend::execute`, one/recovery action |
 //! | `kernels` | `backend` | instant | `RuntimeBackend::execute`, one/run |
@@ -176,6 +182,9 @@ pub const ESTIMATOR_FITS: &str = "estimator.fits";
 pub const ESTIMATOR_FIT_WALL: &str = "estimator.fit_wall_s";
 /// Predictions served.
 pub const ESTIMATOR_PREDICTIONS: &str = "estimator.predictions";
+/// Predictions served from a [`PredictionContext`] memo instead of
+/// being recomputed (duplicate configs within one exploration).
+pub const ESTIMATOR_MEMOIZED: &str = "estimator.predictions.memoized";
 /// In-sample MAPE of epoch-time prediction after the last fit.
 pub const ESTIMATOR_MAPE_TIME: &str = "estimator.mape.time";
 /// In-sample MAPE of peak-memory prediction after the last fit.
@@ -196,11 +205,17 @@ pub const EXPLORER_REJECTED: &str = "explorer.candidates.rejected";
 pub const EXPLORER_PRUNED: &str = "explorer.subtrees.pruned";
 /// Size of the estimated Pareto front of the last exploration (gauge).
 pub const EXPLORER_FRONT_SIZE: &str = "explorer.front.size";
-/// Wall seconds the decision maker took on the last exploration
-/// (gauge).
-pub const EXPLORER_DECISION_LATENCY: &str = "explorer.decision.latency_s";
 /// Full exploration wall time (histogram, seconds).
 pub const EXPLORER_EXPLORE_WALL: &str = "explorer.explore";
+/// Decision-maker wall time (histogram, seconds; the journal carries
+/// the matching monotonic span on the explorer track).
+pub const EXPLORER_DECIDE_WALL: &str = "explorer.decide";
+/// Exploration-cache lookups answered from the cache.
+pub const EXPLORER_CACHE_HITS: &str = "explorer.cache.hits";
+/// Exploration-cache lookups that missed.
+pub const EXPLORER_CACHE_MISSES: &str = "explorer.cache.misses";
+/// Exploration results durably appended to the cache.
+pub const EXPLORER_CACHE_INSERTS: &str = "explorer.cache.inserts";
 /// Explorations that fell back to a nearest-feasible guideline.
 pub const EXPLORER_FALLBACKS: &str = "explorer.fallbacks";
 /// Candidate predictions rejected for non-finite components.
@@ -315,6 +330,12 @@ pub const EVENT_CANDIDATE: &str = "candidate";
 pub const EVENT_PRUNE: &str = "prune";
 /// Selected-guideline audit instant on [`TRACK_EXPLORER`].
 pub const EVENT_GUIDELINE: &str = "guideline";
+/// Full-exploration monotonic span on [`TRACK_EXPLORER`].
+pub const EVENT_EXPLORE: &str = "explore";
+/// Decision-maker monotonic span on [`TRACK_EXPLORER`].
+pub const EVENT_DECIDE: &str = "decide";
+/// Exploration-cache lookup/insert instant on [`TRACK_EXPLORER`].
+pub const EVENT_EXPLORE_CACHE: &str = "explore.cache";
 /// Per-injection instant on [`TRACK_FAULTS`].
 pub const EVENT_FAULT: &str = "fault";
 /// Per-recovery-action instant on [`TRACK_BACKEND`].

@@ -137,7 +137,7 @@ fn corrupted_checkpoints_fall_back_and_stay_identical() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Kill + resume under an *active* fault plan: the in-process fault
     /// schedule must continue from the resumed site index, not restart,
