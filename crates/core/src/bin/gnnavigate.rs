@@ -28,6 +28,7 @@ USAGE:
     gnnavigate [OPTIONS]
     gnnavigate metrics-diff <BASELINE.json> <CURRENT.json> [--threshold <PCT>]
     gnnavigate trace-diff <BASELINE.json> <CURRENT.json> [--threshold <PCT>]
+    gnnavigate serve-bench [SERVE-BENCH OPTIONS]
 
 OPTIONS:
     --dataset <AR|PR|RD|RD2>       dataset stand-in        [default: RD2]
@@ -81,6 +82,30 @@ METRICS-DIFF:
     regression table sorted by relative change. Exits 1 when any gated
     series (counters; non-wall gauges) moved more than the threshold
     [default: 10] percent.
+
+SERVE-BENCH:
+    Deterministic closed-loop load generator over the in-process
+    multi-tenant NavService (see docs/SERVING.md): zipf-distributed
+    synthetic tenants submit navigation requests in bursts; each burst
+    drains as one plan → parallel-explore → commit wave. The
+    request/response transcript is byte-identical at every --workers
+    width.
+
+    --tenants <N>                  synthetic tenant population  [default: 1000]
+    --requests <N>                 total requests submitted     [default: 2000]
+    --burst <N>                    submissions per wave drain   [default: 80]
+    --zipf <FLOAT>                 tenant popularity exponent   [default: 1.1]
+    --workers <N>                  worker width for the parallel exploration
+                                   phase                        [default: 1]
+    --queue-capacity <N>           admission queue bound        [default: 64]
+    --tenant-budget <N>            per-tenant token-bucket capacity (tokens
+                                   refill each wave)            [default: 8]
+    --transcript-out <PATH>        write the deterministic transcript (one line
+                                   per rejection and per response)
+    --baseline-out <PATH>          write the counters-only deterministic
+                                   baseline snapshot (the committed
+                                   BENCH_serve.json gated in CI)
+    plus --seed and --metrics-out as above
 
 TRACE-DIFF:
     Aligns two Chrome traces (written by --trace-out) span-path by
@@ -316,6 +341,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if argv.first().map(String::as_str) == Some("serve-bench") {
+        return match run_serve_bench(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args(argv.into_iter()) {
         Ok(a) => a,
         Err(msg) => {
@@ -417,6 +451,133 @@ fn run_trace_diff(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `gnnavigate serve-bench [flags]`: the deterministic multi-tenant
+/// load generator. Everything printed to stdout (and written to
+/// `--transcript-out` / `--baseline-out`) is a pure function of the
+/// flags — worker width never changes a byte.
+fn run_serve_bench(argv: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use gnnavigator::serve::{run_load, LoadGenOptions, NavService, ServeOptions};
+
+    let mut load = LoadGenOptions::default();
+    let mut serve = ServeOptions::default();
+    let mut workers = 1usize;
+    let mut transcript_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut baseline_out: Option<std::path::PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tenants" => {
+                load.tenants =
+                    value("--tenants")?.parse().map_err(|e| format!("bad --tenants: {e}"))?;
+            }
+            "--requests" => {
+                load.requests =
+                    value("--requests")?.parse().map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--burst" => {
+                load.burst = value("--burst")?.parse().map_err(|e| format!("bad --burst: {e}"))?;
+            }
+            "--zipf" => {
+                load.zipf_exponent =
+                    value("--zipf")?.parse().map_err(|e| format!("bad --zipf: {e}"))?;
+            }
+            "--workers" => {
+                workers = value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--seed" => {
+                let seed: u64 = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                load.seed = seed;
+                serve.seed = seed;
+            }
+            "--queue-capacity" => {
+                serve.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+            }
+            "--tenant-budget" => {
+                let budget: u32 = value("--tenant-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --tenant-budget: {e}"))?;
+                serve.tenant_budget = budget;
+                serve.tenant_refill = budget;
+            }
+            "--transcript-out" => {
+                transcript_out = Some(value("--transcript-out")?.into());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(value("--metrics-out")?.into());
+            }
+            "--baseline-out" => {
+                baseline_out = Some(value("--baseline-out")?.into());
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown serve-bench flag `{other}`").into()),
+        }
+    }
+
+    let metrics = gnnavigator::obs::global();
+    metrics.enable(true);
+    metrics.reset();
+
+    let mut service = NavService::new(serve);
+    let summary =
+        gnnavigator::par::with_thread_limit(workers.max(1), || run_load(&mut service, &load))?;
+
+    if let Some(path) = &transcript_out {
+        std::fs::write(path, &summary.transcript)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let snapshot = metrics.snapshot();
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if let Some(path) = &baseline_out {
+        // Counters only: counters are wave sums, identical at every
+        // worker width; gauges (last-write) and histograms (wall
+        // time) are not, so the committed baseline drops them.
+        let mut deterministic =
+            snapshot.filtered(|name| name.starts_with("serve.") || name.starts_with("explorer."));
+        deterministic.gauges.clear();
+        deterministic.histograms.clear();
+        std::fs::write(path, deterministic.to_json())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    // The stdout summary is deliberately wall-time free: CI byte-diffs
+    // it across worker widths alongside the transcript.
+    println!(
+        "serve-bench: tenants={} requests={} burst={} zipf={:?} seed={:#x}",
+        load.tenants, load.requests, load.burst, load.zipf_exponent, load.seed
+    );
+    println!(
+        "  submitted={} admitted={} rejected={} responses={} waves={}",
+        summary.submitted, summary.admitted, summary.rejected, summary.responses, summary.waves
+    );
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "  explorations={} coalesced={} cache_hits={} neighbor_served={} degraded={}",
+        counter("serve.explorations"),
+        counter("serve.requests.coalesced"),
+        counter("serve.cache.hits"),
+        counter("serve.neighbor.served"),
+        counter("serve.requests.degraded"),
+    );
+    println!(
+        "  pool: hits={} misses={} evictions={}",
+        counter("serve.pool.hits"),
+        counter("serve.pool.misses"),
+        counter("serve.pool.evictions"),
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {

@@ -62,10 +62,14 @@ pub use gnnav_ml as ml;
 pub use gnnav_nn as nn;
 /// Metrics/tracing registry with JSON snapshot export.
 pub use gnnav_obs as obs;
+/// Scoped thread pool and width-independent parallel maps.
+pub use gnnav_par as par;
 /// Reconfigurable runtime backend.
 pub use gnnav_runtime as runtime;
 /// Unified sampling abstraction.
 pub use gnnav_sampler as sampler;
+/// Navigation-as-a-service: multi-tenant guideline server.
+pub use gnnav_serve as serve;
 /// Crash-safe durable storage: WAL, checkpoints, corruption tools.
 pub use gnnav_store as store;
 

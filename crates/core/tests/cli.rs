@@ -312,6 +312,24 @@ fn sample_args(flag: &str) -> Option<Vec<&'static str>> {
     })
 }
 
+/// serve-bench's own flags, which live behind the subcommand.
+/// `--seed` and `--metrics-out` are shared with the main command and
+/// sampled in [`sample_args`].
+fn serve_bench_sample_args(flag: &str) -> Option<Vec<&'static str>> {
+    Some(match flag {
+        "--tenants" => vec!["8"],
+        "--requests" => vec!["4"],
+        "--burst" => vec!["2"],
+        "--zipf" => vec!["1.1"],
+        "--workers" => vec!["2"],
+        "--queue-capacity" => vec!["8"],
+        "--tenant-budget" => vec!["2"],
+        "--transcript-out" => vec!["transcript.txt"],
+        "--baseline-out" => vec!["baseline.json"],
+        _ => return None,
+    })
+}
+
 #[test]
 fn every_help_flag_parses() {
     // Each flag is parsed in sequence before `--help` short-circuits,
@@ -325,6 +343,10 @@ fn every_help_flag_parses() {
             let mut c = gnnavigate();
             c.arg("metrics-diff");
             (c, vec!["5"])
+        } else if let Some(args) = serve_bench_sample_args(&flag) {
+            let mut c = gnnavigate();
+            c.arg("serve-bench");
+            (c, args)
         } else {
             let args = sample_args(&flag)
                 .unwrap_or_else(|| panic!("{flag} appears in --help but has no sample value"));
@@ -467,6 +489,84 @@ fn warm_explore_cache_invocation_skips_dse_with_identical_stdout() {
     assert_eq!(warm_inserts, 0.0, "warm run appends nothing");
     assert!(warm_stderr.contains("explore cache hit"), "{warm_stderr}");
     assert_eq!(warm_stdout, cold_stdout, "cached guideline must be byte-identical on stdout");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_rejects_unknown_flags() {
+    let out = gnnavigate().args(["serve-bench", "--bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown serve-bench flag"));
+
+    let out = gnnavigate().args(["serve-bench", "--tenants"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value"));
+}
+
+#[test]
+fn serve_bench_is_byte_identical_across_worker_counts() {
+    use gnnavigator::obs::json::{parse, Value};
+
+    let dir = std::env::temp_dir().join(format!("gnnav-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+
+    // A small closed loop: 12 requests over 40 zipf tenants in two
+    // bursts. Everything observable — transcript file, counters-only
+    // baseline, stdout — must be a pure function of the flags, so the
+    // width-1 and width-4 runs are compared byte for byte.
+    let run = |width: &str| {
+        let transcript = dir.join(format!("transcript-{width}.txt"));
+        let baseline = dir.join(format!("baseline-{width}.json"));
+        let out = gnnavigate()
+            .arg("serve-bench")
+            .args(["--tenants", "40", "--requests", "12", "--burst", "6", "--seed", "11"])
+            .args(["--queue-capacity", "16", "--tenant-budget", "6"])
+            .args(["--workers", width])
+            .arg("--transcript-out")
+            .arg(&transcript)
+            .arg("--baseline-out")
+            .arg(&baseline)
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read_to_string(&transcript).expect("transcript written"),
+            std::fs::read_to_string(&baseline).expect("baseline written"),
+        )
+    };
+
+    let (stdout_1, transcript_1, baseline_1) = run("1");
+    let (stdout_4, transcript_4, baseline_4) = run("4");
+    assert_eq!(transcript_1, transcript_4, "transcript must not depend on worker width");
+    assert_eq!(baseline_1, baseline_4, "baseline must not depend on worker width");
+    assert_eq!(stdout_1, stdout_4, "stdout must not depend on worker width");
+
+    // Transcript shape: header, responses in commit order, footer.
+    assert!(transcript_1.starts_with("# serve-bench "), "{transcript_1}");
+    assert!(transcript_1.contains("resp seq=0 "), "{transcript_1}");
+    assert!(transcript_1.lines().last().unwrap_or("").starts_with("# done "), "{transcript_1}");
+
+    // The counters-only baseline is internally consistent: every
+    // admitted request answered, and zipf repeats served from the
+    // cache tiers rather than fresh explorations.
+    let doc = parse(&baseline_1).expect("baseline parses as JSON");
+    let counter = |name: &str| {
+        doc.get("counters").and_then(|c| c.get(name)).and_then(Value::as_f64).unwrap_or(0.0)
+    };
+    assert!(doc.get("gauges").is_some(), "{baseline_1}");
+    assert!(!baseline_1.contains("serve.queue.depth"), "baseline must drop gauges");
+    let admitted = counter("serve.requests.admitted");
+    assert!(admitted > 0.0, "{baseline_1}");
+    assert_eq!(counter("serve.responses"), admitted, "every admitted request is answered");
+    assert_eq!(counter("serve.waves"), 2.0, "12 requests in bursts of 6");
+    let explorations = counter("serve.explorations");
+    assert!(explorations > 0.0, "{baseline_1}");
+    assert!(
+        explorations < admitted,
+        "zipf repeats must hit the cache tiers: {explorations} explorations \
+         for {admitted} admissions"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -12,7 +12,7 @@ use crate::EstimatorError;
 use gnnav_ml::{ForestParams, RandomForestRegressor, Regressor, Table, TreeParams};
 
 /// Black-box-leaning accuracy estimator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AccuracyEstimator {
     model: RandomForestRegressor,
     fitted: bool,

@@ -29,7 +29,7 @@ fn family_index(kind: SamplerKind) -> usize {
 /// overlap penalty `f_overlapping` has family-specific constants, so
 /// one ridge model is fitted per family (falling back to a global
 /// model for families without profiles).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchSizePredictor {
     global: RidgeRegressor,
     per_family: [Option<RidgeRegressor>; 3],
@@ -105,7 +105,7 @@ impl BatchSizePredictor {
 
 /// Pure black-box baseline of Fig. 5: decision-tree regression on raw
 /// configuration features.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlackBoxBatchSize {
     model: DecisionTreeRegressor,
     fitted: bool,

@@ -69,7 +69,7 @@ pub struct ValidationReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GrayBoxEstimator {
     batch: BatchSizePredictor,
     hit: HitRatePredictor,

@@ -19,7 +19,7 @@ fn memory_features(ctx: &Context, vi: f64) -> Vec<f64> {
 }
 
 /// Gray-box peak-memory estimator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryEstimator {
     model: RidgeRegressor,
     fitted: bool,

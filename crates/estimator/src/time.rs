@@ -20,7 +20,7 @@ use crate::EstimatorError;
 use gnnav_ml::{ForestParams, RandomForestRegressor, Regressor, RidgeRegressor, Table, TreeParams};
 
 /// Predicts the cumulative cache hit rate for a candidate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HitRatePredictor {
     model: RandomForestRegressor,
     fitted: bool,
@@ -95,7 +95,7 @@ impl HitRatePredictor {
 }
 
 /// The four phase-time coefficient models plus Eq. 4 composition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimeEstimator {
     sample: RidgeRegressor,
     transfer: RidgeRegressor,

@@ -62,6 +62,7 @@
 //! | `nn.matmul.calls` | counter | kernel calls | `RuntimeBackend::execute` |
 //! | `nn.matmul.flops` | counter | flops | `RuntimeBackend::execute` |
 //! | `nn.matmul_gflops_wall` | gauge | GFLOP/wall s | `RuntimeBackend::execute` (last run) |
+//! | `nn.matmul_gflops_floor` | counter | GFLOP/s | `perf_baseline` (the committed throughput floor) |
 //! | `nn.kernel.par_tasks` | counter | chunks | `RuntimeBackend::execute` |
 //! | `nn.kernel.par_regions` | counter | regions | `RuntimeBackend::execute` |
 //! | `par.pool_threads` | gauge | threads | `RuntimeBackend::execute` (last run) |
@@ -81,6 +82,20 @@
 //! | `store.checkpoint.resumes` | counter | checkpoints | `read_checkpoint` (verified) |
 //! | `store.checkpoint.rejected` | counter | checkpoints | `read_checkpoint` (damaged) |
 //! | `store.checkpoint.bytes` | gauge | bytes | durable drivers (last write) |
+//! | `serve.requests.admitted` | counter | requests | `NavService::submit` |
+//! | `serve.requests.rejected` | counter | requests | `NavService::submit` |
+//! | `serve.requests.degraded` | counter | requests | `NavService::submit` |
+//! | `serve.requests.coalesced` | counter | requests | `NavService::drain` |
+//! | `serve.responses` | counter | responses | `NavService::drain` |
+//! | `serve.explorations` | counter | DSE runs | `NavService::drain` |
+//! | `serve.waves` | counter | waves | `NavService::drain` |
+//! | `serve.cache.hits` | counter | requests | `NavService::drain` (memory or `ExploreCache`) |
+//! | `serve.neighbor.served` | counter | requests | `NavService::drain` (cache-only ladder rung) |
+//! | `serve.pool.hits` | counter | lookups | `EstimatorPool::get_or_insert_with` |
+//! | `serve.pool.misses` | counter | lookups | `EstimatorPool::get_or_insert_with` |
+//! | `serve.pool.evictions` | counter | estimators | `EstimatorPool::get_or_insert_with` |
+//! | `serve.queue.depth` | gauge | requests | `NavService` submit/drain |
+//! | `serve.latency` | histogram | wall s | `NavService::drain`, one obs/response |
 //!
 //! Journal events (name @ track / kind / emitting call site):
 //!
@@ -107,6 +122,9 @@
 //! | `checkpoint` | `store` | instant | `write_checkpoint`, one/write |
 //! | `resume` | `store` | instant | `read_checkpoint`, one/verified read |
 //! | `kill` | `store` | instant | durable drivers, one/ProcessKill fired |
+//! | `serve.admit` | `serve` | instant | `NavService::submit`, one/admitted request |
+//! | `serve.reject` | `serve` | instant | `NavService::submit`, one/rejected request |
+//! | `serve.wave` | `serve` | span (wall) | `NavService::drain`, one/wave |
 
 // --- runtime backend -------------------------------------------------
 
@@ -182,7 +200,7 @@ pub const ESTIMATOR_FITS: &str = "estimator.fits";
 pub const ESTIMATOR_FIT_WALL: &str = "estimator.fit_wall_s";
 /// Predictions served.
 pub const ESTIMATOR_PREDICTIONS: &str = "estimator.predictions";
-/// Predictions served from a [`PredictionContext`] memo instead of
+/// Predictions served from a `PredictionContext` memo instead of
 /// being recomputed (duplicate configs within one exploration).
 pub const ESTIMATOR_MEMOIZED: &str = "estimator.predictions.memoized";
 /// In-sample MAPE of epoch-time prediction after the last fit.
@@ -300,6 +318,42 @@ pub const STORE_CHECKPOINT_REJECTED: &str = "store.checkpoint.rejected";
 /// per-epoch durability cost pinned in the perf baselines.
 pub const STORE_CHECKPOINT_BYTES: &str = "store.checkpoint.bytes";
 
+// --- navigation service ----------------------------------------------
+
+/// Requests admitted past the bounded queue and the tenant budget.
+pub const SERVE_REQUESTS_ADMITTED: &str = "serve.requests.admitted";
+/// Requests rejected by admission control (queue full or tenant
+/// budget exhausted).
+pub const SERVE_REQUESTS_REJECTED: &str = "serve.requests.rejected";
+/// Admitted requests whose exploration budget was degraded by queue
+/// pressure (reduced budget or cache-only).
+pub const SERVE_REQUESTS_DEGRADED: &str = "serve.requests.degraded";
+/// Admitted requests coalesced onto another in-wave exploration with
+/// an identical fingerprint.
+pub const SERVE_REQUESTS_COALESCED: &str = "serve.requests.coalesced";
+/// Responses committed in request order.
+pub const SERVE_RESPONSES: &str = "serve.responses";
+/// Fresh design-space explorations executed by waves.
+pub const SERVE_EXPLORATIONS: &str = "serve.explorations";
+/// Wave drains completed.
+pub const SERVE_WAVES: &str = "serve.waves";
+/// Requests served from a prior exploration result (in-memory or the
+/// durable `ExploreCache`) without running the DSE.
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+/// Cache-only-degraded requests served by the nearest-neighbor index.
+pub const SERVE_NEIGHBOR_SERVED: &str = "serve.neighbor.served";
+/// Estimator-pool lookups that found a warm fit for the platform.
+pub const SERVE_POOL_HITS: &str = "serve.pool.hits";
+/// Estimator-pool lookups that had to calibrate a fresh fit.
+pub const SERVE_POOL_MISSES: &str = "serve.pool.misses";
+/// Warm estimators evicted by the pool's LRU bound.
+pub const SERVE_POOL_EVICTIONS: &str = "serve.pool.evictions";
+/// Pending requests in the admission queue (gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Submit-to-commit latency per response (histogram, wall seconds;
+/// excluded from deterministic baselines like every wall series).
+pub const SERVE_LATENCY: &str = "serve.latency";
+
 // --- journal tracks and events ---------------------------------------
 
 /// Journal track for per-epoch backend events.
@@ -319,6 +373,8 @@ pub const TRACK_ADAPT: &str = "adapt";
 /// Journal track for durability events (WAL recovery, checkpoints,
 /// resumes, simulated kills).
 pub const TRACK_STORE: &str = "store";
+/// Journal track for navigation-service admission and wave events.
+pub const TRACK_SERVE: &str = "serve";
 
 /// Per-epoch span event on [`TRACK_BACKEND`] (wall + sim clocks).
 pub const EVENT_EPOCH: &str = "epoch";
@@ -363,3 +419,10 @@ pub const EVENT_RESUME: &str = "resume";
 /// Simulated process-kill instant on [`TRACK_STORE`], one per
 /// `ProcessKill` fault fired by a durable driver.
 pub const EVENT_KILL: &str = "kill";
+/// Per-admitted-request instant on [`TRACK_SERVE`].
+pub const EVENT_SERVE_ADMIT: &str = "serve.admit";
+/// Per-rejected-request instant on [`TRACK_SERVE`] — rejections emit
+/// only this instant, never an open span.
+pub const EVENT_SERVE_REJECT: &str = "serve.reject";
+/// Per-wave monotonic span on [`TRACK_SERVE`].
+pub const EVENT_SERVE_WAVE: &str = "serve.wave";

@@ -1,0 +1,261 @@
+//! Doc-vs-code audit of the metric-series catalogue.
+//!
+//! Every markdown table headed by a `Series` column — the catalogue
+//! in `names.rs` itself, the README highlights and serving tables,
+//! and `docs/SERVING.md` — must only document series that exist in
+//! `gnnav_obs::names`; and the `names.rs` catalogue must document
+//! every declared series. A renamed or removed metric therefore
+//! fails this test instead of silently drifting the docs.
+
+use std::collections::BTreeSet;
+
+const NAMES_RS: &str = include_str!("../src/names.rs");
+
+/// Doc files audited against the catalogue, relative to this crate.
+const DOC_PATHS: &[&str] = &[
+    "../../README.md",
+    "../../docs/SERVING.md",
+    "../../docs/OBSERVABILITY.md",
+    "../../docs/DURABILITY.md",
+    "../../docs/ARCHITECTURE.md",
+];
+
+/// Registry series declared in `names.rs`: every `pub const … : &str`
+/// before the journal-tracks section. The `faults.injected.` per-kind
+/// prefix is a name prefix, not a series, and is excluded.
+fn declared_series() -> BTreeSet<String> {
+    let head = NAMES_RS
+        .split("// --- journal tracks and events")
+        .next()
+        .expect("names.rs keeps its journal-tracks marker");
+    let mut out = BTreeSet::new();
+    for line in head.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("pub const ") else { continue };
+        let Some(eq) = rest.find('=') else { continue };
+        let value = rest[eq + 1..].trim();
+        let Some(open) = value.find('"') else { continue };
+        let Some(close) = value.rfind('"') else { continue };
+        if close > open {
+            let name = &value[open + 1..close];
+            if !name.ends_with('.') {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Drops `//!` doc-comment framing so the in-source catalogue parses
+/// like any other markdown.
+fn strip_doc_comment(line: &str) -> &str {
+    let line = line.trim_start();
+    line.strip_prefix("//!").map(str::trim_start).unwrap_or(line)
+}
+
+/// First cells of every row of every markdown table whose header's
+/// first column is `Series` (any case).
+fn series_table_first_cells(text: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut in_table = false;
+    for raw in text.lines() {
+        let line = strip_doc_comment(raw);
+        if !line.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        let first = line.trim_start_matches('|').split('|').next().unwrap_or("").trim();
+        if first.eq_ignore_ascii_case("series") {
+            in_table = true;
+            continue;
+        }
+        if !in_table || first.chars().all(|c| matches!(c, '-' | ':' | ' ')) {
+            continue;
+        }
+        cells.push(first.to_string());
+    }
+    cells
+}
+
+/// The backticked tokens of a table cell, in order.
+fn backticked(cell: &str) -> Vec<&str> {
+    cell.split('`').skip(1).step_by(2).collect()
+}
+
+/// Removes `[...]` optional segments (nesting-aware): the audit
+/// checks the base name; the optional tail is a span-path suffix.
+fn strip_optionals(token: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in token.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Expands `{a,b}` alternation (nesting-aware):
+/// `backend.{loss.{last,mean},peak_mem_bytes}` yields three names.
+fn expand_braces(name: &str) -> Vec<String> {
+    let Some(open) = name.find('{') else {
+        return vec![name.to_string()];
+    };
+    let bytes = name.as_bytes();
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return vec![name.to_string()];
+    };
+    let (prefix, suffix, inner) = (&name[..open], &name[close + 1..], &name[open + 1..close]);
+    let mut alternatives = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            ',' if depth == 0 => {
+                alternatives.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    alternatives.push(&inner[start..]);
+    let mut out = Vec::new();
+    for alt in alternatives {
+        out.extend(expand_braces(&format!("{prefix}{alt}{suffix}")));
+    }
+    out
+}
+
+/// All series names documented by `Series`-headed tables in `text`.
+///
+/// A token starting with `.` is shorthand continuing the previous
+/// name (`` `backend.loss.last` / `.mean` `` documents
+/// `backend.loss.mean`): it replaces the same number of trailing
+/// segments. `<kind>`-style placeholder rows are skipped.
+fn documented_series(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for cell in series_table_first_cells(text) {
+        let mut last: Option<String> = None;
+        for token in backticked(&cell) {
+            if token.contains('<') {
+                continue;
+            }
+            let token = strip_optionals(token);
+            if let Some(tail) = token.strip_prefix('.') {
+                let Some(base) = &last else { continue };
+                let segments: Vec<&str> = base.split('.').collect();
+                let replaced = tail.split('.').count();
+                if segments.len() > replaced {
+                    let stem = segments[..segments.len() - replaced].join(".");
+                    out.extend(expand_braces(&format!("{stem}.{tail}")));
+                }
+                continue;
+            }
+            let valid = token
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._{},".contains(c));
+            if !valid || !token.contains('.') {
+                continue;
+            }
+            let expanded = expand_braces(&token);
+            last = expanded.first().cloned();
+            out.extend(expanded);
+        }
+    }
+    out
+}
+
+/// Whether `name` is a declared series, or a hierarchical span
+/// histogram path-joined under one (`profiler.sweep.config` nests
+/// under the declared `profiler.sweep`).
+fn exists(declared: &BTreeSet<String>, name: &str) -> bool {
+    declared.contains(name)
+        || declared
+            .iter()
+            .any(|d| name.starts_with(d.as_str()) && name.as_bytes().get(d.len()) == Some(&b'.'))
+}
+
+#[test]
+fn every_documented_series_exists_in_the_catalogue() {
+    let declared = declared_series();
+    assert!(declared.len() > 60, "catalogue parse broke: {declared:?}");
+
+    let mut sources: Vec<(String, String)> = vec![("names.rs".into(), NAMES_RS.into())];
+    for path in DOC_PATHS {
+        let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&full).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        sources.push(((*path).into(), text));
+    }
+
+    let mut total = 0usize;
+    let mut unknown = Vec::new();
+    for (source, text) in &sources {
+        for name in documented_series(text) {
+            total += 1;
+            if !exists(&declared, &name) {
+                unknown.push(format!("{source}: {name}"));
+            }
+        }
+    }
+    assert!(unknown.is_empty(), "docs mention series that do not exist:\n{}", unknown.join("\n"));
+    // The catalogue, the README, and SERVING.md all contribute rows.
+    assert!(total > 100, "series-table scan found too few rows ({total}) — parser broke?");
+}
+
+#[test]
+fn catalogue_documents_every_declared_series() {
+    let declared = declared_series();
+    let documented = documented_series(NAMES_RS);
+    let missing: Vec<&String> = declared.iter().filter(|d| !documented.contains(*d)).collect();
+    assert!(
+        missing.is_empty(),
+        "series declared in names.rs but missing from its catalogue table: {missing:?}"
+    );
+}
+
+#[test]
+fn serving_docs_cover_every_serve_series() {
+    // docs/SERVING.md's metering catalogue must list every serve.*
+    // series — it is the reference the server's operators read.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVING.md");
+    let documented = documented_series(&std::fs::read_to_string(path).expect("read SERVING.md"));
+    let missing: Vec<String> = declared_series()
+        .iter()
+        .filter(|d| d.starts_with("serve.") && !documented.contains(*d))
+        .cloned()
+        .collect();
+    assert!(missing.is_empty(), "serve.* series missing from docs/SERVING.md: {missing:?}");
+}
+
+#[test]
+fn brace_and_optional_expansion_handles_nesting() {
+    assert_eq!(
+        expand_braces("backend.{loss.{last,mean},peak_mem_bytes}"),
+        vec!["backend.loss.last", "backend.loss.mean", "backend.peak_mem_bytes"]
+    );
+    assert_eq!(
+        strip_optionals("profiler.sweep.config[.backend.execute[.epoch]]"),
+        "profiler.sweep.config"
+    );
+    assert_eq!(expand_braces("serve.pool.{hits,misses,evictions}").len(), 3);
+}

@@ -1,0 +1,690 @@
+//! The long-lived multi-tenant navigation service.
+//!
+//! [`NavService`] turns the one-shot `Navigator` pipeline into a
+//! request/response loop: tenants [`submit`](NavService::submit)
+//! navigation requests into a bounded admission queue and a
+//! [`drain`](NavService::drain) wave resolves them together. A wave
+//! runs the same three-phase wave-replay discipline as the parallel
+//! explorer benches:
+//!
+//! 1. **Plan (serial).** Every pending request resolves its dataset,
+//!    warm estimator (pool hit or calibration), exploration
+//!    fingerprint, and serve tier in admission order. All cache
+//!    lookups, pool mutations, and coalescing decisions happen here,
+//!    so they are identical at every worker width.
+//! 2. **Explore (parallel).** The unique explorations the plan
+//!    scheduled run as pure `(estimator, dataset) → result` jobs
+//!    under `gnnav_par::par_map_indexed`, which returns results in
+//!    input order regardless of width.
+//! 3. **Commit (serial).** Responses are committed in admission
+//!    order: results enter the in-memory map, the durable
+//!    `ExploreCache`, and the nearest-neighbor index, and metering is
+//!    flushed.
+//!
+//! Admission control is decided entirely at submit time — queue
+//! bound, per-tenant token bucket, and the degradation rung derived
+//! from the queue depth — so the request/response sequence is a pure
+//! function of the submission sequence.
+
+use std::collections::HashMap;
+
+use gnnav_estimator::{
+    fingerprint_of, profile_fingerprint, GrayBoxEstimator, ProfileDb, ProfileStore, Profiler,
+};
+use gnnav_explorer::{explore_fingerprint, ExplorationResult, ExploreCache, Explorer};
+use gnnav_graph::Dataset;
+use gnnav_hwsim::Platform;
+use gnnav_nn::ModelKind;
+use gnnav_obs::names as metric;
+use gnnav_runtime::{DesignSpace, ExecutionOptions, RuntimeBackend, TrainingConfig};
+use gnnav_store::{ByteWriter, StoreError};
+
+use crate::pool::{platform_fingerprint, EstimatorPool};
+use crate::request::{AdmitError, DegradeLevel, NavRequest, NavResponse, ServeTier};
+
+/// Anything that can go wrong while resolving a wave.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Synthetic dataset materialization failed.
+    Graph(gnnav_graph::GraphError),
+    /// A calibration sweep failed outright.
+    Runtime(gnnav_runtime::RuntimeError),
+    /// A calibration fit failed.
+    Estimator(gnnav_estimator::EstimatorError),
+    /// An exploration failed.
+    Explorer(gnnav_explorer::ExplorerError),
+    /// A durable store operation failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Graph(e) => write!(f, "serve: dataset: {e}"),
+            ServeError::Runtime(e) => write!(f, "serve: calibration sweep: {e}"),
+            ServeError::Estimator(e) => write!(f, "serve: calibration fit: {e}"),
+            ServeError::Explorer(e) => write!(f, "serve: exploration: {e}"),
+            ServeError::Store(e) => write!(f, "serve: store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<gnnav_graph::GraphError> for ServeError {
+    fn from(e: gnnav_graph::GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+impl From<gnnav_runtime::RuntimeError> for ServeError {
+    fn from(e: gnnav_runtime::RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+impl From<gnnav_estimator::EstimatorError> for ServeError {
+    fn from(e: gnnav_estimator::EstimatorError) -> Self {
+        ServeError::Estimator(e)
+    }
+}
+impl From<gnnav_explorer::ExplorerError> for ServeError {
+    fn from(e: gnnav_explorer::ExplorerError) -> Self {
+        ServeError::Explorer(e)
+    }
+}
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Service tuning knobs. The defaults favor test-speed calibration;
+/// `gnnavigate serve-bench` uses them as-is so the committed baseline
+/// stays cheap to regenerate.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Admission queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Token-bucket capacity per tenant (tokens are exploration
+    /// requests; one token per admitted request).
+    pub tenant_budget: u32,
+    /// Tokens refilled per tenant at each wave drain, capped at
+    /// `tenant_budget`.
+    pub tenant_refill: u32,
+    /// Queue depth at which admissions degrade to a reduced budget.
+    pub degrade_depth: usize,
+    /// Queue depth at which admissions degrade to cache-only.
+    pub cache_only_depth: usize,
+    /// Full DSE budget (evaluated-leaf bound).
+    pub explore_budget: usize,
+    /// Reduced DSE budget for degraded admissions.
+    pub reduced_budget: usize,
+    /// Estimator-pool LRU bound (warm platforms).
+    pub pool_capacity: usize,
+    /// Calibration sweep: number of synthetic graphs.
+    pub calibration_graphs: usize,
+    /// Calibration sweep: nodes in the first graph (later graphs grow
+    /// deterministically).
+    pub calibration_nodes: usize,
+    /// Calibration sweep: sampled configurations per graph.
+    pub calibration_samples: usize,
+    /// Seed for calibration sampling and DSE traversal.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: 64,
+            tenant_budget: 8,
+            tenant_refill: 8,
+            degrade_depth: 32,
+            cache_only_depth: 48,
+            explore_budget: 400,
+            reduced_budget: 100,
+            pool_capacity: 8,
+            calibration_graphs: 2,
+            calibration_nodes: 400,
+            calibration_samples: 16,
+            seed: 0x7A51,
+        }
+    }
+}
+
+/// A request admitted into the queue, stamped with everything the
+/// submit-time decision fixed.
+#[derive(Debug)]
+struct Pending {
+    seq: u64,
+    request: NavRequest,
+    degrade: DegradeLevel,
+    submitted_at_us: f64,
+}
+
+/// One unique exploration scheduled by the plan phase.
+struct ExploreJob {
+    fingerprint: u64,
+    dataset: Dataset,
+    platform: Platform,
+    model: ModelKind,
+    priority: gnnav_explorer::Priority,
+    constraints: gnnav_explorer::RuntimeConstraints,
+    budget: usize,
+    estimator: GrayBoxEstimator,
+}
+
+/// How the plan phase decided to serve one pending request.
+enum Resolution {
+    /// Take the result of the wave job at this index.
+    Job { job: usize, tier: ServeTier },
+    /// Serve a result already in the in-memory map.
+    Ready { fingerprint: u64, tier: ServeTier },
+}
+
+/// The long-lived multi-tenant guideline server.
+pub struct NavService {
+    options: ServeOptions,
+    space: DesignSpace,
+    pool: EstimatorPool,
+    profile_store: Option<ProfileStore>,
+    explore_cache: Option<ExploreCache>,
+    queue: Vec<Pending>,
+    /// Remaining tokens per tenant id.
+    buckets: HashMap<u64, u32>,
+    /// Completed explorations by exploration fingerprint.
+    results: HashMap<u64, ExplorationResult>,
+    /// Nearest-neighbor index: context key → (shape vector,
+    /// exploration fingerprint), in first-computed order.
+    neighbors: HashMap<u64, Vec<(Vec<f64>, u64)>>,
+    /// Materialized datasets by workload shape.
+    datasets: HashMap<(usize, usize, usize, usize, u64), Dataset>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for NavService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NavService")
+            .field("options", &self.options)
+            .field("queue_depth", &self.queue.len())
+            .field("pooled_estimators", &self.pool.len())
+            .field("cached_results", &self.results.len())
+            .finish()
+    }
+}
+
+impl NavService {
+    /// Creates a service with no durable backing.
+    pub fn new(options: ServeOptions) -> Self {
+        NavService {
+            options,
+            space: DesignSpace::standard(),
+            pool: EstimatorPool::new(0),
+            profile_store: None,
+            explore_cache: None,
+            queue: Vec::new(),
+            buckets: HashMap::new(),
+            results: HashMap::new(),
+            neighbors: HashMap::new(),
+            datasets: HashMap::new(),
+            next_seq: 0,
+        }
+        .finish_pool()
+    }
+
+    fn finish_pool(mut self) -> Self {
+        self.pool = EstimatorPool::new(self.options.pool_capacity);
+        self
+    }
+
+    /// Attaches a durable profile store; calibration sweeps reuse its
+    /// records and append fresh ones.
+    pub fn with_profile_store(mut self, store: ProfileStore) -> Self {
+        self.profile_store = Some(store);
+        self
+    }
+
+    /// Attaches a durable exploration cache consulted before any DSE
+    /// and appended to after each fresh exploration.
+    pub fn with_explore_cache(mut self, cache: ExploreCache) -> Self {
+        self.explore_cache = Some(cache);
+        self
+    }
+
+    /// The service options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The warm estimator pool.
+    pub fn pool(&self) -> &EstimatorPool {
+        &self.pool
+    }
+
+    /// Pending requests awaiting the next [`drain`](Self::drain).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The attached durable exploration cache, if any.
+    pub fn explore_cache(&self) -> Option<&ExploreCache> {
+        self.explore_cache.as_ref()
+    }
+
+    /// The attached durable profile store, if any.
+    pub fn profile_store(&self) -> Option<&ProfileStore> {
+        self.profile_store.as_ref()
+    }
+
+    /// Completed explorations held in memory.
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Admits `request` into the queue or rejects it with a typed
+    /// error. Never panics under overload. The degradation rung is
+    /// fixed here from the queue depth, so it is independent of how
+    /// the wave is later executed.
+    pub fn submit(&mut self, request: NavRequest) -> Result<u64, AdmitError> {
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        let depth = self.queue.len();
+        let reject = if depth >= self.options.queue_capacity {
+            Some(AdmitError::QueueFull { depth, capacity: self.options.queue_capacity })
+        } else {
+            let bucket = self.buckets.entry(request.tenant.0).or_insert(self.options.tenant_budget);
+            if *bucket == 0 {
+                Some(AdmitError::BudgetExhausted { tenant: request.tenant })
+            } else {
+                *bucket -= 1;
+                None
+            }
+        };
+        if let Some(err) = reject {
+            metrics.add(metric::SERVE_REQUESTS_REJECTED, 1);
+            if journal.is_enabled() {
+                // Rejections emit a single instant — never a span —
+                // so an overloaded queue cannot leave half-open spans
+                // in the trace.
+                journal.instant(
+                    metric::EVENT_SERVE_REJECT,
+                    metric::TRACK_SERVE,
+                    None,
+                    vec![
+                        ("tenant".into(), (request.tenant.0 as f64).into()),
+                        ("reason".into(), err.reason().into()),
+                    ],
+                );
+            }
+            return Err(err);
+        }
+        let degrade = if depth >= self.options.cache_only_depth {
+            DegradeLevel::CacheOnly
+        } else if depth >= self.options.degrade_depth {
+            DegradeLevel::ReducedBudget
+        } else {
+            DegradeLevel::Full
+        };
+        if degrade != DegradeLevel::Full {
+            metrics.add(metric::SERVE_REQUESTS_DEGRADED, 1);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        metrics.add(metric::SERVE_REQUESTS_ADMITTED, 1);
+        if journal.is_enabled() {
+            journal.instant(
+                metric::EVENT_SERVE_ADMIT,
+                metric::TRACK_SERVE,
+                None,
+                vec![
+                    ("seq".into(), (seq as f64).into()),
+                    ("tenant".into(), (request.tenant.0 as f64).into()),
+                    ("degrade".into(), degrade.label().into()),
+                ],
+            );
+        }
+        self.queue.push(Pending { seq, request, degrade, submitted_at_us: journal.now_us() });
+        metrics.gauge_set(metric::SERVE_QUEUE_DEPTH, self.queue.len() as f64);
+        Ok(seq)
+    }
+
+    /// Everything a pooled fit depends on beyond the platform itself:
+    /// the calibration sweep shape and seed. Folded into the
+    /// exploration-cache fingerprint so differently-calibrated
+    /// services never share cache entries.
+    fn estimator_salt(&self, platform_fp: u64) -> String {
+        format!(
+            "serve cal={}x{} samples={} seed={:#x} platform={:016x}",
+            self.options.calibration_graphs,
+            self.options.calibration_nodes,
+            self.options.calibration_samples,
+            self.options.seed,
+            platform_fp,
+        )
+    }
+
+    /// Profiles `configs` on `dataset`, reading covered records from
+    /// the shared store and appending fresh ones (mirrors the
+    /// single-tenant `Navigator`'s store-aware sweep).
+    fn profile_via_store(
+        profiler: &Profiler,
+        platform: &Platform,
+        store: Option<&mut ProfileStore>,
+        dataset: &Dataset,
+        configs: &[TrainingConfig],
+    ) -> Result<ProfileDb, ServeError> {
+        let Some(store) = store else {
+            return Ok(profiler.profile(dataset, configs)?);
+        };
+        let fps: Vec<u64> =
+            configs.iter().map(|c| profile_fingerprint(dataset, platform, c)).collect();
+        let uncovered: Vec<usize> =
+            (0..configs.len()).filter(|&i| !store.contains(fps[i])).collect();
+        let mut fresh: HashMap<u64, gnnav_estimator::ProfileRecord> = HashMap::new();
+        if !uncovered.is_empty() {
+            let cfgs: Vec<TrainingConfig> = uncovered.iter().map(|&i| configs[i].clone()).collect();
+            let db = profiler.profile(dataset, &cfgs)?;
+            for rec in db.records() {
+                store.insert(rec)?;
+                fresh.insert(fingerprint_of(rec.dataset_id, &rec.context), rec.clone());
+            }
+        }
+        let mut db = ProfileDb::new();
+        for fp in &fps {
+            if let Some(r) = fresh.get(fp) {
+                db.push(r.clone());
+            } else if let Some(r) = store.get(*fp) {
+                db.push(r.clone());
+            }
+            // Neither stored nor freshly profiled: the config failed
+            // to execute — skipped exactly like a cold sweep skips it.
+        }
+        Ok(db)
+    }
+
+    /// Calibrates a fresh gray-box fit for `platform`: a fixed,
+    /// seeded synthetic sweep (the same graphs for every tenant of
+    /// the platform), profiled through the shared store when one is
+    /// attached. Sampling covers all model families so one fit serves
+    /// every request on the platform.
+    fn calibrate(
+        options: &ServeOptions,
+        space: &DesignSpace,
+        store: Option<&mut ProfileStore>,
+        platform: &Platform,
+    ) -> Result<GrayBoxEstimator, ServeError> {
+        let exec = ExecutionOptions {
+            epochs: 1,
+            train: true,
+            train_batches_cap: Some(2),
+            seed: options.seed,
+            journal: false,
+            ..ExecutionOptions::default()
+        };
+        let profiler = Profiler::new(RuntimeBackend::new(platform.clone()), exec).with_threads(1);
+        let mut db = ProfileDb::new();
+        let mut store = store;
+        for g in 0..options.calibration_graphs.max(1) {
+            let nodes = options.calibration_nodes + g * 137;
+            let dataset = Dataset::synthetic(
+                nodes,
+                3 + g % 3,
+                32,
+                8,
+                options.seed ^ 0x5E21 ^ (g as u64).wrapping_mul(0x9E37_79B9),
+            )?;
+            let per_model = options.calibration_samples.max(3).div_ceil(3);
+            for (m, model) in ModelKind::ALL.iter().enumerate() {
+                let configs =
+                    space.sample(per_model, *model, options.seed ^ ((g as u64) << 8) ^ m as u64);
+                let sub = Self::profile_via_store(
+                    &profiler,
+                    platform,
+                    store.as_deref_mut(),
+                    &dataset,
+                    &configs,
+                )?;
+                for rec in sub.records() {
+                    db.push(rec.clone());
+                }
+            }
+        }
+        let mut est = GrayBoxEstimator::new();
+        est.fit(&db)?;
+        Ok(est)
+    }
+
+    /// Shape vector for the nearest-neighbor index: log-scaled size
+    /// terms so distance is relative, not absolute.
+    fn shape_vector(dataset: &Dataset) -> Vec<f64> {
+        let stats = dataset.stats();
+        vec![
+            (stats.num_nodes as f64).ln(),
+            (stats.num_edges.max(1) as f64).ln(),
+            stats.degrees.mean,
+            stats.degrees.skew,
+        ]
+    }
+
+    /// Nearest-neighbor context key: requests may only borrow results
+    /// computed for the same platform, model, priority, and
+    /// constraints — only the dataset shape may differ.
+    fn neighbor_key(
+        platform_fp: u64,
+        model: ModelKind,
+        priority: gnnav_explorer::Priority,
+        constraints: &gnnav_explorer::RuntimeConstraints,
+    ) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_u64(platform_fp);
+        w.put_str(&format!("{model:?}"));
+        w.put_str(priority.label());
+        w.put_str(&format!("{constraints:?}"));
+        let bytes = w.finish();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes.iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Squared Euclidean distance between shape vectors.
+    fn shape_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Resolves every pending request and returns the responses in
+    /// admission order. The wave is deterministic at every worker
+    /// width: planning and committing are serial, and the parallel
+    /// exploration phase is order-preserving and pure.
+    pub fn drain(&mut self) -> Result<Vec<NavResponse>, ServeError> {
+        let metrics = gnnav_obs::global();
+        let journal = metrics.journal();
+        let wave_t0 = journal.now_us();
+        let pending = std::mem::take(&mut self.queue);
+
+        // --- Phase A: serial plan ---------------------------------
+        let mut jobs: Vec<ExploreJob> = Vec::new();
+        let mut job_by_fp: HashMap<u64, usize> = HashMap::new();
+        let mut resolutions: Vec<Resolution> = Vec::with_capacity(pending.len());
+        for p in &pending {
+            let req = &p.request;
+            let shape = req.workload.shape_key();
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.datasets.entry(shape) {
+                slot.insert(req.workload.materialize()?);
+            }
+            let platform_fp = platform_fingerprint(&req.platform);
+            let salt = self.estimator_salt(platform_fp);
+            let budget = match p.degrade {
+                DegradeLevel::Full => self.options.explore_budget,
+                DegradeLevel::ReducedBudget | DegradeLevel::CacheOnly => {
+                    self.options.reduced_budget
+                }
+            };
+            let dataset = &self.datasets[&shape];
+            let fp = explore_fingerprint(
+                dataset,
+                &req.platform,
+                req.workload.model,
+                &self.space,
+                req.workload.priority,
+                &req.workload.constraints,
+                budget,
+                self.options.seed,
+                &salt,
+            );
+            // Tier ladder: memory → durable cache → (cache-only:
+            // neighbor) → in-wave coalesce → fresh exploration.
+            if self.results.contains_key(&fp) {
+                metrics.add(metric::SERVE_CACHE_HITS, 1);
+                resolutions
+                    .push(Resolution::Ready { fingerprint: fp, tier: ServeTier::ExploreCache });
+                continue;
+            }
+            if let Some(cache) = self.explore_cache.as_mut() {
+                if let Some(result) = cache.lookup(fp) {
+                    let result = result.clone();
+                    self.results.insert(fp, result);
+                    metrics.add(metric::SERVE_CACHE_HITS, 1);
+                    resolutions
+                        .push(Resolution::Ready { fingerprint: fp, tier: ServeTier::ExploreCache });
+                    continue;
+                }
+            }
+            if p.degrade == DegradeLevel::CacheOnly {
+                let key = Self::neighbor_key(
+                    platform_fp,
+                    req.workload.model,
+                    req.workload.priority,
+                    &req.workload.constraints,
+                );
+                let shape_vec = Self::shape_vector(dataset);
+                // First-inserted wins ties (strict `<`), so the pick
+                // is independent of map iteration order.
+                let nearest = self.neighbors.get(&key).and_then(|entries| {
+                    let mut best: Option<(f64, u64)> = None;
+                    for (vec, rfp) in entries {
+                        let d = Self::shape_distance(&shape_vec, vec);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, *rfp));
+                        }
+                    }
+                    best.map(|(_, rfp)| rfp)
+                });
+                if let Some(rfp) = nearest {
+                    metrics.add(metric::SERVE_NEIGHBOR_SERVED, 1);
+                    resolutions.push(Resolution::Ready {
+                        fingerprint: rfp,
+                        tier: ServeTier::NearestNeighbor,
+                    });
+                    continue;
+                }
+                // Nothing to borrow: fall through to a reduced DSE so
+                // the tenant still gets a guideline.
+            }
+            if let Some(&job) = job_by_fp.get(&fp) {
+                metrics.add(metric::SERVE_REQUESTS_COALESCED, 1);
+                resolutions.push(Resolution::Job { job, tier: ServeTier::Coalesced });
+                continue;
+            }
+            // Only a fresh exploration needs an estimator: warm
+            // requests resolve above without ever touching the pool
+            // (the cache fingerprint depends on the calibration
+            // recipe, not the fitted coefficients).
+            let (pool_hit, estimator) = {
+                let options = &self.options;
+                let space = &self.space;
+                let store = self.profile_store.as_mut();
+                let (est, hit) = self.pool.get_or_insert_with(platform_fp, || {
+                    Self::calibrate(options, space, store, &req.platform)
+                })?;
+                (hit, est.clone())
+            };
+            let tier = if pool_hit { ServeTier::WarmEstimator } else { ServeTier::Cold };
+            let job = jobs.len();
+            job_by_fp.insert(fp, job);
+            jobs.push(ExploreJob {
+                fingerprint: fp,
+                dataset: dataset.clone(),
+                platform: req.platform.clone(),
+                model: req.workload.model,
+                priority: req.workload.priority,
+                constraints: req.workload.constraints,
+                budget,
+                estimator,
+            });
+            resolutions.push(Resolution::Job { job, tier });
+        }
+
+        // --- Phase B: parallel pure explorations ------------------
+        let seed = self.options.seed;
+        let space = self.space.clone();
+        let outputs: Vec<Result<ExplorationResult, gnnav_explorer::ExplorerError>> =
+            gnnav_par::par_map_indexed(&jobs, 1, |_, job| {
+                Explorer::new(&job.estimator, job.budget)
+                    .with_space(space.clone())
+                    .with_seed(seed)
+                    .explore(&job.dataset, &job.platform, job.model, job.priority, &job.constraints)
+            });
+
+        // --- Phase C: serial commit in admission order ------------
+        for (job, output) in jobs.iter().zip(outputs) {
+            let result = output?;
+            metrics.add(metric::SERVE_EXPLORATIONS, 1);
+            if let Some(cache) = self.explore_cache.as_mut() {
+                cache.insert(job.fingerprint, &result)?;
+            }
+            let key = Self::neighbor_key(
+                platform_fingerprint(&job.platform),
+                job.model,
+                job.priority,
+                &job.constraints,
+            );
+            self.neighbors
+                .entry(key)
+                .or_default()
+                .push((Self::shape_vector(&job.dataset), job.fingerprint));
+            self.results.insert(job.fingerprint, result);
+        }
+        let mut responses = Vec::with_capacity(pending.len());
+        for (p, resolution) in pending.iter().zip(&resolutions) {
+            let (fp, tier) = match resolution {
+                Resolution::Job { job, tier } => (jobs[*job].fingerprint, *tier),
+                Resolution::Ready { fingerprint, tier } => (*fingerprint, *tier),
+            };
+            let result = self.results.get(&fp).expect("committed before responses");
+            metrics.add(metric::SERVE_RESPONSES, 1);
+            metrics.observe(
+                metric::SERVE_LATENCY,
+                ((journal.now_us() - p.submitted_at_us) / 1e6).max(0.0),
+            );
+            responses.push(NavResponse {
+                seq: p.seq,
+                tenant: p.request.tenant,
+                tier,
+                degrade: p.degrade,
+                guideline: result.guideline.clone(),
+            });
+        }
+        // Refill every known tenant bucket, capped at capacity.
+        for bucket in self.buckets.values_mut() {
+            *bucket = (*bucket + self.options.tenant_refill).min(self.options.tenant_budget);
+        }
+        metrics.add(metric::SERVE_WAVES, 1);
+        metrics.gauge_set(metric::SERVE_QUEUE_DEPTH, 0.0);
+        if journal.is_enabled() {
+            journal.span_complete(
+                metric::EVENT_SERVE_WAVE,
+                metric::TRACK_SERVE,
+                wave_t0,
+                Some(journal.now_us() - wave_t0),
+                None,
+                None,
+                vec![
+                    ("requests".into(), (responses.len() as f64).into()),
+                    ("explorations".into(), (jobs.len() as f64).into()),
+                ],
+            );
+        }
+        Ok(responses)
+    }
+}

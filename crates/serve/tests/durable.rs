@@ -1,0 +1,69 @@
+//! Durable backing: a restarted service warm-starts from the shared
+//! `ProfileStore` and `ExploreCache` — the repeat tenant's guideline
+//! is an explore-cache hit and calibration re-profiles nothing.
+
+use gnnav_estimator::ProfileStore;
+use gnnav_explorer::ExploreCache;
+use gnnav_serve::{tenant_request, NavService, ServeOptions, ServeTier};
+
+fn fast_options(seed: u64) -> ServeOptions {
+    ServeOptions {
+        queue_capacity: 24,
+        tenant_budget: 8,
+        tenant_refill: 8,
+        degrade_depth: 12,
+        cache_only_depth: 18,
+        explore_budget: 120,
+        reduced_budget: 40,
+        pool_capacity: 4,
+        calibration_graphs: 1,
+        calibration_nodes: 250,
+        calibration_samples: 6,
+        seed,
+    }
+}
+
+#[test]
+fn restart_warm_starts_from_durable_stores() {
+    let dir = std::env::temp_dir().join(format!("gnnav-serve-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let profiles = dir.join("profiles.wal");
+    let explorations = dir.join("explorations.wal");
+
+    // First service lifetime: cold calibration + cold exploration.
+    let (cold_config, profiled) = {
+        let mut service = NavService::new(fast_options(31))
+            .with_profile_store(ProfileStore::open(&profiles).expect("open profiles"))
+            .with_explore_cache(ExploreCache::open(&explorations).expect("open cache"));
+        service.submit(tenant_request(31, 9)).expect("admit");
+        let resp = service.drain().expect("cold wave");
+        assert_eq!(resp[0].tier, ServeTier::Cold);
+        assert_eq!(service.explore_cache().unwrap().len(), 1);
+        let profiled = service.profile_store().unwrap().len();
+        assert!(profiled > 0, "calibration must append profile records");
+        (format!("{:?}", resp[0].guideline.config), profiled)
+    };
+
+    // Restarted service: same stores, same options, same tenant.
+    let mut service = NavService::new(fast_options(31))
+        .with_profile_store(ProfileStore::open(&profiles).expect("reopen profiles"))
+        .with_explore_cache(ExploreCache::open(&explorations).expect("reopen cache"));
+    service.submit(tenant_request(31, 9)).expect("admit");
+    let resp = service.drain().expect("warm wave");
+    // The pool is cold after restart, but the exploration fingerprint
+    // matches the durable cache, so no DSE runs and no calibration is
+    // needed: cache hits resolve before the estimator pool is
+    // touched.
+    assert_eq!(resp[0].tier, ServeTier::ExploreCache);
+    assert_eq!(service.pool().misses(), 0, "cache hits must not calibrate");
+    assert_eq!(service.explore_cache().unwrap().hits(), 1);
+    assert_eq!(
+        service.profile_store().unwrap().len(),
+        profiled,
+        "restart calibration must reuse stored profile records, not re-profile"
+    );
+    assert_eq!(format!("{:?}", resp[0].guideline.config), cold_config);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

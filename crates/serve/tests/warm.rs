@@ -1,0 +1,100 @@
+//! Warm-path behavior: a repeat request serves from the exploration
+//! cache without invoking the DSE (`explorer.candidates.evaluated`
+//! delta is zero), and the estimator pool reuses fits per platform.
+
+use std::sync::Mutex;
+
+use gnnav_obs::names as metric;
+use gnnav_serve::{tenant_request, NavService, ServeOptions, ServeTier};
+
+/// Serializes the tests that read global metric deltas.
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn fast_options(seed: u64) -> ServeOptions {
+    ServeOptions {
+        queue_capacity: 24,
+        tenant_budget: 8,
+        tenant_refill: 8,
+        degrade_depth: 12,
+        cache_only_depth: 18,
+        explore_budget: 120,
+        reduced_budget: 40,
+        pool_capacity: 4,
+        calibration_graphs: 1,
+        calibration_nodes: 250,
+        calibration_samples: 6,
+        seed,
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    gnnav_obs::global().snapshot().counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn warm_request_serves_without_invoking_the_dse() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let metrics = gnnav_obs::global();
+    metrics.enable(true);
+
+    let mut service = NavService::new(fast_options(21));
+    service.submit(tenant_request(21, 5)).expect("cold admit");
+    let cold = service.drain().expect("cold wave");
+    assert_eq!(cold.len(), 1);
+    assert_eq!(cold[0].tier, ServeTier::Cold, "first request calibrates and explores");
+
+    let evaluated_before = counter(metric::EXPLORER_EVALUATED);
+    let cache_hits_before = counter(metric::SERVE_CACHE_HITS);
+    assert!(evaluated_before > 0, "the cold wave must have run a DSE");
+
+    service.submit(tenant_request(21, 5)).expect("warm admit");
+    let warm = service.drain().expect("warm wave");
+    assert_eq!(warm.len(), 1);
+    assert_eq!(warm[0].tier, ServeTier::ExploreCache);
+    assert_eq!(
+        counter(metric::EXPLORER_EVALUATED),
+        evaluated_before,
+        "cache-hit requests must not invoke the DSE"
+    );
+    assert_eq!(counter(metric::SERVE_CACHE_HITS), cache_hits_before + 1);
+    // Identical inputs ⇒ identical guideline.
+    assert_eq!(
+        format!("{:?}", cold[0].guideline.config),
+        format!("{:?}", warm[0].guideline.config)
+    );
+    metrics.enable(false);
+}
+
+#[test]
+fn same_platform_reuses_the_identical_pooled_fit() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut service = NavService::new(fast_options(22));
+    // Two tenants, same platform preset, different workloads: find a
+    // pair by scanning the deterministic tenant attribute stream.
+    let a = tenant_request(22, 0);
+    let mut pair = None;
+    for t in 1..64 {
+        let b = tenant_request(22, t);
+        if b.platform == a.platform && b.workload != a.workload {
+            pair = Some(b);
+            break;
+        }
+    }
+    let b = pair.expect("some tenant shares tenant 0's platform");
+
+    let platform_fp = gnnav_serve::platform_fingerprint(&a.platform);
+    service.submit(a).expect("admit a");
+    service.drain().expect("wave a");
+    assert_eq!(service.pool().misses(), 1);
+    let fitted = format!("{:?}", service.pool().peek(platform_fp).expect("warm fit"));
+
+    service.submit(b).expect("admit b");
+    let resp = service.drain().expect("wave b");
+    assert_eq!(service.pool().misses(), 1, "platform fit must be reused");
+    assert_eq!(service.pool().hits(), 1);
+    // Same-platform reuse returns the identical fit, coefficient for
+    // coefficient.
+    assert_eq!(fitted, format!("{:?}", service.pool().peek(platform_fp).expect("still warm")));
+    // A different workload on a warm platform explores fresh.
+    assert_eq!(resp[0].tier, ServeTier::WarmEstimator);
+}
